@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	serenity "github.com/serenity-ml/serenity"
+)
+
+func TestBuildAllNetworks(t *testing.T) {
+	for _, name := range []string{"darts", "swiftnet", "swiftnet-a", "swiftnet-b", "swiftnet-c", "randwire"} {
+		g, err := build(name, 16, 4, 0.5, 3, 16, 8)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", name, err)
+		}
+	}
+	if _, err := build("nope", 0, 0, 0, 0, 0, 0); err == nil {
+		t.Error("unknown network accepted")
+	}
+}
+
+func TestRunWritesJSONAndDOT(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "g.json")
+	dotPath := filepath.Join(dir, "g.dot")
+	if err := run("swiftnet-b", jsonPath, dotPath, 0, 0, 0, 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := serenity.ReadGraphJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != serenity.SwiftNetCellB().NumNodes() {
+		t.Error("JSON round trip changed the graph")
+	}
+	dot, err := os.ReadFile(dotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(dot), "digraph") {
+		t.Error("DOT output malformed")
+	}
+}
+
+// TestGeneratedJSONSchedulesEndToEnd: graphgen output feeds the scheduler.
+func TestGeneratedJSONSchedulesEndToEnd(t *testing.T) {
+	g, err := build("randwire", 12, 4, 0.75, 9, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := serenity.Schedule(g, serenity.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Peak <= 0 || res.Peak > res.BaselinePeak {
+		t.Errorf("peak %d baseline %d", res.Peak, res.BaselinePeak)
+	}
+}

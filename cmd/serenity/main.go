@@ -1,0 +1,145 @@
+// Command serenity schedules a dataflow graph for minimum peak activation
+// memory. It reads a graph in the JSON IR format (see internal/graph),
+// runs the full SERENITY pipeline, and prints the schedule and footprint.
+//
+//	serenity -in model.json [-budget 256KiB] [-dot out.dot] [-no-rewrite]
+//
+// With -builtin NAME it schedules one of the bundled benchmark networks
+// (darts, swiftnet, swiftnet-a, swiftnet-b, swiftnet-c, randwire) instead of
+// reading a file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	serenity "github.com/serenity-ml/serenity"
+)
+
+func main() {
+	in := flag.String("in", "", "input graph (JSON IR); '-' for stdin")
+	builtin := flag.String("builtin", "", "schedule a bundled network (darts|swiftnet|swiftnet-a|swiftnet-b|swiftnet-c|randwire)")
+	budget := flag.String("budget", "", "device memory budget, e.g. 250KiB or 262144")
+	dotOut := flag.String("dot", "", "write the (rewritten) graph as Graphviz DOT to this file")
+	noRewrite := flag.Bool("no-rewrite", false, "disable identity graph rewriting")
+	noPartition := flag.Bool("no-partition", false, "disable divide-and-conquer")
+	stepTimeout := flag.Duration("timeout", time.Second, "adaptive soft budgeting step timeout T")
+	quiet := flag.Bool("quiet", false, "print only the summary line")
+	flag.Parse()
+
+	if err := run(*in, *builtin, *budget, *dotOut, *noRewrite, *noPartition, *stepTimeout, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "serenity:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, builtin, budget, dotOut string, noRewrite, noPartition bool, stepTimeout time.Duration, quiet bool) error {
+	g, err := loadGraph(in, builtin)
+	if err != nil {
+		return err
+	}
+
+	opts := serenity.DefaultOptions()
+	opts.Rewrite = !noRewrite
+	opts.Partition = !noPartition
+	opts.StepTimeout = stepTimeout
+	if budget != "" {
+		b, err := parseBytes(budget)
+		if err != nil {
+			return err
+		}
+		opts.MemoryBudget = b
+	}
+
+	res, err := serenity.Schedule(g, opts)
+	var be *serenity.ErrBudgetExceeded
+	if err != nil {
+		if e, ok := err.(*serenity.ErrBudgetExceeded); ok {
+			be = e
+		} else {
+			return err
+		}
+	}
+
+	fmt.Printf("graph=%s nodes=%d baseline=%.1fKB peak=%.1fKB arena=%.1fKB reduction=%.2fx rewrites=%d partitions=%v time=%s\n",
+		g.Name, g.NumNodes(),
+		float64(res.BaselinePeak)/1024, float64(res.Peak)/1024, float64(res.ArenaSize)/1024,
+		float64(res.BaselinePeak)/float64(res.Peak),
+		res.RewriteCount, res.PartitionSizes, res.SchedulingTime.Round(time.Millisecond))
+	if !quiet {
+		fmt.Println("schedule:")
+		for i, id := range res.Order {
+			n := res.Graph.Nodes[id]
+			fmt.Printf("  %3d: %-24s %-14s %v\n", i, n.Name, n.Op, n.Shape)
+		}
+	}
+	if dotOut != "" {
+		f, err := os.Create(dotOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := res.Graph.WriteDOT(f); err != nil {
+			return err
+		}
+	}
+	if be != nil {
+		return be
+	}
+	return nil
+}
+
+func loadGraph(in, builtin string) (*serenity.Graph, error) {
+	switch builtin {
+	case "darts":
+		return serenity.DARTSNormalCell(), nil
+	case "swiftnet":
+		return serenity.SwiftNet(), nil
+	case "swiftnet-a":
+		return serenity.SwiftNetCellA(), nil
+	case "swiftnet-b":
+		return serenity.SwiftNetCellB(), nil
+	case "swiftnet-c":
+		return serenity.SwiftNetCellC(), nil
+	case "randwire":
+		return serenity.RandWireCell("randwire", 32, 4, 0.75, 101, 32, 16), nil
+	case "":
+	default:
+		return nil, fmt.Errorf("unknown builtin %q", builtin)
+	}
+	if in == "" {
+		return nil, fmt.Errorf("provide -in FILE or -builtin NAME")
+	}
+	f := os.Stdin
+	if in != "-" {
+		var err error
+		f, err = os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+	}
+	return serenity.ReadGraphJSON(f)
+}
+
+func parseBytes(s string) (int64, error) {
+	mult := int64(1)
+	u := strings.ToLower(s)
+	switch {
+	case strings.HasSuffix(u, "kib"), strings.HasSuffix(u, "kb"):
+		mult = 1024
+		u = strings.TrimSuffix(strings.TrimSuffix(u, "kib"), "kb")
+	case strings.HasSuffix(u, "mib"), strings.HasSuffix(u, "mb"):
+		mult = 1 << 20
+		u = strings.TrimSuffix(strings.TrimSuffix(u, "mib"), "mb")
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(u), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad byte size %q", s)
+	}
+	return v * mult, nil
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	serenity "github.com/serenity-ml/serenity"
+)
+
+func TestParseBytes(t *testing.T) {
+	cases := map[string]int64{
+		"256":    256,
+		"250KiB": 250 * 1024,
+		"250kb":  250 * 1024,
+		"2MiB":   2 << 20,
+		"1mb":    1 << 20,
+	}
+	for in, want := range cases {
+		got, err := parseBytes(in)
+		if err != nil {
+			t.Errorf("parseBytes(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("parseBytes(%q) = %d, want %d", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "12XB"} {
+		if _, err := parseBytes(bad); err == nil {
+			t.Errorf("parseBytes(%q) accepted", bad)
+		}
+	}
+}
+
+func TestLoadGraphBuiltins(t *testing.T) {
+	for _, name := range []string{"darts", "swiftnet", "swiftnet-a", "swiftnet-b", "swiftnet-c", "randwire"} {
+		g, err := loadGraph("", name)
+		if err != nil {
+			t.Errorf("builtin %s: %v", name, err)
+			continue
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("builtin %s invalid: %v", name, err)
+		}
+	}
+	if _, err := loadGraph("", "bogus"); err == nil {
+		t.Error("bogus builtin accepted")
+	}
+	if _, err := loadGraph("", ""); err == nil {
+		t.Error("missing input accepted")
+	}
+}
+
+func TestLoadGraphFromJSONFile(t *testing.T) {
+	g := serenity.SwiftNetCellC()
+	var buf bytes.Buffer
+	if err := serenity.WriteGraphJSON(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadGraph(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != g.NumNodes() {
+		t.Errorf("round trip node count %d != %d", got.NumNodes(), g.NumNodes())
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dot := filepath.Join(t.TempDir(), "out.dot")
+	err := run("", "swiftnet-c", "250KiB", dot, false, false, time.Second, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte("digraph")) {
+		t.Error("DOT output malformed")
+	}
+}
+
+func TestRunBudgetExceeded(t *testing.T) {
+	err := run("", "swiftnet-a", "1", "", false, false, time.Second, true)
+	if _, ok := err.(*serenity.ErrBudgetExceeded); !ok {
+		t.Fatalf("want ErrBudgetExceeded, got %v", err)
+	}
+}

@@ -1,0 +1,63 @@
+// Edge deployment: decide whether SwiftNet's cells fit the 250 KB
+// activation memory of a SparkFun Edge class device — the paper's headline
+// scenario (Section 2.2). A memory-oblivious schedule of Cell A does not
+// fit; SERENITY's schedule does, and graph rewriting buys additional slack.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	serenity "github.com/serenity-ml/serenity"
+)
+
+const deviceBudget = 250 * 1024 // SparkFun Edge activation memory
+
+func main() {
+	cells := []struct {
+		name  string
+		build func() *serenity.Graph
+	}{
+		{"SwiftNet Cell A", serenity.SwiftNetCellA},
+		{"SwiftNet Cell B", serenity.SwiftNetCellB},
+		{"SwiftNet Cell C", serenity.SwiftNetCellC},
+		{"SwiftNet (full)", serenity.SwiftNet},
+	}
+
+	fmt.Printf("device activation budget: %d KB\n\n", deviceBudget/1024)
+	for _, c := range cells {
+		g := c.build()
+
+		// Baseline: would the memory-oblivious order fit?
+		base, err := serenity.BaselineOrder(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		basePeak, err := serenity.PeakOf(g, base)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		opts := serenity.DefaultOptions()
+		opts.MemoryBudget = deviceBudget
+		res, err := serenity.Schedule(g, opts)
+		var be *serenity.ErrBudgetExceeded
+		if err != nil && !errors.As(err, &be) {
+			log.Fatal(err)
+		}
+
+		verdict := "FITS"
+		if be != nil {
+			verdict = "DOES NOT FIT"
+		}
+		baseVerdict := "fits"
+		if basePeak > deviceBudget {
+			baseVerdict = "does not fit"
+		}
+		fmt.Printf("%-16s baseline %7.1f KB (%s)  ->  SERENITY arena %7.1f KB  [%s]\n",
+			c.name, float64(basePeak)/1024, baseVerdict, float64(res.ArenaSize)/1024, verdict)
+	}
+
+	fmt.Println("\nWithout memory-aware scheduling the device cannot run what SERENITY fits comfortably.")
+}

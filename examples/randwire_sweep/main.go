@@ -1,0 +1,40 @@
+// RandWire sweep: generate randomly wired cells over a range of
+// Watts-Strogatz rewiring probabilities and sizes, and measure how much a
+// memory-aware schedule saves as wiring gets more chaotic. This reproduces
+// the paper's motivation that schedule choice matters more as regularity
+// disappears.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	serenity "github.com/serenity-ml/serenity"
+)
+
+func main() {
+	fmt.Printf("%-28s %6s | %12s %12s %9s %10s\n",
+		"cell", "nodes", "baseline KB", "serenity KB", "gain", "time")
+
+	for _, p := range []float64{0.0, 0.25, 0.5, 0.75, 1.0} {
+		for _, n := range []int{16, 24, 32} {
+			name := fmt.Sprintf("ws(n=%d,k=4,p=%.2f)", n, p)
+			g := serenity.RandWireCell(name, n, 4, p, 42, 16, 16)
+
+			opts := serenity.DefaultOptions()
+			opts.StepTimeout = 250 * time.Millisecond
+			res, err := serenity.Schedule(g, opts)
+			if err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+			gain := float64(res.BaselinePeak) / float64(res.Peak)
+			fmt.Printf("%-28s %6d | %12.1f %12.1f %8.2fx %10s\n",
+				name, g.NumNodes(), float64(res.BaselinePeak)/1024,
+				float64(res.Peak)/1024, gain, res.SchedulingTime.Round(time.Millisecond))
+		}
+	}
+
+	fmt.Println("\nHigher rewiring probability p produces more irregular wiring; the gap")
+	fmt.Println("between memory-oblivious and memory-aware schedules widens accordingly.")
+}

@@ -1,0 +1,154 @@
+// Package alloc implements the linear memory allocator the paper pairs with
+// its scheduler: TensorFlow Lite's "simple memory arena" planning scheme
+// (greedy best-fit offset assignment over tensor lifetimes). Given a graph
+// and a schedule it assigns every physical tensor a byte offset in one flat
+// arena such that tensors with overlapping lifetimes never overlap in space.
+//
+// The arena size is the concrete peak footprint a runtime would observe —
+// the "+Memory Allocator" curves of Figure 12(a) — and can exceed the ideal
+// sum-of-live-bytes footprint because of fragmentation.
+package alloc
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/serenity-ml/serenity/internal/sched"
+)
+
+// Lifetime is the closed step interval during which a physical tensor is
+// resident under a given schedule.
+type Lifetime struct {
+	Root  int   // physical root node ID
+	Size  int64 // bytes
+	Start int   // schedule position of allocation
+	End   int   // schedule position of the last consumer (len(order)-1 for outputs)
+}
+
+// Assignment maps physical tensors to arena offsets.
+type Assignment struct {
+	// Offsets[root] is the byte offset of the tensor rooted at root, or -1
+	// for nodes that are not physical roots (aliases) or zero-sized.
+	Offsets []int64
+	// ArenaSize is the total bytes of the arena: max(offset+size).
+	ArenaSize int64
+	// Lifetimes lists the placed tensors, largest first (placement order).
+	Lifetimes []Lifetime
+}
+
+// Lifetimes computes the per-tensor residency intervals of order under the
+// model's liveness rules.
+func Lifetimes(m *sched.MemModel, order sched.Schedule) ([]Lifetime, error) {
+	if err := m.CheckValid(order); err != nil {
+		return nil, err
+	}
+	n := m.G.NumNodes()
+	pos := make([]int, n)
+	for i, u := range order {
+		pos[u] = i
+	}
+	var out []Lifetime
+	for root := 0; root < n; root++ {
+		if m.Root[root] != root || m.RootSize[root] == 0 {
+			continue
+		}
+		lt := Lifetime{Root: root, Size: m.RootSize[root], Start: pos[root], End: len(order) - 1}
+		if cs := m.Consumers[root]; len(cs) > 0 {
+			end := pos[root]
+			for _, c := range cs {
+				if pos[c] > end {
+					end = pos[c]
+				}
+			}
+			lt.End = end
+		}
+		out = append(out, lt)
+	}
+	return out, nil
+}
+
+// Plan assigns offsets with the greedy-by-size best-fit strategy of
+// TensorFlow Lite's arena planner: tensors are placed in decreasing size
+// order, each at the lowest offset where it fits without overlapping (in
+// space) any already-placed tensor whose lifetime overlaps (in time).
+func Plan(m *sched.MemModel, order sched.Schedule) (*Assignment, error) {
+	lts, err := Lifetimes(m, order)
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(lts, func(i, j int) bool {
+		if lts[i].Size != lts[j].Size {
+			return lts[i].Size > lts[j].Size
+		}
+		return lts[i].Start < lts[j].Start
+	})
+
+	a := &Assignment{
+		Offsets:   make([]int64, m.G.NumNodes()),
+		Lifetimes: lts,
+	}
+	for i := range a.Offsets {
+		a.Offsets[i] = -1
+	}
+
+	type placed struct {
+		lt     Lifetime
+		offset int64
+	}
+	var fixed []placed
+	for _, lt := range lts {
+		// Collect the occupied intervals that conflict in time, sorted by
+		// offset, then scan for the lowest gap of lt.Size bytes.
+		var conflicts []placed
+		for _, p := range fixed {
+			if p.lt.Start <= lt.End && lt.Start <= p.lt.End {
+				conflicts = append(conflicts, p)
+			}
+		}
+		sort.Slice(conflicts, func(i, j int) bool { return conflicts[i].offset < conflicts[j].offset })
+		var offset int64
+		for _, c := range conflicts {
+			if offset+lt.Size <= c.offset {
+				break // fits in the gap before c
+			}
+			if end := c.offset + c.lt.Size; end > offset {
+				offset = end
+			}
+		}
+		a.Offsets[lt.Root] = offset
+		if end := offset + lt.Size; end > a.ArenaSize {
+			a.ArenaSize = end
+		}
+		fixed = append(fixed, placed{lt: lt, offset: offset})
+	}
+	return a, nil
+}
+
+// Verify checks the non-overlap invariant: any two tensors overlapping in
+// both time and space constitute a planning bug.
+func (a *Assignment) Verify() error {
+	for i := 0; i < len(a.Lifetimes); i++ {
+		li := a.Lifetimes[i]
+		oi := a.Offsets[li.Root]
+		for j := i + 1; j < len(a.Lifetimes); j++ {
+			lj := a.Lifetimes[j]
+			oj := a.Offsets[lj.Root]
+			timeOverlap := li.Start <= lj.End && lj.Start <= li.End
+			spaceOverlap := oi < oj+lj.Size && oj < oi+li.Size
+			if timeOverlap && spaceOverlap {
+				return fmt.Errorf("alloc: tensors %d@[%d,%d) and %d@[%d,%d) overlap in time and space",
+					li.Root, oi, oi+li.Size, lj.Root, oj, oj+lj.Size)
+			}
+		}
+	}
+	return nil
+}
+
+// ArenaPeak is a convenience: plan order and return the arena size.
+func ArenaPeak(m *sched.MemModel, order sched.Schedule) (int64, error) {
+	a, err := Plan(m, order)
+	if err != nil {
+		return 0, err
+	}
+	return a.ArenaSize, nil
+}

@@ -1,0 +1,154 @@
+package alloc
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/serenity-ml/serenity/internal/graph"
+	"github.com/serenity-ml/serenity/internal/sched"
+)
+
+func bytesShape(b int64) graph.Shape { return graph.Shape{int(b / 4)} }
+
+func chain() (*sched.MemModel, sched.Schedule) {
+	g := graph.New("chain")
+	a := g.AddNode(graph.OpInput, "in", bytesShape(100))
+	b := g.AddNode(graph.OpReLU, "r1", bytesShape(100), a)
+	g.AddNode(graph.OpReLU, "r2", bytesShape(100), b)
+	return sched.NewMemModel(g), sched.Schedule{0, 1, 2}
+}
+
+func TestLifetimesChain(t *testing.T) {
+	m, order := chain()
+	lts, err := Lifetimes(m, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lts) != 3 {
+		t.Fatalf("lifetimes = %d", len(lts))
+	}
+	byRoot := map[int]Lifetime{}
+	for _, lt := range lts {
+		byRoot[lt.Root] = lt
+	}
+	if byRoot[0].Start != 0 || byRoot[0].End != 1 {
+		t.Errorf("in lifetime = %+v", byRoot[0])
+	}
+	if byRoot[2].End != 2 {
+		t.Errorf("output must live to the end: %+v", byRoot[2])
+	}
+}
+
+func TestPlanChainReusesMemory(t *testing.T) {
+	m, order := chain()
+	a, err := Plan(m, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// in[0,1] and r2[2,2] can share; r1[1,2] overlaps both -> arena 200.
+	if a.ArenaSize != 200 {
+		t.Errorf("arena = %d, want 200", a.ArenaSize)
+	}
+}
+
+func TestPlanAliasedBufferGetsOneAllocation(t *testing.T) {
+	g := graph.New("buf")
+	x := g.AddNode(graph.OpInput, "x", bytesShape(40))
+	buf := g.AddNode(graph.OpBuffer, "buf", bytesShape(100))
+	w := g.AddNode(graph.OpPartialDWConv, "w", bytesShape(40), x, buf)
+	g.Nodes[w].Attr.AliasOf = buf
+	j := g.AddNode(graph.OpIdentity, "j", bytesShape(100), w)
+	g.Nodes[j].Attr.AliasOf = buf
+	g.AddNode(graph.OpReLU, "out", bytesShape(100), j)
+	m := sched.NewMemModel(g)
+	order := sched.Schedule{0, 1, 2, 3, 4}
+	a, err := Plan(m, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Offsets[w] != -1 || a.Offsets[j] != -1 {
+		t.Error("alias nodes must not receive their own offsets")
+	}
+	if a.Offsets[buf] < 0 {
+		t.Error("buffer must receive an offset")
+	}
+	if err := a.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanNonOverlapProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 60; trial++ {
+		g := graph.RandomDAG(rng, graph.RandomDAGConfig{Nodes: 20, EdgeProb: 0.2})
+		m := sched.NewMemModel(g)
+		order := sched.RandomTopo(g, rng)
+		a, err := Plan(m, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Verify(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Arena bounded below by the ideal peak and above by total bytes.
+		peak := m.MustPeak(order)
+		if a.ArenaSize < peak {
+			t.Fatalf("trial %d: arena %d < ideal peak %d", trial, a.ArenaSize, peak)
+		}
+		if total := g.TotalActivationBytes(); a.ArenaSize > total {
+			t.Fatalf("trial %d: arena %d > total %d", trial, a.ArenaSize, total)
+		}
+	}
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.RandomDAG(rng, graph.RandomDAGConfig{Nodes: 15, EdgeProb: 0.25})
+	m := sched.NewMemModel(g)
+	order, _ := sched.KahnFIFO(g)
+	a1, _ := Plan(m, order)
+	a2, _ := Plan(m, order)
+	for i := range a1.Offsets {
+		if a1.Offsets[i] != a2.Offsets[i] {
+			t.Fatal("Plan not deterministic")
+		}
+	}
+}
+
+func TestPlanRejectsInvalidOrder(t *testing.T) {
+	m, _ := chain()
+	if _, err := Plan(m, sched.Schedule{2, 1, 0}); err == nil {
+		t.Error("invalid order accepted")
+	}
+	if _, err := ArenaPeak(m, sched.Schedule{0}); err == nil {
+		t.Error("short order accepted")
+	}
+}
+
+func TestArenaPeak(t *testing.T) {
+	m, order := chain()
+	p, err := ArenaPeak(m, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 200 {
+		t.Errorf("ArenaPeak = %d", p)
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	m, order := chain()
+	a, _ := Plan(m, order)
+	// Force every tensor to offset 0: in/r1 overlap in time -> must fail.
+	for i := range a.Offsets {
+		if a.Offsets[i] > 0 {
+			a.Offsets[i] = 0
+		}
+	}
+	if err := a.Verify(); err == nil {
+		t.Error("corrupted assignment passed Verify")
+	}
+}

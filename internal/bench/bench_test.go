@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/serenity-ml/serenity/internal/models"
+)
+
+func measureSwiftC(t *testing.T) *CellResult {
+	t.Helper()
+	r, err := MeasureCell(models.BenchCell{
+		Network: "SwiftNet", Dataset: "HPD", Cell: "Cell C",
+		Build: models.SwiftNetCellC,
+	}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestMeasureCellInvariants(t *testing.T) {
+	r := measureSwiftC(t)
+	if r.DPPeak > r.BaselinePeak {
+		t.Errorf("DP arena %d worse than baseline %d", r.DPPeak, r.BaselinePeak)
+	}
+	if r.DPGRPeakIdeal > r.DPPeakIdeal {
+		t.Errorf("rewriting increased ideal peak %d -> %d", r.DPPeakIdeal, r.DPGRPeakIdeal)
+	}
+	if r.DPPeak < r.DPPeakIdeal {
+		t.Errorf("arena %d below ideal peak %d", r.DPPeak, r.DPPeakIdeal)
+	}
+	if r.DPTime <= 0 || r.DPGRTime <= 0 {
+		t.Error("missing scheduling times")
+	}
+}
+
+func TestRenderersProduceOutput(t *testing.T) {
+	r := measureSwiftC(t)
+	cells := []*CellResult{r}
+
+	var buf bytes.Buffer
+	RenderFig10(&buf, cells)
+	if !strings.Contains(buf.String(), "Geomean") {
+		t.Error("Fig10 output missing geomean")
+	}
+	buf.Reset()
+	RenderFig15(&buf, cells)
+	if !strings.Contains(buf.String(), "raw values") {
+		t.Error("Fig15 output malformed")
+	}
+	buf.Reset()
+	RenderFig13(&buf, cells)
+	if !strings.Contains(buf.String(), "Mean") {
+		t.Error("Fig13 output missing mean")
+	}
+	buf.Reset()
+	RenderTable1(&buf)
+	for _, want := range []string{"DARTS", "SwiftNet", "RandWire", "Top-1"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("Table1 output missing %q", want)
+		}
+	}
+	buf.Reset()
+	RenderFig2(&buf)
+	if !strings.Contains(buf.String(), "Pareto frontier (irregular)") {
+		t.Error("Fig2 output missing frontier")
+	}
+}
+
+func TestFig11TrafficDirection(t *testing.T) {
+	r := measureSwiftC(t)
+	rows, err := Fig11([]*CellResult{r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 SRAM sizes", len(rows))
+	}
+	for _, row := range rows {
+		if !row.NA && !row.Eliminated && row.SerenityTraffic > row.BaselineTraffic {
+			t.Errorf("%dKB: SERENITY traffic %d exceeds baseline %d",
+				row.OnChipKB, row.SerenityTraffic, row.BaselineTraffic)
+		}
+	}
+	var buf bytes.Buffer
+	RenderFig11(&buf, rows)
+	if !strings.Contains(buf.String(), "Geomean") {
+		t.Error("Fig11 output missing geomean")
+	}
+}
+
+func TestFig3bSmall(t *testing.T) {
+	r, err := Fig3b(300, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SampledBetter != 0 {
+		t.Errorf("%d sampled schedules beat the DP optimum", r.SampledBetter)
+	}
+	if r.MinKB < r.OptimalKB {
+		t.Errorf("sampled min %.1f below optimal %.1f", r.MinKB, r.OptimalKB)
+	}
+	if r.FracUnderCap < 0 || r.FracUnderCap > 1 {
+		t.Errorf("fraction out of range: %v", r.FracUnderCap)
+	}
+	var buf bytes.Buffer
+	RenderFig3b(&buf, r)
+	if !strings.Contains(buf.String(), "constraint") {
+		t.Error("Fig3b output malformed")
+	}
+}
+
+func TestFig12ProfilesAndReduction(t *testing.T) {
+	r, err := Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.WithAllocator) != 2 || len(r.WithoutAllocator) != 2 {
+		t.Fatal("expected 2+2 series")
+	}
+	// Graph rewriting must reduce (or match) the peak in both panels.
+	if r.WithAllocator[1].PeakKB > r.WithAllocator[0].PeakKB {
+		t.Errorf("rewriting increased allocated peak: %v -> %v",
+			r.WithAllocator[0].PeakKB, r.WithAllocator[1].PeakKB)
+	}
+	if r.WithoutAllocator[1].PeakKB > r.WithoutAllocator[0].PeakKB {
+		t.Errorf("rewriting increased ideal peak")
+	}
+	// Allocator can only add fragmentation.
+	if r.WithAllocator[0].PeakKB < r.WithoutAllocator[0].PeakKB {
+		t.Errorf("allocated peak below ideal peak")
+	}
+	var buf bytes.Buffer
+	RenderFig12(&buf, r)
+	if !strings.Contains(buf.String(), "graph rewriting reduction") {
+		t.Error("Fig12 output malformed")
+	}
+}
+
+func TestTable2AblationDirections(t *testing.T) {
+	rows, err := Table2(Table2Options{
+		PlainDPBudget: 200 * time.Millisecond,
+		StepTimeout:   500 * time.Millisecond,
+		MaxStates:     1 << 18,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	// Whole-graph DP on 62/90 nodes must be infeasible within the cap.
+	if rows[0].Feasible {
+		t.Log("note: plain DP solved SwiftNet within the cap (fast machine)")
+	}
+	// The full pipeline rows must always be feasible.
+	if !rows[2].Feasible || !rows[5].Feasible {
+		t.Error("1+2+3 rows must be feasible")
+	}
+	// Partition statistics must match Table 2.
+	wantParts := [][]int{{62}, {21, 19, 22}, {21, 19, 22}, {90}, {33, 28, 29}, {33, 28, 29}}
+	for i, row := range rows {
+		if len(row.Partitions) != len(wantParts[i]) {
+			t.Errorf("row %d partitions %v, want %v", i, row.Partitions, wantParts[i])
+			continue
+		}
+		for j := range wantParts[i] {
+			if row.Partitions[j] != wantParts[i][j] {
+				t.Errorf("row %d partitions %v, want %v", i, row.Partitions, wantParts[i])
+				break
+			}
+		}
+	}
+	var buf bytes.Buffer
+	RenderTable2(&buf, rows)
+	out := buf.String()
+	if !strings.Contains(out, "1+2+3") {
+		t.Error("Table2 output malformed")
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := geomean([]float64{2, 8}); g < 3.99 || g > 4.01 {
+		t.Errorf("geomean(2,8) = %v, want 4", g)
+	}
+	if g := geomean(nil); g != 0 {
+		t.Errorf("geomean(nil) = %v", g)
+	}
+}
+
+func TestKB(t *testing.T) {
+	if KB(2048) != 2 {
+		t.Errorf("KB(2048) = %v", KB(2048))
+	}
+}

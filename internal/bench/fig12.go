@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/serenity-ml/serenity/internal/alloc"
+	"github.com/serenity-ml/serenity/internal/models"
+	"github.com/serenity-ml/serenity/internal/sched"
+)
+
+// Fig12Series is one memory-footprint-over-time curve.
+type Fig12Series struct {
+	Label  string
+	Points []int64 // bytes live (or allocated) after each schedule step
+	PeakKB float64
+}
+
+// Fig12Result collects the four curves of Figure 12: {DP, DP+GraphRewriting}
+// × {with, without the memory allocator}, for SwiftNet Cell A.
+type Fig12Result struct {
+	WithAllocator    []Fig12Series // Figure 12(a)
+	WithoutAllocator []Fig12Series // Figure 12(b)
+	BaselinePeakKB   float64       // TFLite-proxy peak with allocator
+}
+
+// arenaProfile computes the allocated high-water mark over time: at each
+// step, the maximum offset+size over tensors whose lifetimes contain the
+// step.
+func arenaProfile(m *sched.MemModel, order sched.Schedule) ([]int64, error) {
+	a, err := alloc.Plan(m, order)
+	if err != nil {
+		return nil, err
+	}
+	profile := make([]int64, len(order))
+	for _, lt := range a.Lifetimes {
+		end := a.Offsets[lt.Root] + lt.Size
+		for s := lt.Start; s <= lt.End && s < len(profile); s++ {
+			if end > profile[s] {
+				profile[s] = end
+			}
+		}
+	}
+	return profile, nil
+}
+
+// Fig12 regenerates the memory-footprint profiles of Figure 12.
+func Fig12() (*Fig12Result, error) {
+	g := models.SwiftNetCellA()
+	cell, err := MeasureCell(models.BenchCell{
+		Network: "SwiftNet", Dataset: "HPD", Cell: "Cell A",
+		Build: models.SwiftNetCellA,
+	}, time.Second)
+	if err != nil {
+		return nil, err
+	}
+	m := sched.NewMemModel(g)
+	mRW := sched.NewMemModel(cell.RewrittenGraph)
+
+	simDP, err := m.Simulate(cell.DPOrder)
+	if err != nil {
+		return nil, err
+	}
+	simGR, err := mRW.Simulate(cell.DPGROrder)
+	if err != nil {
+		return nil, err
+	}
+	arenaDP, err := arenaProfile(m, cell.DPOrder)
+	if err != nil {
+		return nil, err
+	}
+	arenaGR, err := arenaProfile(mRW, cell.DPGROrder)
+	if err != nil {
+		return nil, err
+	}
+
+	maxOf := func(xs []int64) int64 {
+		var m int64
+		for _, x := range xs {
+			if x > m {
+				m = x
+			}
+		}
+		return m
+	}
+	return &Fig12Result{
+		WithAllocator: []Fig12Series{
+			{Label: "DynamicProgramming+MemoryAllocator", Points: arenaDP, PeakKB: KB(maxOf(arenaDP))},
+			{Label: "DynamicProgramming+GraphRewriting+MemoryAllocator", Points: arenaGR, PeakKB: KB(maxOf(arenaGR))},
+		},
+		WithoutAllocator: []Fig12Series{
+			{Label: "DynamicProgramming", Points: simDP.HighMark, PeakKB: KB(simDP.Peak)},
+			{Label: "DynamicProgramming+GraphRewriting", Points: simGR.HighMark, PeakKB: KB(simGR.Peak)},
+		},
+		BaselinePeakKB: KB(cell.BaselinePeak),
+	}, nil
+}
+
+// RenderFig12 prints the profile curves as step series.
+func RenderFig12(w io.Writer, r *Fig12Result) {
+	fmt.Fprintln(w, "Figure 12: memory footprint while running SwiftNet Cell A")
+	fmt.Fprintf(w, "(a) with the memory allocator (TFLite-proxy peak = %.1f KB)\n", r.BaselinePeakKB)
+	for _, s := range r.WithAllocator {
+		fmt.Fprintf(w, "  %-50s peak %.1f KB\n", s.Label, s.PeakKB)
+		renderSeries(w, s.Points)
+	}
+	fmt.Fprintln(w, "(b) without the memory allocator")
+	for _, s := range r.WithoutAllocator {
+		fmt.Fprintf(w, "  %-50s peak %.1f KB\n", s.Label, s.PeakKB)
+		renderSeries(w, s.Points)
+	}
+	redA := r.WithAllocator[0].PeakKB - r.WithAllocator[1].PeakKB
+	redB := r.WithoutAllocator[0].PeakKB - r.WithoutAllocator[1].PeakKB
+	fmt.Fprintf(w, "graph rewriting reduction: %.1f KB (with allocator), %.1f KB (without)\n", redA, redB)
+}
+
+func renderSeries(w io.Writer, pts []int64) {
+	fmt.Fprint(w, "    KB:")
+	for _, p := range pts {
+		fmt.Fprintf(w, " %.0f", KB(p))
+	}
+	fmt.Fprintln(w)
+}

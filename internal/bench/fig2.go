@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/serenity-ml/serenity/internal/models"
+)
+
+// RenderFig2 prints the accuracy-vs-compute scatter of Figures 2/14 and the
+// per-class Pareto frontiers, demonstrating the paper's motivation that
+// irregularly wired networks dominate the frontier.
+func RenderFig2(w io.Writer) {
+	points := models.ParetoDataset()
+	fmt.Fprintln(w, "Figure 2/14: ImageNet top-1 accuracy vs multiply-accumulates (literature data)")
+	fmt.Fprintf(w, "%-22s %10s %9s %7s  %s\n", "Model", "MACs (M)", "Params(M)", "Top-1", "class")
+	sorted := append([]models.ParetoPoint(nil), points...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].MACsM < sorted[j].MACsM })
+	for _, p := range sorted {
+		class := "regular"
+		if p.Irregular {
+			class = "irregular"
+		}
+		fmt.Fprintf(w, "%-22s %10.0f %9.1f %6.1f%%  %s\n", p.Model, p.MACsM, p.ParamsM, p.Top1, class)
+	}
+	for _, irregular := range []bool{true, false} {
+		frontier := models.ParetoFrontier(points, irregular)
+		sort.Slice(frontier, func(i, j int) bool { return frontier[i].MACsM < frontier[j].MACsM })
+		label := "regular"
+		if irregular {
+			label = "irregular"
+		}
+		fmt.Fprintf(w, "Pareto frontier (%s):", label)
+		for _, p := range frontier {
+			fmt.Fprintf(w, " %s(%.0fM, %.1f%%)", p.Model, p.MACsM, p.Top1)
+		}
+		fmt.Fprintln(w)
+	}
+}

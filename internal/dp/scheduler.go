@@ -1,0 +1,239 @@
+// Package dp implements SERENITY's dynamic-programming scheduler
+// (Algorithm 1) and the adaptive soft budgeting meta-search (Algorithm 2).
+//
+// The key insight (Section 3.1) is that partial schedules that cover the
+// same downward-closed set of nodes are interchangeable for the remainder of
+// the search, so only the one with the lowest peak footprint needs to
+// survive. The paper identifies states by their zero-indegree set z; the
+// zero-indegree set is exactly the minimal antichain of the complement of
+// the scheduled set, so z and the scheduled set are in bijection — we key
+// the memo table on the scheduled-set bitset, which is cheaper to maintain
+// incrementally.
+//
+// A useful consequence used throughout: the running footprint µ is a pure
+// function of the scheduled set (it is the sum of live tensor sizes, and
+// liveness depends only on which nodes have executed), so two partial
+// schedules reaching the same signature differ only in µpeak.
+package dp
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/serenity-ml/serenity/internal/graph"
+	"github.com/serenity-ml/serenity/internal/sched"
+)
+
+// Flag is the scheduler's outcome, mirroring Figure 4's
+// {'no solution', 'timeout', 'solution'}.
+type Flag int
+
+// Scheduler outcomes.
+const (
+	FlagSolution Flag = iota
+	FlagNoSolution
+	FlagTimeout
+)
+
+// String renders the flag as in the paper.
+func (f Flag) String() string {
+	switch f {
+	case FlagSolution:
+		return "solution"
+	case FlagNoSolution:
+		return "no solution"
+	case FlagTimeout:
+		return "timeout"
+	}
+	return fmt.Sprintf("Flag(%d)", int(f))
+}
+
+// Options controls a single dynamic-programming run.
+type Options struct {
+	// Budget is the soft budget τ in bytes: transitions whose running peak
+	// would exceed it are pruned. Zero means unlimited.
+	Budget int64
+	// StepTimeout is the paper's T: the wall-clock limit per search step
+	// (per level of the recursion tree). Zero means unlimited.
+	StepTimeout time.Duration
+	// MaxStates aborts with FlagTimeout if the frontier for one search step
+	// exceeds this many memoized signatures. Zero means unlimited. This is a
+	// memory-safety valve for graphs the paper would call intractable
+	// without divide-and-conquer.
+	MaxStates int
+}
+
+// Result reports a scheduling attempt.
+type Result struct {
+	Flag           Flag
+	Order          sched.Schedule // valid iff Flag == FlagSolution
+	Peak           int64          // peak footprint of Order
+	StatesExplored int64          // memo entries created across all steps
+	StatesPruned   int64          // transitions discarded by the budget
+	MaxFrontier    int            // largest number of coexisting signatures
+	Elapsed        time.Duration
+}
+
+// state is one memo entry: a downward-closed scheduled set together with the
+// best (minimum) peak over all partial schedules reaching it. ready caches
+// the zero-indegree set so transitions cost O(deg) instead of O(V+E).
+type state struct {
+	scheduled *graph.Bitset
+	ready     *graph.Bitset
+	mu        int64
+	peak      int64
+	parent    int32 // index into the previous level's slice; -1 at level 0
+	via       int32 // node scheduled to reach this state
+}
+
+// Schedule runs Algorithm 1 over the memory model m. It is exact: with an
+// unlimited budget it returns a schedule with the minimum possible peak
+// activation footprint (Theorem 1 of the paper's supplementary material).
+func Schedule(m *sched.MemModel, opts Options) *Result {
+	start := time.Now()
+	g := m.G
+	n := g.NumNodes()
+	res := &Result{Flag: FlagNoSolution}
+	if n == 0 {
+		res.Flag = FlagSolution
+		res.Order = sched.Schedule{}
+		res.Elapsed = time.Since(start)
+		return res
+	}
+
+	// Level 0: empty schedule (s0=[], µ0=0, µpeak,0=0; M0[z0] per Algorithm 1).
+	empty := graph.NewBitset(n)
+	init := state{
+		scheduled: empty,
+		ready:     g.ZeroIndegree(empty),
+		parent:    -1,
+		via:       -1,
+	}
+	levels := make([][]state, n+1)
+	levels[0] = []state{init}
+
+	indegOK := func(s *graph.Bitset, v int) bool {
+		for _, p := range g.Nodes[v].Preds {
+			if !s.Has(p) {
+				return false
+			}
+		}
+		return true
+	}
+
+	for i := 0; i < n; i++ {
+		stepStart := time.Now()
+		cur := levels[i]
+		nextIdx := make(map[string]int32, len(cur)*2)
+		var next []state
+
+		for si := range cur {
+			st := &cur[si]
+			// Iterate ui ∈ zi (Algorithm 1 line 10).
+			budgetPruned := false
+			st.ready.ForEach(func(u int) {
+				// Allocate u (line 11-14).
+				muHigh := st.mu + m.Alloc[u]
+				peak := st.peak
+				if muHigh > peak {
+					peak = muHigh
+				}
+				if opts.Budget > 0 && peak > opts.Budget {
+					res.StatesPruned++
+					budgetPruned = true
+					return
+				}
+				newScheduled := st.scheduled.Clone()
+				newScheduled.Set(u)
+				// Deallocate exhausted predecessors (lines 15-19).
+				mu := muHigh - m.StepDealloc(newScheduled, u)
+
+				key := newScheduled.Key()
+				if idx, ok := nextIdx[key]; ok {
+					// Memoize the schedule with the least peak (lines 21-22).
+					if peak < next[idx].peak {
+						next[idx].peak = peak
+						next[idx].parent = int32(si)
+						next[idx].via = int32(u)
+					}
+					return
+				}
+				newReady := st.ready.Clone()
+				newReady.Clear(u)
+				for _, s := range g.Nodes[u].Succs {
+					if !newScheduled.Has(s) && indegOK(newScheduled, s) {
+						newReady.Set(s)
+					}
+				}
+				nextIdx[key] = int32(len(next))
+				next = append(next, state{
+					scheduled: newScheduled,
+					ready:     newReady,
+					mu:        mu,
+					peak:      peak,
+					parent:    int32(si),
+					via:       int32(u),
+				})
+				res.StatesExplored++
+			})
+			_ = budgetPruned
+
+			if opts.StepTimeout > 0 && si%64 == 63 && time.Since(stepStart) > opts.StepTimeout {
+				res.Flag = FlagTimeout
+				res.Elapsed = time.Since(start)
+				return res
+			}
+			if opts.MaxStates > 0 && len(next) > opts.MaxStates {
+				res.Flag = FlagTimeout
+				res.Elapsed = time.Since(start)
+				return res
+			}
+		}
+
+		if opts.StepTimeout > 0 && time.Since(stepStart) > opts.StepTimeout {
+			res.Flag = FlagTimeout
+			res.Elapsed = time.Since(start)
+			return res
+		}
+		if len(next) == 0 {
+			// Every transition exceeded the budget: τ < τ*.
+			res.Flag = FlagNoSolution
+			res.Elapsed = time.Since(start)
+			return res
+		}
+		if len(next) > res.MaxFrontier {
+			res.MaxFrontier = len(next)
+		}
+		levels[i+1] = next
+		// The previous level's bitsets are no longer needed for transitions,
+		// but are kept for parent-pointer reconstruction; drop the ready sets
+		// to halve retained memory.
+		for si := range cur {
+			cur[si].ready = nil
+		}
+	}
+
+	// Unique final entry Mn (line 27).
+	final := levels[n][0]
+	order := make(sched.Schedule, n)
+	lvl := n
+	cur := &final
+	for cur.via >= 0 {
+		order[lvl-1] = int(cur.via)
+		parent := cur.parent
+		lvl--
+		cur = &levels[lvl][parent]
+	}
+	res.Flag = FlagSolution
+	res.Order = order
+	res.Peak = final.peak
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// Optimal runs the DP with no budget, no timeout, and no state cap,
+// returning the guaranteed-optimal schedule. Intended for small graphs and
+// tests; production callers should use AdaptiveSchedule.
+func Optimal(m *sched.MemModel) *Result {
+	return Schedule(m, Options{})
+}

@@ -1,0 +1,128 @@
+package exec
+
+import (
+	"fmt"
+
+	"github.com/serenity-ml/serenity/internal/alloc"
+	"github.com/serenity-ml/serenity/internal/graph"
+	"github.com/serenity-ml/serenity/internal/sched"
+	"github.com/serenity-ml/serenity/internal/tensor"
+)
+
+// ArenaResult reports an arena-backed execution.
+type ArenaResult struct {
+	Outputs    map[string]*tensor.Tensor // canonical sink name -> copy of the sink tensor
+	ArenaBytes int64
+}
+
+// RunInArena executes the scheduled graph inside a single flat arena using
+// the offsets produced by the allocator — the strongest end-to-end check of
+// the whole pipeline: if the schedule's liveness analysis or the planner's
+// offsets were wrong anywhere, tensors would overwrite each other while
+// still needed and the outputs would diverge from the reference executor.
+//
+// Every physical tensor is a slice view into the arena; operations compute
+// into scratch and copy into their view (a real runtime would compute
+// in-place; the copy keeps the oracle simple without changing aliasing
+// semantics). Sink tensors are copied out before their storage is reused.
+func RunInArena(g *graph.Graph, order sched.Schedule) (*ArenaResult, error) {
+	m := sched.NewMemModel(g)
+	if order == nil {
+		o, err := g.TopoOrder()
+		if err != nil {
+			return nil, err
+		}
+		order = o
+	}
+	asn, err := alloc.Plan(m, order)
+	if err != nil {
+		return nil, err
+	}
+	if err := asn.Verify(); err != nil {
+		return nil, err
+	}
+	if asn.ArenaSize%4 != 0 {
+		return nil, fmt.Errorf("exec: arena size %d not float32-aligned", asn.ArenaSize)
+	}
+	arena := make([]float32, asn.ArenaSize/4)
+
+	// view returns the arena-backed tensor of a physical root.
+	view := func(root int) (*tensor.Tensor, error) {
+		off := asn.Offsets[root]
+		if off < 0 {
+			return nil, fmt.Errorf("exec: root %d has no arena offset", root)
+		}
+		n := g.Nodes[root]
+		elems := n.Shape.Elems()
+		return &tensor.Tensor{
+			Shape: append([]int(nil), n.Shape...),
+			Data:  arena[off/4 : off/4+elems],
+		}, nil
+	}
+
+	values := make(map[int]*tensor.Tensor, g.NumNodes())
+	res := &ArenaResult{Outputs: map[string]*tensor.Tensor{}, ArenaBytes: asn.ArenaSize}
+	sinks := map[int]bool{}
+	for _, s := range g.Outputs() {
+		sinks[s] = true
+	}
+
+	for _, id := range order {
+		n := g.Nodes[id]
+		// Compute into scratch with the reference semantics; the operands in
+		// `values` are themselves arena views, so stale (overwritten) inputs
+		// would corrupt the result here.
+		v, err := eval(g, n, values)
+		if err != nil {
+			return nil, fmt.Errorf("exec: arena node %d (%s): %w", id, n.Name, err)
+		}
+		root := g.PhysRoot(id)
+		if m.RootSize[root] > 0 {
+			dst, err := view(root)
+			if err != nil {
+				return nil, err
+			}
+			if len(v.Data) != len(dst.Data) {
+				return nil, fmt.Errorf("exec: node %d result %d elems, arena view %d", id, len(v.Data), len(dst.Data))
+			}
+			// For alias nodes eval already mutated the buffer view; this
+			// copy is then a self-copy. Future readers see the arena view.
+			copy(dst.Data, v.Data)
+			values[id] = dst
+		} else {
+			values[id] = v
+		}
+		if sinks[id] {
+			res.Outputs[CanonicalName(n.Name)] = values[id].Clone()
+		}
+	}
+	return res, nil
+}
+
+// VerifyArenaExecution runs g both ways and returns the largest output
+// divergence; zero divergence proves the schedule + allocation reuse memory
+// without corrupting any still-live tensor.
+func VerifyArenaExecution(g *graph.Graph, order sched.Schedule) (float64, error) {
+	ref, err := Run(g, order)
+	if err != nil {
+		return 0, err
+	}
+	ar, err := RunInArena(g, order)
+	if err != nil {
+		return 0, err
+	}
+	if len(ref.Outputs) != len(ar.Outputs) {
+		return 0, fmt.Errorf("exec: sink count mismatch %d vs %d", len(ref.Outputs), len(ar.Outputs))
+	}
+	var worst float64
+	for name, want := range ref.Outputs {
+		got, ok := ar.Outputs[name]
+		if !ok {
+			return 0, fmt.Errorf("exec: sink %q missing from arena run", name)
+		}
+		if d := tensor.MaxAbsDiff(want, got); d > worst {
+			worst = d
+		}
+	}
+	return worst, nil
+}

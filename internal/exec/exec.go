@@ -1,0 +1,274 @@
+// Package exec is the reference executor: it runs a scheduled graph on real
+// float32 tensors. It serves two verification purposes:
+//
+//  1. Arithmetic identity of graph rewriting — weights are generated
+//     deterministically per node (and per input channel, so partial
+//     convolutions slice the exact weights the original convolution used),
+//     letting tests assert that a rewritten graph computes the same outputs.
+//
+//  2. Cross-checking the analytic memory model — the executor frees tensors
+//     eagerly when their consumers have run and reports the actual live-byte
+//     profile, which must match internal/sched's prediction step for step.
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/serenity-ml/serenity/internal/graph"
+	"github.com/serenity-ml/serenity/internal/rewrite"
+	"github.com/serenity-ml/serenity/internal/sched"
+	"github.com/serenity-ml/serenity/internal/tensor"
+)
+
+// mix folds an absolute channel index into a weight seed so that weight
+// slices are position-independent (see convWeights).
+func mix(seed int64, channel int) int64 {
+	x := uint64(seed) ^ (uint64(channel+1) * 0x9e3779b97f4a7c15)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	if x == 0 {
+		x = 1
+	}
+	return int64(x)
+}
+
+// convWeights generates the weight block W[kh][kw][inCount][outC] covering
+// absolute input channels [inFrom, inFrom+inCount) of the convolution with
+// the given seed. Generating per absolute channel makes slices of a larger
+// weight tensor bit-identical regardless of how the input is partitioned.
+func convWeights(seed int64, kh, kw, inFrom, inCount, outC int) *tensor.Tensor {
+	w := tensor.New(kh, kw, inCount, outC)
+	for k := 0; k < inCount; k++ {
+		chw := tensor.New(kh, kw, 1, outC)
+		chw.FillRandom(mix(seed, inFrom+k))
+		for i := 0; i < kh; i++ {
+			for j := 0; j < kw; j++ {
+				for o := 0; o < outC; o++ {
+					w.Data[((i*kw+j)*inCount+k)*outC+o] = chw.Data[(i*kw+j)*outC+o]
+				}
+			}
+		}
+	}
+	return w
+}
+
+// dwWeights generates depthwise weights W[kh][kw][count] for absolute
+// channels [from, from+count), again per-channel deterministic.
+func dwWeights(seed int64, kh, kw, from, count int) *tensor.Tensor {
+	w := tensor.New(kh, kw, count)
+	for k := 0; k < count; k++ {
+		chw := tensor.New(kh, kw)
+		chw.FillRandom(mix(seed, from+k))
+		for i := 0; i < kh*kw; i++ {
+			w.Data[i*count+k] = chw.Data[i]
+		}
+	}
+	return w
+}
+
+// Result of executing a graph.
+type Result struct {
+	Values      map[int]*tensor.Tensor    // node ID -> output tensor (aliases share storage)
+	Outputs     map[string]*tensor.Tensor // canonical sink name -> tensor
+	LiveProfile []int64                   // actual live bytes after each step
+	PeakLive    int64
+}
+
+// Run executes g in the given order. If order is nil, a deterministic
+// topological order is used.
+func Run(g *graph.Graph, order sched.Schedule) (*Result, error) {
+	if order == nil {
+		o, err := g.TopoOrder()
+		if err != nil {
+			return nil, err
+		}
+		order = o
+	}
+	m := sched.NewMemModel(g)
+	if err := m.CheckValid(order); err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Values:  make(map[int]*tensor.Tensor, g.NumNodes()),
+		Outputs: map[string]*tensor.Tensor{},
+	}
+	// Liveness bookkeeping mirroring the analytic model.
+	remaining := make([]int, g.NumNodes())
+	for r, cs := range m.Consumers {
+		remaining[r] = len(cs)
+	}
+	var live int64
+
+	for _, id := range order {
+		n := g.Nodes[id]
+		v, err := eval(g, n, res.Values)
+		if err != nil {
+			return nil, fmt.Errorf("exec: node %d (%s %s): %w", id, n.Name, n.Op, err)
+		}
+		res.Values[id] = v
+		live += m.Alloc[id]
+		if live > res.PeakLive {
+			res.PeakLive = live
+		}
+		for _, r := range m.PredRoots[id] {
+			remaining[r]--
+			if remaining[r] == 0 {
+				live -= m.RootSize[r]
+				// A production runtime would release the tensor here; the
+				// oracle keeps values for later comparison.
+			}
+		}
+		res.LiveProfile = append(res.LiveProfile, live)
+	}
+	for _, sink := range g.Outputs() {
+		res.Outputs[CanonicalName(g.Nodes[sink].Name)] = res.Values[sink]
+	}
+	return res, nil
+}
+
+// CanonicalName strips rewrite suffixes (#join, #buf, #partN, #boundary) so
+// sinks can be matched across graph variants.
+func CanonicalName(name string) string {
+	if i := strings.IndexByte(name, '#'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+func eval(g *graph.Graph, n *graph.Node, values map[int]*tensor.Tensor) (*tensor.Tensor, error) {
+	in := func(i int) *tensor.Tensor { return values[n.Preds[i]] }
+	seed := rewrite.WeightSeed(n)
+	a := n.Attr
+	stride := a.StrideH
+	same := a.Pad == graph.PadSame
+
+	switch n.Op {
+	case graph.OpInput:
+		t := tensor.New(n.Shape...)
+		t.FillRandom(seed)
+		return t, nil
+
+	case graph.OpConv, graph.OpPointwiseConv:
+		x := in(0)
+		inC := x.Shape[len(x.Shape)-1]
+		w := convWeights(seed, a.KernelH, a.KernelW, 0, inC, n.Shape.Channels())
+		return tensor.Conv2D(x, w, stride, a.Dilation, same), nil
+
+	case graph.OpDepthwiseConv:
+		x := in(0)
+		c := x.Shape[len(x.Shape)-1]
+		w := dwWeights(seed, a.KernelH, a.KernelW, 0, c)
+		return tensor.DepthwiseConv2D(x, w, stride, a.Dilation, same), nil
+
+	case graph.OpSepConv, graph.OpDilConv:
+		x := in(0)
+		c := x.Shape[len(x.Shape)-1]
+		dw := dwWeights(seed, a.KernelH, a.KernelW, 0, c)
+		mid := tensor.DepthwiseConv2D(x, dw, stride, a.Dilation, same)
+		pw := convWeights(mix(seed, 1<<20), 1, 1, 0, c, n.Shape.Channels())
+		return tensor.Conv2D(mid, pw, 1, 1, true), nil
+
+	case graph.OpAdd:
+		xs := make([]*tensor.Tensor, len(n.Preds))
+		for i := range n.Preds {
+			xs[i] = in(i)
+		}
+		return tensor.Add(xs...), nil
+
+	case graph.OpMul:
+		return tensor.Mul(in(0), in(1)), nil
+
+	case graph.OpReLU:
+		return tensor.ReLU(in(0)), nil
+
+	case graph.OpSigmoid:
+		return tensor.Sigmoid(in(0)), nil
+
+	case graph.OpConcat:
+		xs := make([]*tensor.Tensor, len(n.Preds))
+		for i := range n.Preds {
+			xs[i] = in(i)
+		}
+		return tensor.ConcatChannels(xs...), nil
+
+	case graph.OpMaxPool:
+		return tensor.MaxPool(in(0), a.KernelH, stride, same), nil
+
+	case graph.OpAvgPool:
+		return tensor.AvgPool(in(0), a.KernelH, stride, same), nil
+
+	case graph.OpGlobalAvgPool:
+		return tensor.GlobalAvgPool(in(0)), nil
+
+	case graph.OpDense:
+		x := in(0)
+		inF := x.Elems() / x.Shape[0]
+		w := tensor.RandomWeights(seed, inF, n.Shape[1])
+		return tensor.Dense(x, w), nil
+
+	case graph.OpIdentity, graph.OpOutput:
+		if a.AliasOf >= 0 {
+			return values[g.PhysRoot(n.ID)], nil
+		}
+		return in(0).Clone(), nil
+
+	case graph.OpBuffer:
+		return tensor.New(n.Shape...), nil
+
+	case graph.OpPartialConv:
+		x := in(0)
+		buf := values[g.PhysRoot(n.ID)]
+		if buf == nil {
+			return nil, fmt.Errorf("buffer not materialized")
+		}
+		w := convWeights(seed, a.KernelH, a.KernelW, a.ChanOffset, a.InChannels, n.Shape.Channels())
+		partial := tensor.Conv2D(x, w, stride, a.Dilation, same)
+		tensor.AccumulateInto(buf, partial)
+		return buf, nil
+
+	case graph.OpPartialDWConv:
+		x := in(0)
+		buf := values[g.PhysRoot(n.ID)]
+		if buf == nil {
+			return nil, fmt.Errorf("buffer not materialized")
+		}
+		w := dwWeights(seed, a.KernelH, a.KernelW, a.ChanOffset, a.InChannels)
+		slice := tensor.DepthwiseConv2D(x, w, stride, a.Dilation, same)
+		tensor.CopyChannels(buf, slice, a.ChanOffset)
+		return buf, nil
+
+	default:
+		return nil, fmt.Errorf("unsupported op %v", n.Op)
+	}
+}
+
+// MaxOutputDiff runs both graphs (with deterministic orders) and returns the
+// largest elementwise difference across all matched sink tensors. Sinks are
+// matched by canonical name; unmatched sinks yield an error.
+func MaxOutputDiff(g1, g2 *graph.Graph) (float64, error) {
+	r1, err := Run(g1, nil)
+	if err != nil {
+		return 0, err
+	}
+	r2, err := Run(g2, nil)
+	if err != nil {
+		return 0, err
+	}
+	if len(r1.Outputs) != len(r2.Outputs) {
+		return 0, fmt.Errorf("exec: sink count mismatch %d vs %d", len(r1.Outputs), len(r2.Outputs))
+	}
+	var worst float64
+	for name, t1 := range r1.Outputs {
+		t2, ok := r2.Outputs[name]
+		if !ok {
+			return 0, fmt.Errorf("exec: sink %q missing in second graph", name)
+		}
+		if d := tensor.MaxAbsDiff(t1, t2); d > worst {
+			worst = d
+		}
+	}
+	return worst, nil
+}

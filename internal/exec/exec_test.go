@@ -1,0 +1,263 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/serenity-ml/serenity/internal/dp"
+	"github.com/serenity-ml/serenity/internal/graph"
+	"github.com/serenity-ml/serenity/internal/rewrite"
+	"github.com/serenity-ml/serenity/internal/sched"
+	"github.com/serenity-ml/serenity/internal/tensor"
+)
+
+const tol = 2e-3 // float32 accumulation-order tolerance
+
+func concatConvGraph() *graph.Graph {
+	b := graph.NewBuilder("ccg")
+	in := b.Input(graph.Shape{1, 8, 8, 4})
+	x1 := b.Conv(in, 6, 3, 1, graph.PadSame)
+	x2 := b.Conv(in, 8, 3, 2, graph.PadSame) // different stride branch below
+	x2 = b.Conv(x2, 8, 1, 1, graph.PadSame)
+	_ = x2
+	x2b := b.Conv(in, 8, 3, 1, graph.PadSame)
+	x3 := b.Conv(in, 10, 5, 1, graph.PadSame)
+	cc := b.Concat(x1, x2b, x3)
+	y := b.Conv(cc, 16, 3, 1, graph.PadSame)
+	b.ReLU(y)
+	return b.Graph()
+}
+
+func TestRunProducesAllValues(t *testing.T) {
+	g := concatConvGraph()
+	res, err := Run(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) != g.NumNodes() {
+		t.Fatalf("values = %d, want %d", len(res.Values), g.NumNodes())
+	}
+	for id, v := range res.Values {
+		if int64(v.Elems())*4 != g.Nodes[id].StorageBytes() {
+			t.Errorf("node %d tensor bytes %d != declared %d", id, v.Elems()*4, g.Nodes[id].StorageBytes())
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	g := concatConvGraph()
+	r1, err := Run(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := Run(g, nil)
+	for name, t1 := range r1.Outputs {
+		if d := tensor.MaxAbsDiff(t1, r2.Outputs[name]); d != 0 {
+			t.Errorf("nondeterministic output %q (diff %g)", name, d)
+		}
+	}
+}
+
+// TestChannelWiseRewritePreservesOutputs is the paper's "mathematical
+// integrity" claim (Equations 3-6) verified numerically.
+func TestChannelWiseRewritePreservesOutputs(t *testing.T) {
+	g := concatConvGraph()
+	rw, ms, err := rewrite.Rewrite(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) == 0 {
+		t.Fatal("no matches found")
+	}
+	diff, err := MaxOutputDiff(g, rw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff > tol {
+		t.Errorf("outputs diverge after channel-wise rewrite: max diff %g", diff)
+	}
+}
+
+// TestKernelWiseRewritePreservesOutputs verifies Equations 7-8.
+func TestKernelWiseRewritePreservesOutputs(t *testing.T) {
+	b := graph.NewBuilder("cdw")
+	in := b.Input(graph.Shape{1, 10, 10, 3})
+	x1 := b.Conv(in, 5, 3, 1, graph.PadSame)
+	x2 := b.Conv(in, 7, 3, 1, graph.PadSame)
+	x3 := b.Conv(in, 4, 1, 1, graph.PadSame)
+	cc := b.Concat(x1, x2, x3)
+	y := b.DepthwiseConv(cc, 3, 1, graph.PadSame)
+	b.ReLU(y)
+	g := b.Graph()
+
+	rw, ms, err := rewrite.Rewrite(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || ms[0].Kind != rewrite.KernelWise {
+		t.Fatalf("matches = %+v", ms)
+	}
+	diff, err := MaxOutputDiff(g, rw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff > tol {
+		t.Errorf("outputs diverge after kernel-wise rewrite: max diff %g", diff)
+	}
+}
+
+// TestStridedDepthwiseRewrite exercises stride-2 kernel-wise partitioning.
+func TestStridedDepthwiseRewrite(t *testing.T) {
+	b := graph.NewBuilder("cdw-s2")
+	in := b.Input(graph.Shape{1, 12, 12, 3})
+	x1 := b.Conv(in, 6, 3, 1, graph.PadSame)
+	x2 := b.Conv(in, 6, 3, 1, graph.PadSame)
+	y := b.DepthwiseConv(b.Concat(x1, x2), 3, 2, graph.PadSame)
+	b.ReLU(y)
+	g := b.Graph()
+	rw, _, err := rewrite.Rewrite(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := MaxOutputDiff(g, rw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff > tol {
+		t.Errorf("strided rewrite diverges: %g", diff)
+	}
+}
+
+// TestRewritePreservesOutputsUnderAnySchedule: accumulation order varies
+// with the schedule; outputs must not.
+func TestRewritePreservesOutputsUnderAnySchedule(t *testing.T) {
+	g := concatConvGraph()
+	rw, _, err := rewrite.Rewrite(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 10; trial++ {
+		order := sched.RandomTopo(rw, rng)
+		res, err := Run(rw, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, want := range base.Outputs {
+			got, ok := res.Outputs[name]
+			if !ok {
+				t.Fatalf("sink %q missing", name)
+			}
+			if d := tensor.MaxAbsDiff(want, got); d > tol {
+				t.Fatalf("trial %d: output %q diff %g", trial, name, d)
+			}
+		}
+	}
+}
+
+// TestLiveProfileMatchesAnalyticModel cross-checks the executor's actual
+// allocation accounting against internal/sched's prediction.
+func TestLiveProfileMatchesAnalyticModel(t *testing.T) {
+	for _, build := range []func() *graph.Graph{concatConvGraph} {
+		g := build()
+		rw, _, err := rewrite.Rewrite(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, gg := range []*graph.Graph{g, rw} {
+			m := sched.NewMemModel(gg)
+			r := dp.Optimal(m)
+			if r.Flag != dp.FlagSolution {
+				t.Fatal("DP failed")
+			}
+			sim, err := m.Simulate(r.Order)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(gg, r.Order)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.PeakLive != sim.Peak {
+				t.Errorf("%s: executor peak %d != model %d", gg.Name, res.PeakLive, sim.Peak)
+			}
+			for i := range sim.Profile {
+				if res.LiveProfile[i] != sim.Profile[i] {
+					t.Fatalf("%s step %d: live %d != model %d", gg.Name, i, res.LiveProfile[i], sim.Profile[i])
+				}
+			}
+		}
+	}
+}
+
+func TestRunRejectsInvalidOrder(t *testing.T) {
+	g := concatConvGraph()
+	if _, err := Run(g, sched.Schedule{0, 0, 0}); err == nil {
+		t.Error("invalid order accepted")
+	}
+}
+
+func TestCanonicalName(t *testing.T) {
+	cases := map[string]string{
+		"conv_1":       "conv_1",
+		"conv_1#join":  "conv_1",
+		"conv_1#part0": "conv_1",
+		"conv_1#buf":   "conv_1",
+		"in#boundary":  "in",
+	}
+	for in, want := range cases {
+		if got := CanonicalName(in); got != want {
+			t.Errorf("CanonicalName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestAllOpsExecutable covers every op kind the models emit.
+func TestAllOpsExecutable(t *testing.T) {
+	b := graph.NewBuilder("zoo")
+	in := b.Input(graph.Shape{1, 8, 8, 4})
+	c := b.Conv(in, 8, 3, 1, graph.PadSame)
+	d := b.DepthwiseConv(c, 3, 1, graph.PadSame)
+	p := b.PointwiseConv(d, 8)
+	s := b.SepConv(p, 8, 3, 1, graph.PadSame)
+	dl := b.DilConv(s, 8, 3, 1, 2, graph.PadSame)
+	a := b.Add(s, dl)
+	mu := b.Mul(a, s)
+	r := b.ReLU(mu)
+	sg := b.Sigmoid(r)
+	mp := b.MaxPool(sg, 2, 2, graph.PadSame)
+	ap := b.AvgPool(sg, 2, 2, graph.PadSame)
+	cc := b.Concat(mp, ap)
+	gp := b.GlobalAvgPool(cc)
+	dn := b.Dense(gp, 10)
+	b.Output(dn)
+	g := b.Graph()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Values[dn]
+	if out.Shape[1] != 10 {
+		t.Errorf("dense output shape %v", out.Shape)
+	}
+	// Sanity: non-degenerate values.
+	var nonzero bool
+	for _, v := range out.Data {
+		if v != 0 {
+			nonzero = true
+		}
+		if v != v { // NaN
+			t.Fatal("NaN in output")
+		}
+	}
+	if !nonzero {
+		t.Error("all-zero network output")
+	}
+}

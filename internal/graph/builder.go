@@ -1,0 +1,195 @@
+package graph
+
+import "fmt"
+
+// Builder provides a fluent construction API with shape inference for the
+// operation set used by the benchmark networks. All methods panic on
+// malformed construction (builder misuse is a programming error, matching
+// the convention of the standard library's text/template.Must).
+type Builder struct {
+	g       *Graph
+	counter map[string]int
+}
+
+// NewBuilder returns a builder for a fresh graph with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{g: New(name), counter: map[string]int{}}
+}
+
+// Graph returns the constructed graph.
+func (b *Builder) Graph() *Graph { return b.g }
+
+func (b *Builder) autoName(prefix string) string {
+	b.counter[prefix]++
+	return fmt.Sprintf("%s_%d", prefix, b.counter[prefix])
+}
+
+func (b *Builder) shapeOf(id int) Shape { return b.g.Nodes[id].Shape }
+
+// Input adds a graph input of the given shape.
+func (b *Builder) Input(shape Shape) int {
+	return b.g.AddNode(OpInput, b.autoName("input"), shape)
+}
+
+func spatialOut(in, kernel, stride, dilation int, pad Padding) int {
+	if stride <= 0 {
+		stride = 1
+	}
+	if dilation <= 0 {
+		dilation = 1
+	}
+	eff := (kernel-1)*dilation + 1
+	switch pad {
+	case PadValid:
+		return (in-eff)/stride + 1
+	default: // PadSame
+		return (in + stride - 1) / stride
+	}
+}
+
+func (b *Builder) convLike(op OpType, name string, x, outC, k, stride int, pad Padding, dilation int) int {
+	in := b.shapeOf(x)
+	if len(in) != 4 {
+		panic(fmt.Sprintf("graph: %s requires rank-4 input, got %v", op, in))
+	}
+	h := spatialOut(in[1], k, stride, dilation, pad)
+	w := spatialOut(in[2], k, stride, dilation, pad)
+	if h <= 0 || w <= 0 {
+		panic(fmt.Sprintf("graph: %s on %v with k=%d s=%d yields empty output", op, in, k, stride))
+	}
+	id := b.g.AddNode(op, name, Shape{in[0], h, w, outC}, x)
+	n := b.g.Nodes[id]
+	n.Attr.KernelH, n.Attr.KernelW = k, k
+	n.Attr.StrideH, n.Attr.StrideW = stride, stride
+	n.Attr.Pad = pad
+	n.Attr.Dilation = dilation
+	n.Attr.InChannels = in[3]
+	return id
+}
+
+// Conv adds a 2-D convolution with outC output channels, k×k kernel and the
+// given stride/padding.
+func (b *Builder) Conv(x, outC, k, stride int, pad Padding) int {
+	return b.convLike(OpConv, b.autoName("conv"), x, outC, k, stride, pad, 1)
+}
+
+// DepthwiseConv adds a depthwise convolution (channel multiplier 1).
+func (b *Builder) DepthwiseConv(x, k, stride int, pad Padding) int {
+	c := b.shapeOf(x).Channels()
+	return b.convLike(OpDepthwiseConv, b.autoName("dwconv"), x, c, k, stride, pad, 1)
+}
+
+// PointwiseConv adds a 1×1 convolution with outC output channels.
+func (b *Builder) PointwiseConv(x, outC int) int {
+	return b.convLike(OpPointwiseConv, b.autoName("pwconv"), x, outC, 1, 1, PadSame, 1)
+}
+
+// SepConv adds a separable convolution (depthwise k×k then pointwise to
+// outC), modeled as a single fused node as in DARTS cost accounting.
+func (b *Builder) SepConv(x, outC, k, stride int, pad Padding) int {
+	return b.convLike(OpSepConv, b.autoName("sepconv"), x, outC, k, stride, pad, 1)
+}
+
+// DilConv adds a dilated separable convolution with the given dilation.
+func (b *Builder) DilConv(x, outC, k, stride, dilation int, pad Padding) int {
+	return b.convLike(OpDilConv, b.autoName("dilconv"), x, outC, k, stride, pad, dilation)
+}
+
+// MaxPool adds a k×k max pooling node.
+func (b *Builder) MaxPool(x, k, stride int, pad Padding) int {
+	c := b.shapeOf(x).Channels()
+	return b.convLike(OpMaxPool, b.autoName("maxpool"), x, c, k, stride, pad, 1)
+}
+
+// AvgPool adds a k×k average pooling node.
+func (b *Builder) AvgPool(x, k, stride int, pad Padding) int {
+	c := b.shapeOf(x).Channels()
+	return b.convLike(OpAvgPool, b.autoName("avgpool"), x, c, k, stride, pad, 1)
+}
+
+// GlobalAvgPool reduces spatial dimensions to 1×1.
+func (b *Builder) GlobalAvgPool(x int) int {
+	in := b.shapeOf(x)
+	id := b.g.AddNode(OpGlobalAvgPool, b.autoName("gap"), Shape{in[0], 1, 1, in[3]}, x)
+	b.g.Nodes[id].Attr.InChannels = in[3]
+	return id
+}
+
+// Dense adds a fully connected layer with units outputs over a flattened
+// input.
+func (b *Builder) Dense(x, units int) int {
+	in := b.shapeOf(x)
+	id := b.g.AddNode(OpDense, b.autoName("dense"), Shape{in[0], units}, x)
+	b.g.Nodes[id].Attr.InChannels = int(in.Elems()) / in[0]
+	return id
+}
+
+// ReLU adds an activation node.
+func (b *Builder) ReLU(x int) int {
+	return b.g.AddNode(OpReLU, b.autoName("relu"), b.shapeOf(x), x)
+}
+
+// Sigmoid adds a sigmoid activation node.
+func (b *Builder) Sigmoid(x int) int {
+	return b.g.AddNode(OpSigmoid, b.autoName("sigmoid"), b.shapeOf(x), x)
+}
+
+// Add sums two or more same-shaped tensors.
+func (b *Builder) Add(xs ...int) int {
+	if len(xs) < 2 {
+		panic("graph: Add requires at least two operands")
+	}
+	s := b.shapeOf(xs[0])
+	for _, x := range xs[1:] {
+		if !b.shapeOf(x).Equal(s) {
+			panic(fmt.Sprintf("graph: Add shape mismatch %v vs %v", s, b.shapeOf(x)))
+		}
+	}
+	return b.g.AddNode(OpAdd, b.autoName("add"), s, xs...)
+}
+
+// Mul multiplies two same-shaped tensors element-wise.
+func (b *Builder) Mul(x, y int) int {
+	s := b.shapeOf(x)
+	if !b.shapeOf(y).Equal(s) {
+		panic(fmt.Sprintf("graph: Mul shape mismatch %v vs %v", s, b.shapeOf(y)))
+	}
+	return b.g.AddNode(OpMul, b.autoName("mul"), s, x, y)
+}
+
+// Concat concatenates tensors along the channel axis. Spatial dims must
+// agree.
+func (b *Builder) Concat(xs ...int) int {
+	if len(xs) < 2 {
+		panic("graph: Concat requires at least two operands")
+	}
+	s := b.shapeOf(xs[0]).Clone()
+	c := s.Channels()
+	for _, x := range xs[1:] {
+		o := b.shapeOf(x)
+		if len(o) != len(s) {
+			panic(fmt.Sprintf("graph: Concat rank mismatch %v vs %v", s, o))
+		}
+		for i := 0; i < len(s)-1; i++ {
+			if o[i] != s[i] {
+				panic(fmt.Sprintf("graph: Concat spatial mismatch %v vs %v", s, o))
+			}
+		}
+		c += o.Channels()
+	}
+	s[len(s)-1] = c
+	id := b.g.AddNode(OpConcat, b.autoName("concat"), s, xs...)
+	b.g.Nodes[id].Attr.Axis = len(s) - 1
+	return id
+}
+
+// Identity adds a pass-through node (used for graph outputs and cell
+// boundary markers).
+func (b *Builder) Identity(x int) int {
+	return b.g.AddNode(OpIdentity, b.autoName("id"), b.shapeOf(x), x)
+}
+
+// Output marks x as a graph output with an explicit Output node.
+func (b *Builder) Output(x int) int {
+	return b.g.AddNode(OpOutput, b.autoName("output"), b.shapeOf(x), x)
+}

@@ -1,0 +1,43 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format for visual inspection.
+// Alias edges (shared-buffer writes from rewriting) are drawn dashed.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n", sanitizeDOT(g.Name))
+	for _, n := range g.Nodes {
+		label := fmt.Sprintf("%s\\n%s %v", n.Name, n.Op, n.Shape)
+		style := ""
+		switch n.Op {
+		case OpInput:
+			style = ", style=filled, fillcolor=lightblue"
+		case OpBuffer:
+			style = ", style=filled, fillcolor=lightyellow"
+		case OpConcat:
+			style = ", style=filled, fillcolor=lightgray"
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\"%s];\n", n.ID, label, style)
+	}
+	for _, n := range g.Nodes {
+		for _, p := range n.Preds {
+			attr := ""
+			if n.Attr.AliasOf == p || (n.Attr.AliasOf >= 0 && g.PhysRoot(p) == g.PhysRoot(n.ID)) {
+				attr = " [style=dashed]"
+			}
+			fmt.Fprintf(&b, "  n%d -> n%d%s;\n", p, n.ID, attr)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func sanitizeDOT(s string) string {
+	return strings.NewReplacer("\"", "'", "\n", " ").Replace(s)
+}

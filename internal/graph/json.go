@@ -1,0 +1,129 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonGraph is the on-disk representation accepted by the CLI.
+type jsonGraph struct {
+	Name  string     `json:"name"`
+	Nodes []jsonNode `json:"nodes"`
+}
+
+type jsonNode struct {
+	ID         int    `json:"id"`
+	Name       string `json:"name,omitempty"`
+	Op         string `json:"op"`
+	Shape      []int  `json:"shape"`
+	DType      string `json:"dtype,omitempty"`
+	Preds      []int  `json:"preds,omitempty"`
+	KernelH    int    `json:"kernel_h,omitempty"`
+	KernelW    int    `json:"kernel_w,omitempty"`
+	StrideH    int    `json:"stride_h,omitempty"`
+	StrideW    int    `json:"stride_w,omitempty"`
+	Pad        string `json:"pad,omitempty"`
+	Dilation   int    `json:"dilation,omitempty"`
+	AliasOf    *int   `json:"alias_of,omitempty"`
+	ChanOffset int    `json:"chan_offset,omitempty"`
+	InChannels int    `json:"in_channels,omitempty"`
+}
+
+// MarshalJSON encodes the graph in the CLI's JSON format.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{Name: g.Name, Nodes: make([]jsonNode, len(g.Nodes))}
+	for i, n := range g.Nodes {
+		jn := jsonNode{
+			ID:         n.ID,
+			Name:       n.Name,
+			Op:         n.Op.String(),
+			Shape:      []int(n.Shape),
+			DType:      n.DType.String(),
+			Preds:      n.Preds,
+			KernelH:    n.Attr.KernelH,
+			KernelW:    n.Attr.KernelW,
+			StrideH:    n.Attr.StrideH,
+			StrideW:    n.Attr.StrideW,
+			Dilation:   n.Attr.Dilation,
+			ChanOffset: n.Attr.ChanOffset,
+			InChannels: n.Attr.InChannels,
+		}
+		if n.Attr.Pad == PadValid {
+			jn.Pad = "valid"
+		}
+		if n.Attr.AliasOf >= 0 {
+			a := n.Attr.AliasOf
+			jn.AliasOf = &a
+		}
+		jg.Nodes[i] = jn
+	}
+	return json.MarshalIndent(jg, "", "  ")
+}
+
+// UnmarshalJSON decodes the CLI's JSON format into the graph. Nodes must be
+// listed in ID order starting at zero.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return err
+	}
+	out := New(jg.Name)
+	for i, jn := range jg.Nodes {
+		if jn.ID != i {
+			return fmt.Errorf("graph: node %d listed at index %d; nodes must be dense and ordered", jn.ID, i)
+		}
+		op, err := ParseOpType(jn.Op)
+		if err != nil {
+			return err
+		}
+		id := out.AddNode(op, jn.Name, Shape(jn.Shape), jn.Preds...)
+		n := out.Nodes[id]
+		if jn.DType != "" {
+			dt, err := ParseDType(jn.DType)
+			if err != nil {
+				return err
+			}
+			n.DType = dt
+		}
+		n.Attr.KernelH, n.Attr.KernelW = jn.KernelH, jn.KernelW
+		n.Attr.StrideH, n.Attr.StrideW = jn.StrideH, jn.StrideW
+		n.Attr.Dilation = jn.Dilation
+		n.Attr.ChanOffset = jn.ChanOffset
+		n.Attr.InChannels = jn.InChannels
+		if jn.Pad == "valid" {
+			n.Attr.Pad = PadValid
+		}
+		if jn.AliasOf != nil {
+			n.Attr.AliasOf = *jn.AliasOf
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return err
+	}
+	*g = *out
+	return nil
+}
+
+// WriteJSON writes the graph to w in the CLI's JSON format.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	data, err := g.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// ReadJSON parses a graph from r.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	g := New("")
+	if err := g.UnmarshalJSON(data); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,105 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestJSONRoundTripProperty: any random DAG survives a JSON round trip with
+// identical structure, shapes, and attributes.
+func TestJSONRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomDAG(rng, RandomDAGConfig{Nodes: 2 + int(n%24), EdgeProb: 0.25})
+		var buf bytes.Buffer
+		if err := g.WriteJSON(&buf); err != nil {
+			return false
+		}
+		back, err := ReadJSON(&buf)
+		if err != nil {
+			return false
+		}
+		if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for i, node := range g.Nodes {
+			o := back.Nodes[i]
+			if node.Op != o.Op || !node.Shape.Equal(o.Shape) || node.DType != o.DType {
+				return false
+			}
+			if len(node.Preds) != len(o.Preds) {
+				return false
+			}
+			for j := range node.Preds {
+				if node.Preds[j] != o.Preds[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestZeroIndegreeBijectionProperty verifies the bijection the DP relies
+// on: distinct downward-closed sets have distinct zero-indegree sets (the
+// complement's minimal antichain determines the up-set).
+func TestZeroIndegreeBijectionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 30; trial++ {
+		g := RandomDAG(rng, RandomDAGConfig{Nodes: 12, EdgeProb: 0.25})
+		order, err := g.TopoOrder()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Enumerate many random downward-closed sets via random prefixes of
+		// random topological orders.
+		seen := map[string]string{} // z key -> scheduled key
+		for i := 0; i < 200; i++ {
+			perm := randomTopo(g, rng)
+			k := rng.Intn(len(perm) + 1)
+			s := NewBitset(g.NumNodes())
+			for _, v := range perm[:k] {
+				s.Set(v)
+			}
+			z := g.ZeroIndegree(s)
+			if prev, ok := seen[z.Key()]; ok && prev != s.Key() {
+				t.Fatalf("two closed sets share a zero-indegree signature")
+			}
+			seen[z.Key()] = s.Key()
+		}
+		_ = order
+	}
+}
+
+// randomTopo is a local random-topological-order sampler (avoiding an
+// import cycle with internal/sched).
+func randomTopo(g *Graph, rng *rand.Rand) []int {
+	n := g.NumNodes()
+	indeg := g.Indegrees()
+	var ready []int
+	for id := 0; id < n; id++ {
+		if indeg[id] == 0 {
+			ready = append(ready, id)
+		}
+	}
+	var order []int
+	for len(ready) > 0 {
+		i := rng.Intn(len(ready))
+		v := ready[i]
+		ready[i] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		order = append(order, v)
+		for _, s := range g.Nodes[v].Succs {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	return order
+}

@@ -1,0 +1,67 @@
+package graph
+
+import "math/rand"
+
+// RandomDAGConfig parameterizes RandomDAG.
+type RandomDAGConfig struct {
+	Nodes    int     // total node count (>= 2)
+	EdgeProb float64 // probability of an edge between eligible pairs
+	MaxFanIn int     // cap on predecessors per node (0 = unlimited)
+	MinBytes int64   // minimum output tensor size
+	MaxBytes int64   // maximum output tensor size
+}
+
+// RandomDAG generates a connected random DAG with tensor-sized nodes for
+// property tests and the schedule-CDF experiment. Node i may receive edges
+// only from nodes j < i, guaranteeing acyclicity; every non-source node has
+// at least one predecessor so the graph is connected from its sources.
+// Shapes are rank-1 byte blobs: the memory model only needs sizes.
+func RandomDAG(rng *rand.Rand, cfg RandomDAGConfig) *Graph {
+	if cfg.Nodes < 2 {
+		cfg.Nodes = 2
+	}
+	if cfg.EdgeProb <= 0 {
+		cfg.EdgeProb = 0.3
+	}
+	if cfg.MinBytes <= 0 {
+		cfg.MinBytes = 1 << 8
+	}
+	if cfg.MaxBytes < cfg.MinBytes {
+		cfg.MaxBytes = cfg.MinBytes * 16
+	}
+	g := New("random_dag")
+	size := func() Shape {
+		bytes := cfg.MinBytes + rng.Int63n(cfg.MaxBytes-cfg.MinBytes+1)
+		elems := int(bytes / Float32.Size())
+		if elems < 1 {
+			elems = 1
+		}
+		return Shape{elems}
+	}
+	g.AddNode(OpInput, "in_0", size())
+	for i := 1; i < cfg.Nodes; i++ {
+		var preds []int
+		for j := 0; j < i; j++ {
+			if rng.Float64() < cfg.EdgeProb {
+				preds = append(preds, j)
+				if cfg.MaxFanIn > 0 && len(preds) >= cfg.MaxFanIn {
+					break
+				}
+			}
+		}
+		if len(preds) == 0 {
+			preds = []int{rng.Intn(i)}
+		}
+		op := OpAdd
+		if len(preds) == 1 {
+			op = OpReLU
+		}
+		g.AddNode(op, "", size(), preds...)
+	}
+	for _, n := range g.Nodes {
+		if n.Name == "" {
+			n.Name = n.Op.String()
+		}
+	}
+	return g
+}

@@ -1,0 +1,70 @@
+package models
+
+import (
+	"github.com/serenity-ml/serenity/internal/graph"
+)
+
+// Additional NAS cells from the Figure 2 population. They are not part of
+// the paper's nine-cell evaluation, but they exercise the same scheduling
+// machinery and ship as extra workloads for users of the library.
+
+// NASNetACell builds the NASNet-A normal cell (Zoph et al. 2018): five
+// blocks, each combining two of {separable conv, identity, average pool}
+// over the two cell inputs, concatenated at the end. Shapes follow the
+// mobile (224×224, N=4) configuration at the first normal cell.
+func NASNetACell() *graph.Graph {
+	const (
+		hw = 28
+		c  = 44 // NASNet-A (4 @ 1056) first-cell filter count
+	)
+	b := graph.NewBuilder("nasnet_a_normal")
+	h0 := b.Input(graph.Shape{1, hw, hw, c}) // previous cell
+	h1 := b.Input(graph.Shape{1, hw, hw, c}) // current input
+	p0 := b.PointwiseConv(h0, c)
+	p1 := b.PointwiseConv(h1, c)
+
+	// Block structure of the published NASNet-A normal cell.
+	b1 := b.Add(b.SepConv(p1, c, 3, 1, graph.PadSame), b.Identity(p1))
+	b2 := b.Add(b.SepConv(p0, c, 3, 1, graph.PadSame), b.SepConv(p1, c, 5, 1, graph.PadSame))
+	b3 := b.Add(b.AvgPool(p1, 3, 1, graph.PadSame), b.Identity(p0))
+	b4 := b.Add(b.AvgPool(p0, 3, 1, graph.PadSame), b.AvgPool(p0, 3, 1, graph.PadSame))
+	b5 := b.Add(b.SepConv(p0, c, 5, 1, graph.PadSame), b.SepConv(p0, c, 3, 1, graph.PadSame))
+
+	out := b.Concat(b1, b2, b3, b4, b5)
+	b.PointwiseConv(out, c) // next cell's preprocessing
+	return b.Graph()
+}
+
+// AmoebaNetACell builds the AmoebaNet-A normal cell (Real et al. 2019):
+// five pairwise combinations with average pooling, separable convolutions
+// and skip connections, concatenating the unused states.
+func AmoebaNetACell() *graph.Graph {
+	const (
+		hw = 28
+		c  = 36
+	)
+	b := graph.NewBuilder("amoebanet_a_normal")
+	h0 := b.Input(graph.Shape{1, hw, hw, c})
+	h1 := b.Input(graph.Shape{1, hw, hw, c})
+	p0 := b.PointwiseConv(h0, c)
+	p1 := b.PointwiseConv(h1, c)
+
+	s2 := b.Add(b.AvgPool(p0, 3, 1, graph.PadSame), b.SepConv(p1, c, 3, 1, graph.PadSame))
+	s3 := b.Add(b.Identity(p0), b.SepConv(p1, c, 5, 1, graph.PadSame))
+	s4 := b.Add(b.AvgPool(s2, 3, 1, graph.PadSame), b.Identity(p1))
+	s5 := b.Add(b.SepConv(s3, c, 3, 1, graph.PadSame), b.Identity(s2))
+	s6 := b.Add(b.SepConv(p0, c, 3, 1, graph.PadSame), b.Identity(p0))
+
+	out := b.Concat(s4, s5, s6)
+	b.PointwiseConv(out, c)
+	return b.Graph()
+}
+
+// ExtraCells lists the additional workloads for sweeps and fuzz-style
+// testing across generators.
+func ExtraCells() []BenchCell {
+	return []BenchCell{
+		{Network: "NASNet-A", Dataset: "ImageNet", Cell: "Normal", Build: NASNetACell},
+		{Network: "AmoebaNet-A", Dataset: "ImageNet", Cell: "Normal", Build: AmoebaNetACell},
+	}
+}

@@ -1,0 +1,70 @@
+package models
+
+// ParetoPoint is one network in the accuracy-vs-compute scatter of
+// Figures 2 and 14. The values are literature numbers collected from the
+// papers the figure cites; they are static data (the figure is
+// motivational, not measured).
+type ParetoPoint struct {
+	Model     string
+	MACsM     float64 // millions of multiply-accumulates
+	ParamsM   float64 // millions of parameters
+	Top1      float64 // ImageNet top-1 accuracy (%)
+	Irregular bool    // true for NAS / random-wiring networks
+}
+
+// ParetoDataset returns the scatter points of Figure 2/14.
+func ParetoDataset() []ParetoPoint {
+	return []ParetoPoint{
+		// Regular-topology, hand-designed networks.
+		{Model: "Inception V1", MACsM: 1430, ParamsM: 6.8, Top1: 69.8, Irregular: false},
+		{Model: "MobileNet", MACsM: 569, ParamsM: 4.2, Top1: 70.6, Irregular: false},
+		{Model: "ShuffleNet", MACsM: 140, ParamsM: 1.4, Top1: 67.6, Irregular: false},
+		{Model: "Inception V2", MACsM: 1940, ParamsM: 11.2, Top1: 74.8, Irregular: false},
+		{Model: "Inception V3", MACsM: 5720, ParamsM: 23.8, Top1: 78.8, Irregular: false},
+		{Model: "Xception", MACsM: 8400, ParamsM: 22.8, Top1: 79.0, Irregular: false},
+		{Model: "ResNet-152", MACsM: 11300, ParamsM: 60.2, Top1: 77.8, Irregular: false},
+		{Model: "SENet", MACsM: 20700, ParamsM: 145.8, Top1: 82.7, Irregular: false},
+		{Model: "ResNeXt-101", MACsM: 7800, ParamsM: 83.6, Top1: 80.9, Irregular: false},
+		{Model: "PolyNet", MACsM: 34700, ParamsM: 92.0, Top1: 81.3, Irregular: false},
+		{Model: "Inception ResNet V2", MACsM: 13200, ParamsM: 55.8, Top1: 80.1, Irregular: false},
+		{Model: "Inception V4", MACsM: 12300, ParamsM: 42.7, Top1: 80.0, Irregular: false},
+		{Model: "DPN-131", MACsM: 16000, ParamsM: 79.5, Top1: 81.5, Irregular: false},
+
+		// Irregularly wired networks from NAS and random generators.
+		{Model: "NASNet-A", MACsM: 564, ParamsM: 5.3, Top1: 74.0, Irregular: true},
+		{Model: "NASNet-B", MACsM: 488, ParamsM: 5.3, Top1: 72.8, Irregular: true},
+		{Model: "AmoebaNet-A", MACsM: 555, ParamsM: 5.1, Top1: 74.5, Irregular: true},
+		{Model: "AmoebaNet-B", MACsM: 555, ParamsM: 5.3, Top1: 74.0, Irregular: true},
+		{Model: "AmoebaNet-A (large)", MACsM: 23100, ParamsM: 86.7, Top1: 82.8, Irregular: true},
+		{Model: "RandWire (small)", MACsM: 583, ParamsM: 5.6, Top1: 74.7, Irregular: true},
+		{Model: "RandWire (large)", MACsM: 4000, ParamsM: 31.9, Top1: 79.0, Irregular: true},
+		{Model: "DARTS", MACsM: 574, ParamsM: 4.7, Top1: 73.3, Irregular: true},
+	}
+}
+
+// ParetoFrontier returns, for each point class (irregular vs regular), the
+// points on the accuracy-vs-MACs Pareto frontier (maximize accuracy,
+// minimize compute).
+func ParetoFrontier(points []ParetoPoint, irregular bool) []ParetoPoint {
+	var class []ParetoPoint
+	for _, p := range points {
+		if p.Irregular == irregular {
+			class = append(class, p)
+		}
+	}
+	var out []ParetoPoint
+	for _, p := range class {
+		dominated := false
+		for _, q := range class {
+			if q.Model != p.Model && q.MACsM <= p.MACsM && q.Top1 >= p.Top1 &&
+				(q.MACsM < p.MACsM || q.Top1 > p.Top1) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	return out
+}

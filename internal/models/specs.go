@@ -1,0 +1,148 @@
+package models
+
+import (
+	"github.com/serenity-ml/serenity/internal/graph"
+)
+
+// BenchCell names one of the nine evaluation cells of Figures 10/11/13/15.
+type BenchCell struct {
+	Network string // column group in the figures
+	Dataset string
+	Cell    string // bar label within the group
+	Build   func() *graph.Graph
+}
+
+// BenchmarkCells returns the nine cells of the paper's evaluation in figure
+// order: DARTS normal; SwiftNet A, B, C; RandWire CIFAR-10 A, B; RandWire
+// CIFAR-100 A, B, C.
+func BenchmarkCells() []BenchCell {
+	return []BenchCell{
+		{Network: "DARTS", Dataset: "ImageNet", Cell: "Normal", Build: DARTSNormalCell},
+		{Network: "SwiftNet", Dataset: "HPD", Cell: "Cell A", Build: SwiftNetCellA},
+		{Network: "SwiftNet", Dataset: "HPD", Cell: "Cell B", Build: SwiftNetCellB},
+		{Network: "SwiftNet", Dataset: "HPD", Cell: "Cell C", Build: SwiftNetCellC},
+		{Network: "RandWire", Dataset: "CIFAR10", Cell: "Cell A", Build: RandWireCIFAR10CellA},
+		{Network: "RandWire", Dataset: "CIFAR10", Cell: "Cell B", Build: RandWireCIFAR10CellB},
+		{Network: "RandWire", Dataset: "CIFAR100", Cell: "Cell A", Build: RandWireCIFAR100CellA},
+		{Network: "RandWire", Dataset: "CIFAR100", Cell: "Cell B", Build: RandWireCIFAR100CellB},
+		{Network: "RandWire", Dataset: "CIFAR100", Cell: "Cell C", Build: RandWireCIFAR100CellC},
+	}
+}
+
+// MACs returns the multiply-accumulate count of one node.
+func MACs(g *graph.Graph, n *graph.Node) int64 {
+	outElems := n.Shape.Elems()
+	spatial := outElems
+	if len(n.Shape) == 4 {
+		spatial = int64(n.Shape[1]) * int64(n.Shape[2])
+	}
+	inC := int64(n.Attr.InChannels)
+	outC := int64(n.Shape.Channels())
+	k2 := int64(n.Attr.KernelH) * int64(n.Attr.KernelW)
+	switch n.Op {
+	case graph.OpConv, graph.OpPointwiseConv:
+		return k2 * inC * outC * spatial
+	case graph.OpDepthwiseConv:
+		return k2 * outC * spatial
+	case graph.OpSepConv, graph.OpDilConv:
+		// depthwise k×k over inC channels + pointwise inC→outC
+		return k2*inC*spatial + inC*outC*spatial
+	case graph.OpPartialConv:
+		return k2 * inC * outC * spatial
+	case graph.OpPartialDWConv:
+		return k2 * inC * spatial
+	case graph.OpDense:
+		return inC * int64(n.Shape[len(n.Shape)-1])
+	case graph.OpAdd, graph.OpMul:
+		return outElems * int64(len(n.Preds)-1)
+	default:
+		return 0
+	}
+}
+
+// WeightCount returns the parameter count of one node.
+func WeightCount(n *graph.Node) int64 {
+	inC := int64(n.Attr.InChannels)
+	outC := int64(n.Shape.Channels())
+	k2 := int64(n.Attr.KernelH) * int64(n.Attr.KernelW)
+	switch n.Op {
+	case graph.OpConv, graph.OpPointwiseConv, graph.OpPartialConv:
+		return k2 * inC * outC
+	case graph.OpDepthwiseConv:
+		return k2 * outC
+	case graph.OpPartialDWConv:
+		return k2 * inC
+	case graph.OpSepConv, graph.OpDilConv:
+		return k2*inC + inC*outC
+	case graph.OpDense:
+		return inC * int64(n.Shape[len(n.Shape)-1])
+	default:
+		return 0
+	}
+}
+
+// GraphMACs sums MACs over all nodes.
+func GraphMACs(g *graph.Graph) int64 {
+	var total int64
+	for _, n := range g.Nodes {
+		total += MACs(g, n)
+	}
+	return total
+}
+
+// GraphWeights sums parameter counts over all nodes.
+func GraphWeights(g *graph.Graph) int64 {
+	var total int64
+	for _, n := range g.Nodes {
+		total += WeightCount(n)
+	}
+	return total
+}
+
+// Spec is one row of Table 1. MACs/weights are measured on our generated
+// graphs (single benchmark cell scaled by the source network's cell count);
+// Top-1 accuracy is cited from the paper (we do not train).
+type Spec struct {
+	Network    string
+	Type       string
+	Dataset    string
+	MACs       int64
+	Weights    int64
+	PaperMACs  int64
+	PaperWts   int64
+	PaperTop1  string
+	CellGraphs []*graph.Graph
+}
+
+// Table1Specs reproduces Table 1's rows.
+func Table1Specs() []Spec {
+	darts := DARTSNormalCell()
+	swift := SwiftNet()
+	rw10a, rw10b := RandWireCIFAR10CellA(), RandWireCIFAR10CellB()
+	rw100a, rw100b, rw100c := RandWireCIFAR100CellA(), RandWireCIFAR100CellB(), RandWireCIFAR100CellC()
+
+	sum := func(gs ...*graph.Graph) (m, w int64) {
+		for _, g := range gs {
+			m += GraphMACs(g)
+			w += GraphWeights(g)
+		}
+		return m, w
+	}
+	dm, dw := sum(darts)
+	// The DARTS ImageNet model stacks 14 cells of the same genotype.
+	dm, dw = dm*14, dw*14
+	sm, sw := sum(swift)
+	r10m, r10w := sum(rw10a, rw10b)
+	r100m, r100w := sum(rw100a, rw100b, rw100c)
+
+	return []Spec{
+		{Network: "DARTS", Type: "NAS", Dataset: "ImageNet", MACs: dm, Weights: dw,
+			PaperMACs: 574_000_000, PaperWts: 4_700_000, PaperTop1: "73.3%", CellGraphs: []*graph.Graph{darts}},
+		{Network: "SwiftNet", Type: "NAS", Dataset: "HPD", MACs: sm, Weights: sw,
+			PaperMACs: 57_400_000, PaperWts: 249_700, PaperTop1: "95.1%", CellGraphs: []*graph.Graph{swift}},
+		{Network: "RandWire", Type: "RAND", Dataset: "CIFAR10", MACs: r10m, Weights: r10w,
+			PaperMACs: 111_000_000, PaperWts: 1_200_000, PaperTop1: "93.6%", CellGraphs: []*graph.Graph{rw10a, rw10b}},
+		{Network: "RandWire", Type: "RAND", Dataset: "CIFAR100", MACs: r100m, Weights: r100w,
+			PaperMACs: 160_000_000, PaperWts: 4_700_000, PaperTop1: "74.5%", CellGraphs: []*graph.Graph{rw100a, rw100b, rw100c}},
+	}
+}

@@ -1,0 +1,68 @@
+package models
+
+import (
+	"fmt"
+
+	"github.com/serenity-ml/serenity/internal/graph"
+)
+
+// StackedRandWire chains `cells` independently wired WS cells into one
+// network, each cell consuming the previous cell's output tensor — the
+// hourglass macro-structure of real RandWire networks ("many NAS and Random
+// Network Generators design cells with single input and single output then
+// stack them", Section 3.2). The resulting graphs scale the scheduling
+// problem linearly while divide-and-conquer keeps each sub-problem
+// cell-sized; the scalability benchmark relies on this.
+func StackedRandWire(name string, cells int, cfg WSConfig) *graph.Graph {
+	if cells < 1 {
+		panic("models: StackedRandWire needs at least one cell")
+	}
+	b := graph.NewBuilder(name)
+	shape := graph.Shape{1, cfg.HW, cfg.HW, cfg.Channel}
+	cur := b.Input(shape)
+
+	for c := 0; c < cells; c++ {
+		cellCfg := cfg
+		cellCfg.Seed = cfg.Seed + int64(c)*7919
+		edges := wsEdges(cellCfg)
+		preds := make([][]int, cellCfg.Nodes)
+		for _, e := range edges {
+			preds[e[1]] = append(preds[e[1]], e[0])
+		}
+		stem := b.PointwiseConv(cur, cfg.Channel)
+		ids := make([]int, cellCfg.Nodes)
+		for i := 0; i < cellCfg.Nodes; i++ {
+			var src int
+			switch len(preds[i]) {
+			case 0:
+				src = stem
+			case 1:
+				src = ids[preds[i][0]]
+			default:
+				ops := make([]int, len(preds[i]))
+				for j, p := range preds[i] {
+					ops[j] = ids[p]
+				}
+				src = b.Add(ops...)
+			}
+			ids[i] = b.SepConv(src, cfg.Channel, 3, 1, graph.PadSame)
+		}
+		g := b.Graph()
+		var sinks []int
+		for _, id := range ids {
+			if len(g.Nodes[id].Succs) == 0 {
+				sinks = append(sinks, id)
+			}
+		}
+		if len(sinks) == 1 {
+			cur = sinks[0]
+		} else {
+			cur = b.Add(sinks...)
+		}
+		// A 1x1 projection forms the single-tensor cell boundary.
+		cur = b.PointwiseConv(cur, cfg.Channel)
+	}
+	g := b.Graph()
+	g.Name = fmt.Sprintf("%s_x%d", name, cells)
+	return g
+}

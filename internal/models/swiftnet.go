@@ -1,0 +1,133 @@
+package models
+
+import (
+	"fmt"
+
+	"github.com/serenity-ml/serenity/internal/graph"
+)
+
+// SwiftNet (Zhang et al. 2019) is a NAS-found human-presence-detection
+// network built from three multi-branch cells dominated by concatenations —
+// the paper's running example (Figures 3, 12; Table 2). The generators below
+// reproduce the structural statistics the paper reports:
+//
+//	total nodes      62 = {21, 19, 22}   (input + cell interiors, Table 2)
+//	after rewriting  92 = {33, 28, 29}
+//
+// Each cell is a set of parallel groups (branches → concat → conv) off the
+// cell input plus a strided 1×1 projection skip path, merged by an Add that
+// forms the single-tensor cell boundary (the hourglass waist the
+// divide-and-conquer stage cuts at).
+
+// swiftCellA appends Cell A (20 interior nodes) consuming node in
+// (shape hw×hw×c), returning the cell output (hw/2 × hw/2 × c).
+func swiftCellA(b *graph.Builder, in int, c int) int {
+	skip := b.Conv(in, c, 1, 2, graph.PadSame)
+	kernels := []int{3, 5, 3, 5}
+	groups := make([]int, 3)
+	for gi := range groups {
+		branches := make([]int, 4)
+		for bi := range branches {
+			branches[bi] = b.DepthwiseConv(in, kernels[bi], 2, graph.PadSame)
+		}
+		cc := b.Concat(branches...)
+		groups[gi] = b.PointwiseConv(cc, c)
+	}
+	return b.Add(skip, groups[0], groups[1], groups[2])
+}
+
+// swiftCellB appends Cell B (19 interior nodes): three 3-branch groups plus
+// two activation nodes.
+func swiftCellB(b *graph.Builder, in int, c int) int {
+	skip := b.Conv(in, c, 1, 2, graph.PadSame)
+	kernels := []int{3, 5, 3}
+	groups := make([]int, 3)
+	for gi := range groups {
+		branches := make([]int, 3)
+		for bi := range branches {
+			branches[bi] = b.DepthwiseConv(in, kernels[bi], 2, graph.PadSame)
+		}
+		cc := b.Concat(branches...)
+		groups[gi] = b.PointwiseConv(cc, c)
+	}
+	g0 := b.ReLU(groups[0])
+	g1 := b.ReLU(groups[1])
+	return b.Add(skip, g0, g1, groups[2])
+}
+
+// swiftCellC appends Cell C (22 interior nodes): a 4-branch and a 3-branch
+// group feeding a depthwise-separable tail chain, merged with the skip path.
+func swiftCellC(b *graph.Builder, in int, c int) int {
+	skip := b.Conv(in, c, 1, 2, graph.PadSame)
+
+	branches4 := make([]int, 4)
+	for bi := range branches4 {
+		branches4[bi] = b.DepthwiseConv(in, 3, 2, graph.PadSame)
+	}
+	g1 := b.PointwiseConv(b.Concat(branches4...), c)
+
+	branches3 := make([]int, 3)
+	for bi := range branches3 {
+		branches3[bi] = b.DepthwiseConv(in, 5, 2, graph.PadSame)
+	}
+	g2 := b.PointwiseConv(b.Concat(branches3...), c)
+
+	merged := b.Add(g1, g2)
+	t := merged
+	for i := 0; i < 2; i++ {
+		t = b.DepthwiseConv(t, 3, 1, graph.PadSame)
+		t = b.PointwiseConv(t, c)
+		t = b.ReLU(t)
+	}
+	t = b.DepthwiseConv(t, 3, 1, graph.PadSame)
+	t = b.PointwiseConv(t, c)
+	return b.Add(skip, t)
+}
+
+// SwiftNet channel/resolution configuration. The HPD input is 112×112
+// grayscale; the stem (outside the scheduled cells, constant memory) brings
+// it to 44×44×8, calibrated so the schedule CDF straddles the 250 KB device
+// constraint as in Figure 3(b).
+const (
+	swiftHW = 44
+	swiftC  = 8
+)
+
+// SwiftNetCellA returns standalone Cell A (21 nodes incl. its input).
+func SwiftNetCellA() *graph.Graph {
+	b := graph.NewBuilder("swiftnet_cell_a")
+	in := b.Input(graph.Shape{1, swiftHW, swiftHW, swiftC})
+	swiftCellA(b, in, swiftC)
+	return b.Graph()
+}
+
+// SwiftNetCellB returns standalone Cell B (20 nodes incl. its input).
+func SwiftNetCellB() *graph.Graph {
+	b := graph.NewBuilder("swiftnet_cell_b")
+	in := b.Input(graph.Shape{1, swiftHW / 2, swiftHW / 2, swiftC})
+	swiftCellB(b, in, swiftC)
+	return b.Graph()
+}
+
+// SwiftNetCellC returns standalone Cell C (23 nodes incl. its input).
+func SwiftNetCellC() *graph.Graph {
+	b := graph.NewBuilder("swiftnet_cell_c")
+	in := b.Input(graph.Shape{1, swiftHW / 4, swiftHW / 4, swiftC})
+	swiftCellC(b, in, swiftC)
+	return b.Graph()
+}
+
+// SwiftNet returns the full three-cell network: 62 nodes whose
+// divide-and-conquer partition is {21, 19, 22} as in Table 2.
+func SwiftNet() *graph.Graph {
+	b := graph.NewBuilder("swiftnet")
+	in := b.Input(graph.Shape{1, swiftHW, swiftHW, swiftC})
+	a := swiftCellA(b, in, swiftC)
+	bb := swiftCellB(b, a, swiftC)
+	swiftCellC(b, bb, swiftC)
+	g := b.Graph()
+	if g.NumNodes() != 62 {
+		panic(fmt.Sprintf("models: SwiftNet has %d nodes, want 62", g.NumNodes()))
+	}
+	return g
+}

@@ -1,0 +1,217 @@
+// Package partition implements SERENITY's divide-and-conquer stage
+// (Section 3.2, Figure 7): irregularly wired networks from NAS and random
+// generators are hourglass-shaped — stacks of cells joined by single
+// tensors — so the graph can be split at those waist nodes, each sub-graph
+// scheduled independently, and the sub-schedules concatenated into a
+// globally optimal schedule.
+//
+// A node v is a *cut* when (a) every other node is an ancestor or a
+// descendant of v, and (b) no edge skips v: every ancestor's successors are
+// themselves ancestors of v (or v). Under (a)+(b) the only tensor live at
+// the moment v completes is v's own output, so: every topological order of
+// the full graph is exactly a concatenation of per-segment topological
+// orders, and the footprint of the combined schedule within segment k is
+// independent of the choices made in other segments. Minimizing each
+// segment independently therefore minimizes the global peak (the argument
+// of Wilken et al. 2000 instantiated for tensor liveness).
+package partition
+
+import (
+	"fmt"
+
+	"github.com/serenity-ml/serenity/internal/graph"
+	"github.com/serenity-ml/serenity/internal/sched"
+)
+
+// Segment is one sub-problem: a standalone graph whose node 0 may be a
+// virtual Input standing for the producing cut of the previous segment.
+type Segment struct {
+	G *graph.Graph
+	// ToOriginal maps segment node IDs to original-graph node IDs;
+	// virtual boundary inputs map to the original cut node ID but are
+	// flagged in VirtualInput.
+	ToOriginal   []int
+	VirtualInput int // segment node ID of the boundary input, or -1
+}
+
+// Partition is the result of Split.
+type Partition struct {
+	Original *graph.Graph
+	Cuts     []int // cut node IDs in topological order (excludes the final sink unless it is a cut)
+	Segments []*Segment
+}
+
+// CutNodes returns the graph's cut nodes in topological order. The final
+// node of the graph is excluded (cutting after the last node is vacuous).
+func CutNodes(g *graph.Graph) ([]int, error) {
+	n := g.NumNodes()
+	reach, err := g.Reachability()
+	if err != nil {
+		return nil, err
+	}
+	anc, err := g.Ancestors()
+	if err != nil {
+		return nil, err
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	var cuts []int
+	for _, v := range order[:max(0, n-1)] {
+		if anc[v].Count() == 0 {
+			// A sourceless cut (the graph's single entry) would only carve
+			// off a one-node segment; skip it so segments align with cells.
+			continue
+		}
+		if anc[v].Count()+reach[v].Count() != n-1 {
+			continue // (a) fails: some node is incomparable with v
+		}
+		ok := true
+		anc[v].ForEach(func(u int) {
+			if !ok {
+				return
+			}
+			for _, s := range g.Nodes[u].Succs {
+				if s != v && !anc[v].Has(s) {
+					ok = false // (b) fails: edge u->s skips v
+					return
+				}
+			}
+		})
+		if ok {
+			cuts = append(cuts, v)
+		}
+	}
+	return cuts, nil
+}
+
+// Split partitions g at its cut nodes. A graph with no cuts yields a single
+// segment identical to g.
+func Split(g *graph.Graph) (*Partition, error) {
+	cuts, err := CutNodes(g)
+	if err != nil {
+		return nil, err
+	}
+	anc, err := g.Ancestors()
+	if err != nil {
+		return nil, err
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+
+	p := &Partition{Original: g, Cuts: cuts}
+	// segmentOf[v] = index of the segment containing v: the number of cuts
+	// that are proper ancestors of v... plus care for the cuts themselves,
+	// which terminate their own segment.
+	segmentOf := make([]int, g.NumNodes())
+	for _, v := range order {
+		seg := 0
+		for _, c := range cuts {
+			if c != v && anc[v].Has(c) {
+				seg++
+			}
+		}
+		segmentOf[v] = seg
+	}
+	numSegs := len(cuts) + 1
+	// The last cut may be the final node; then the trailing segment is empty.
+	counts := make([]int, numSegs)
+	for _, v := range order {
+		counts[segmentOf[v]]++
+	}
+	for numSegs > 1 && counts[numSegs-1] == 0 {
+		numSegs--
+	}
+
+	for s := 0; s < numSegs; s++ {
+		seg := &Segment{G: graph.New(fmt.Sprintf("%s/seg%d", g.Name, s)), VirtualInput: -1}
+		remap := map[int]int{}
+		if s > 0 {
+			// Virtual input standing for the previous cut's output storage.
+			prev := g.Nodes[cuts[s-1]]
+			vid := seg.G.AddNode(graph.OpInput, prev.Name+"#boundary", prev.Shape)
+			seg.G.Nodes[vid].DType = prev.DType
+			seg.ToOriginal = append(seg.ToOriginal, prev.ID)
+			seg.VirtualInput = vid
+			remap[prev.ID] = vid
+		}
+		for _, v := range order {
+			if segmentOf[v] != s {
+				continue
+			}
+			orig := g.Nodes[v]
+			var preds []int
+			for _, pr := range orig.Preds {
+				mapped, ok := remap[pr]
+				if !ok {
+					return nil, fmt.Errorf("partition: node %d pred %d crosses segment %d unexpectedly", v, pr, s)
+				}
+				preds = append(preds, mapped)
+			}
+			nid := seg.G.AddNode(orig.Op, orig.Name, orig.Shape, preds...)
+			nn := seg.G.Nodes[nid]
+			nn.DType = orig.DType
+			nn.Attr = orig.Attr
+			if orig.Attr.AliasOf >= 0 {
+				if a, ok := remap[orig.Attr.AliasOf]; ok {
+					nn.Attr.AliasOf = a
+				} else {
+					return nil, fmt.Errorf("partition: node %d aliases %d across segment boundary", v, orig.Attr.AliasOf)
+				}
+			}
+			seg.ToOriginal = append(seg.ToOriginal, v)
+			remap[v] = nid
+		}
+		p.Segments = append(p.Segments, seg)
+	}
+	return p, nil
+}
+
+// Combine maps per-segment schedules back to original node IDs and
+// concatenates them (Figure 7's combine stage), dropping virtual boundary
+// inputs. orders[i] must be a valid schedule of Segments[i].G.
+func (p *Partition) Combine(orders []sched.Schedule) (sched.Schedule, error) {
+	if len(orders) != len(p.Segments) {
+		return nil, fmt.Errorf("partition: %d orders for %d segments", len(orders), len(p.Segments))
+	}
+	var out sched.Schedule
+	for i, seg := range p.Segments {
+		if len(orders[i]) != seg.G.NumNodes() {
+			return nil, fmt.Errorf("partition: segment %d order has %d entries, want %d", i, len(orders[i]), seg.G.NumNodes())
+		}
+		for _, v := range orders[i] {
+			if v == seg.VirtualInput {
+				continue
+			}
+			out = append(out, seg.ToOriginal[v])
+		}
+	}
+	if len(out) != p.Original.NumNodes() {
+		return nil, fmt.Errorf("partition: combined schedule has %d nodes, want %d", len(out), p.Original.NumNodes())
+	}
+	return out, nil
+}
+
+// Sizes returns the node count of each segment, as reported in Table 2
+// (e.g. 62={21,19,22}).
+func (p *Partition) Sizes() []int {
+	out := make([]int, len(p.Segments))
+	for i, s := range p.Segments {
+		n := s.G.NumNodes()
+		if s.VirtualInput >= 0 {
+			n-- // virtual boundary inputs are bookkeeping, not graph nodes
+		}
+		out[i] = n
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

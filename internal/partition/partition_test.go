@@ -1,0 +1,262 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/serenity-ml/serenity/internal/dp"
+	"github.com/serenity-ml/serenity/internal/graph"
+	"github.com/serenity-ml/serenity/internal/sched"
+)
+
+func bytesShape(b int64) graph.Shape { return graph.Shape{int(b / 4)} }
+
+// hourglass builds cells of parallel branches joined by single waist nodes:
+//
+//	in -> [branch x width] -> join -> [branch x width] -> join -> ...
+func hourglass(cells, width int) *graph.Graph {
+	g := graph.New("hourglass")
+	cur := g.AddNode(graph.OpInput, "in", bytesShape(64))
+	for c := 0; c < cells; c++ {
+		branches := make([]int, width)
+		for w := 0; w < width; w++ {
+			h := g.AddNode(graph.OpReLU, "", bytesShape(int64(32+16*w)), cur)
+			branches[w] = g.AddNode(graph.OpReLU, "", bytesShape(32), h)
+		}
+		cur = g.AddNode(graph.OpAdd, "", bytesShape(64), branches...)
+	}
+	for _, n := range g.Nodes {
+		if n.Name == "" {
+			n.Name = n.Op.String()
+		}
+	}
+	return g
+}
+
+func TestCutNodesOnHourglass(t *testing.T) {
+	g := hourglass(3, 3)
+	cuts, err := CutNodes(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cuts: the two inner join nodes. The input is a degenerate (sourceless)
+	// cut and the final join is the graph's last node; both are excluded.
+	if len(cuts) != 2 {
+		t.Fatalf("cuts = %v, want 2 inner joins", cuts)
+	}
+	for _, c := range cuts {
+		if g.Nodes[c].Op != graph.OpAdd {
+			t.Errorf("cut %d is %v, want the Add joins", c, g.Nodes[c].Op)
+		}
+	}
+}
+
+func TestCutNodesRejectsSkippingEdges(t *testing.T) {
+	// A -> B -> C plus A -> C: B is comparable with everything but edge A->C
+	// skips it, so B must not be a cut.
+	g := graph.New("skip")
+	a := g.AddNode(graph.OpInput, "A", bytesShape(8))
+	b := g.AddNode(graph.OpReLU, "B", bytesShape(8), a)
+	g.AddNode(graph.OpAdd, "C", bytesShape(8), b, a)
+	cuts, err := CutNodes(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cuts {
+		if c == b {
+			t.Fatalf("B reported as cut despite skipping edge: %v", cuts)
+		}
+	}
+	_ = a
+	if len(cuts) != 0 {
+		t.Errorf("cuts = %v, want none (A is a sourceless cut)", cuts)
+	}
+}
+
+func TestCutNodesNoCutInParallelGraph(t *testing.T) {
+	// Two independent chains: nothing is comparable across chains.
+	g := graph.New("par")
+	a := g.AddNode(graph.OpInput, "a", bytesShape(8))
+	g.AddNode(graph.OpReLU, "a2", bytesShape(8), a)
+	c := g.AddNode(graph.OpInput, "c", bytesShape(8))
+	g.AddNode(graph.OpReLU, "c2", bytesShape(8), c)
+	cuts, err := CutNodes(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cuts) != 0 {
+		t.Errorf("cuts = %v, want none", cuts)
+	}
+}
+
+func TestSplitSegmentSizes(t *testing.T) {
+	g := hourglass(3, 3) // 1 + 3*(6+1) = 22 nodes
+	p, err := Split(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := p.Sizes()
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	if total != g.NumNodes() {
+		t.Fatalf("segment sizes %v sum to %d, want %d", sizes, total, g.NumNodes())
+	}
+	if len(p.Segments) < 3 {
+		t.Fatalf("expected >=3 segments, got %d (sizes %v)", len(p.Segments), sizes)
+	}
+	for i, seg := range p.Segments {
+		if err := seg.G.Validate(); err != nil {
+			t.Fatalf("segment %d invalid: %v", i, err)
+		}
+		if i > 0 && seg.VirtualInput != 0 {
+			t.Errorf("segment %d: virtual input should be node 0, got %d", i, seg.VirtualInput)
+		}
+	}
+}
+
+func TestSplitSingleSegmentWhenNoCuts(t *testing.T) {
+	g := graph.New("par")
+	a := g.AddNode(graph.OpInput, "a", bytesShape(8))
+	g.AddNode(graph.OpReLU, "a2", bytesShape(8), a)
+	c := g.AddNode(graph.OpInput, "c", bytesShape(8))
+	g.AddNode(graph.OpReLU, "c2", bytesShape(8), c)
+	p, err := Split(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Segments) != 1 {
+		t.Fatalf("segments = %d, want 1", len(p.Segments))
+	}
+	if p.Segments[0].G.NumNodes() != g.NumNodes() {
+		t.Error("single segment should mirror the graph")
+	}
+}
+
+// TestDivideAndConquerMatchesWholeGraphDP is the combine-stage optimality
+// claim (Figure 7): concatenating per-segment optimal schedules equals the
+// whole-graph optimum.
+func TestDivideAndConquerMatchesWholeGraphDP(t *testing.T) {
+	for _, cfg := range []struct{ cells, width int }{{2, 2}, {3, 2}, {2, 3}} {
+		g := hourglass(cfg.cells, cfg.width)
+		m := sched.NewMemModel(g)
+		whole := dp.Optimal(m)
+		if whole.Flag != dp.FlagSolution {
+			t.Fatal("whole-graph DP failed")
+		}
+
+		p, err := Split(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orders := make([]sched.Schedule, len(p.Segments))
+		for i, seg := range p.Segments {
+			r := dp.Optimal(sched.NewMemModel(seg.G))
+			if r.Flag != dp.FlagSolution {
+				t.Fatalf("segment %d DP failed", i)
+			}
+			orders[i] = r.Order
+		}
+		combined, err := p.Combine(orders)
+		if err != nil {
+			t.Fatal(err)
+		}
+		peak, err := m.Peak(combined)
+		if err != nil {
+			t.Fatalf("combined schedule invalid: %v", err)
+		}
+		if peak != whole.Peak {
+			t.Errorf("cells=%d width=%d: combined peak %d != whole-graph %d",
+				cfg.cells, cfg.width, peak, whole.Peak)
+		}
+	}
+}
+
+func TestCombineErrors(t *testing.T) {
+	g := hourglass(2, 2)
+	p, err := Split(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Combine(nil); err == nil {
+		t.Error("Combine accepted wrong order count")
+	}
+	orders := make([]sched.Schedule, len(p.Segments))
+	for i := range orders {
+		orders[i] = sched.Schedule{0}
+	}
+	if _, err := p.Combine(orders); err == nil {
+		t.Error("Combine accepted wrong-length segment orders")
+	}
+}
+
+// TestSegmentBoundaryAccounting verifies the virtual boundary input models
+// the live cut tensor: segment peaks never understate the combined profile.
+func TestSegmentBoundaryAccounting(t *testing.T) {
+	g := hourglass(3, 3)
+	m := sched.NewMemModel(g)
+	p, err := Split(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxSegPeak int64
+	orders := make([]sched.Schedule, len(p.Segments))
+	for i, seg := range p.Segments {
+		r := dp.Optimal(sched.NewMemModel(seg.G))
+		orders[i] = r.Order
+		if r.Peak > maxSegPeak {
+			maxSegPeak = r.Peak
+		}
+	}
+	combined, err := p.Combine(orders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak, err := m.Peak(combined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak != maxSegPeak {
+		t.Errorf("combined peak %d != max segment peak %d", peak, maxSegPeak)
+	}
+}
+
+func TestSplitPreservesRandomHourglasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		// Random cells chained by waist nodes.
+		g := graph.New("rand-hourglass")
+		cur := g.AddNode(graph.OpInput, "in", bytesShape(32))
+		for c := 0; c < 3; c++ {
+			nb := 2 + rng.Intn(3)
+			var branches []int
+			for w := 0; w < nb; w++ {
+				n := g.AddNode(graph.OpReLU, "x", bytesShape(int64(4*(1+rng.Intn(16)))), cur)
+				if rng.Intn(2) == 0 {
+					n = g.AddNode(graph.OpReLU, "y", bytesShape(int64(4*(1+rng.Intn(16)))), n)
+				}
+				branches = append(branches, n)
+			}
+			cur = g.AddNode(graph.OpAdd, "join", bytesShape(32), branches...)
+		}
+		m := sched.NewMemModel(g)
+		whole := dp.Optimal(m)
+
+		p, err := Split(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orders := make([]sched.Schedule, len(p.Segments))
+		for i, seg := range p.Segments {
+			orders[i] = dp.Optimal(sched.NewMemModel(seg.G)).Order
+		}
+		combined, err := p.Combine(orders)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m.MustPeak(combined); got != whole.Peak {
+			t.Fatalf("trial %d: combined %d != whole %d", trial, got, whole.Peak)
+		}
+	}
+}

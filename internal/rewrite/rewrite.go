@@ -1,0 +1,270 @@
+// Package rewrite implements SERENITY's identity graph rewriting
+// (Section 3.3): semantics-preserving pattern substitutions that lower the
+// peak activation footprint achievable by any schedule.
+//
+// Two patterns from the paper (Figure 9) are implemented:
+//
+//   - Channel-wise partitioning: concat(x1..xn) → conv(W) becomes n partial
+//     convolutions w⋆i ∗ xi accumulating into one shared output buffer
+//     (Equations 3–6: the distributivity of Σ over ∗). Footprint drops from
+//     Σ size(xi) + size(y) to max_i(size(xi)) + size(y).
+//
+//   - Kernel-wise partitioning: concat(x1..xn) → depthwiseConv(W) becomes n
+//     partial depthwise convolutions wi ∗ xi, each writing its channel slice
+//     of the shared output buffer (Equations 7–8: depthconv and concat
+//     commute). Footprint drops identically.
+//
+// The shared buffer is expressed with an OpBuffer node plus alias metadata
+// (Attr.AliasOf): partial ops and the final join contribute zero bytes; the
+// buffer is freed when the last reader of any view finishes. The reference
+// executor (internal/exec) verifies numerically that rewritten graphs
+// produce identical outputs.
+package rewrite
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"github.com/serenity-ml/serenity/internal/graph"
+)
+
+// Kind discriminates the two rewrite patterns.
+type Kind int
+
+// Rewrite pattern kinds.
+const (
+	ChannelWise Kind = iota // concat + conv      -> partial conv + add
+	KernelWise              // concat + depthconv -> partial depthconv + concat
+)
+
+// String names the pattern as in the paper.
+func (k Kind) String() string {
+	if k == KernelWise {
+		return "kernel-wise partitioning"
+	}
+	return "channel-wise partitioning"
+}
+
+// Match is one rewritable occurrence: a Concat feeding a (depthwise)
+// convolution, where the concat's output has no other consumer.
+type Match struct {
+	Kind   Kind
+	Concat int // concat node ID in the original graph
+	Op     int // conv/depthwise node ID in the original graph
+}
+
+// FindMatches scans g for rewritable patterns. A pattern qualifies when the
+// convolution's data operand is a Concat consumed only by that convolution
+// (otherwise the concatenated tensor must materialize anyway and the rewrite
+// could not reduce memory).
+func FindMatches(g *graph.Graph) []Match {
+	var out []Match
+	for _, n := range g.Nodes {
+		var kind Kind
+		switch n.Op {
+		case graph.OpConv, graph.OpPointwiseConv:
+			kind = ChannelWise
+		case graph.OpDepthwiseConv:
+			kind = KernelWise
+		default:
+			continue
+		}
+		if len(n.Preds) != 1 {
+			continue
+		}
+		c := g.Nodes[n.Preds[0]]
+		if c.Op != graph.OpConcat || len(c.Preds) < 2 {
+			continue
+		}
+		if len(c.Succs) != 1 {
+			continue
+		}
+		// Dilated partial convolution is legal too, but keep parity with the
+		// paper's two patterns: stride/dilation carry over unchanged.
+		out = append(out, Match{Kind: kind, Concat: c.ID, Op: n.ID})
+	}
+	return out
+}
+
+// Apply returns a new graph with every match substituted. The original graph
+// is not modified. Node names are preserved where nodes survive; new nodes
+// get names derived from the rewritten convolution.
+func Apply(g *graph.Graph, matches []Match) (*graph.Graph, error) {
+	if len(matches) == 0 {
+		return g.Clone(), nil
+	}
+	matchByConcat := map[int]*Match{}
+	matchByOp := map[int]*Match{}
+	for i := range matches {
+		m := &matches[i]
+		matchByConcat[m.Concat] = m
+		matchByOp[m.Op] = m
+		c := g.Nodes[m.Concat]
+		if c.Op != graph.OpConcat || len(c.Succs) != 1 || c.Succs[0] != m.Op {
+			return nil, fmt.Errorf("rewrite: stale match %+v", *m)
+		}
+	}
+
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	anc, err := g.Ancestors()
+	if err != nil {
+		return nil, err
+	}
+	topoPos := make([]int, g.NumNodes())
+	for i, v := range order {
+		topoPos[v] = i
+	}
+	out := graph.New(g.Name + "+rewrite")
+	remap := make([]int, g.NumNodes())
+	for i := range remap {
+		remap[i] = -1
+	}
+
+	for _, v := range order {
+		n := g.Nodes[v]
+		if _, isConcat := matchByConcat[v]; isConcat {
+			continue // elided; the partials consume the branches directly
+		}
+		m, isOp := matchByOp[v]
+		if !isOp {
+			preds := make([]int, len(n.Preds))
+			for i, p := range n.Preds {
+				if remap[p] < 0 {
+					return nil, fmt.Errorf("rewrite: node %d consumed elided node %d", v, p)
+				}
+				preds[i] = remap[p]
+			}
+			nid := out.AddNode(n.Op, n.Name, n.Shape, preds...)
+			nn := out.Nodes[nid]
+			nn.DType = n.DType
+			nn.Attr = n.Attr
+			if n.Attr.AliasOf >= 0 {
+				nn.Attr.AliasOf = remap[n.Attr.AliasOf]
+			}
+			remap[v] = nid
+			continue
+		}
+
+		// Substitute the (concat -> conv) pair. The buffer is anchored on the
+		// deepest common ancestor of all branches: every partial already
+		// transitively requires that node (so the edge excludes no schedule
+		// that could beat the optimum — a buffer allocated any earlier only
+		// holds memory longer), and the anchor keeps the buffer inside its
+		// cell so divide-and-conquer cut points survive rewriting.
+		conv := n
+		concat := g.Nodes[m.Concat]
+		var bufPreds []int
+		if a := commonAncestor(g, concat.Preds, anc, topoPos, remap); a >= 0 {
+			bufPreds = []int{a}
+		}
+		buf := out.AddNode(graph.OpBuffer, conv.Name+"#buf", conv.Shape, bufPreds...)
+		out.Nodes[buf].DType = conv.DType
+
+		partials := make([]int, 0, len(concat.Preds))
+		inOffset := 0
+		for bi, branch := range concat.Preds {
+			if remap[branch] < 0 {
+				return nil, fmt.Errorf("rewrite: branch %d of concat %d not materialized", branch, m.Concat)
+			}
+			bshape := g.Nodes[branch].Shape
+			var pid int
+			switch m.Kind {
+			case ChannelWise:
+				// Partial conv over branch channels, accumulating into buf.
+				pid = out.AddNode(graph.OpPartialConv,
+					fmt.Sprintf("%s#part%d", conv.Name, bi), conv.Shape, remap[branch], buf)
+			case KernelWise:
+				// Partial depthwise conv producing the branch's output slice.
+				ps := conv.Shape.Clone()
+				ps[len(ps)-1] = bshape.Channels()
+				pid = out.AddNode(graph.OpPartialDWConv,
+					fmt.Sprintf("%s#part%d", conv.Name, bi), ps, remap[branch], buf)
+			}
+			pn := out.Nodes[pid]
+			pn.DType = conv.DType
+			pn.Attr = conv.Attr
+			pn.Attr.AliasOf = buf
+			pn.Attr.ChanOffset = inOffset
+			pn.Attr.InChannels = bshape.Channels()
+			pn.Attr.Seed = WeightSeed(conv)
+			inOffset += bshape.Channels()
+			partials = append(partials, pid)
+		}
+
+		join := out.AddNode(graph.OpIdentity, conv.Name+"#join", conv.Shape, partials...)
+		out.Nodes[join].DType = conv.DType
+		out.Nodes[join].Attr.AliasOf = buf
+		remap[v] = join
+	}
+
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("rewrite: produced invalid graph: %w", err)
+	}
+	return out, nil
+}
+
+// Rewrite finds and applies all matches, returning the rewritten graph and
+// the matches performed. With no matches it returns a clone of g.
+func Rewrite(g *graph.Graph) (*graph.Graph, []Match, error) {
+	matches := FindMatches(g)
+	out, err := Apply(g, matches)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, matches, nil
+}
+
+// commonAncestor returns the new-graph ID of the deepest node that is an
+// ancestor of every branch (and survives rewriting), or -1 if none exists.
+func commonAncestor(g *graph.Graph, branches []int, anc []*graph.Bitset, topoPos []int, remap []int) int {
+	if len(branches) == 0 {
+		return -1
+	}
+	common := anc[branches[0]].Clone()
+	for _, b := range branches[1:] {
+		and := graph.NewBitset(g.NumNodes())
+		and.Or(common)
+		// common ∩ anc[b] via AndNot of the complement is awkward; do it
+		// directly: keep only elements also in anc[b].
+		common.ForEach(func(v int) {
+			if !anc[b].Has(v) {
+				and.Clear(v)
+			}
+		})
+		common = and
+	}
+	best, bestPos := -1, -1
+	common.ForEach(func(v int) {
+		if remap[v] >= 0 && topoPos[v] > bestPos {
+			best, bestPos = remap[v], topoPos[v]
+		}
+	})
+	return best
+}
+
+// WeightSeed returns the deterministic weight seed of a convolution node,
+// preserved across rewriting so partial convolutions slice the *same*
+// weights the original convolution would have used (the executor relies on
+// this to verify arithmetic identity).
+func WeightSeed(n *graph.Node) int64 {
+	if n.Attr.Seed != 0 {
+		return n.Attr.Seed
+	}
+	return NameSeed(n.Name)
+}
+
+// NameSeed derives a stable seed from a node name. Graph names are
+// deliberately excluded so seeds survive rewriting (the rewritten graph is
+// renamed but surviving nodes keep their weights).
+func NameSeed(nodeName string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(nodeName))
+	v := int64(h.Sum64())
+	if v == 0 {
+		v = 1
+	}
+	return v
+}

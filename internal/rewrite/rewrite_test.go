@@ -1,0 +1,244 @@
+package rewrite
+
+import (
+	"testing"
+
+	"github.com/serenity-ml/serenity/internal/dp"
+	"github.com/serenity-ml/serenity/internal/graph"
+	"github.com/serenity-ml/serenity/internal/sched"
+)
+
+// concatConvGraph: three branches -> concat -> conv -> relu (channel-wise
+// pattern, Figure 9 top).
+func concatConvGraph() *graph.Graph {
+	b := graph.NewBuilder("ccg")
+	in := b.Input(graph.Shape{1, 8, 8, 4})
+	x1 := b.Conv(in, 6, 3, 1, graph.PadSame)
+	x2 := b.Conv(in, 8, 3, 1, graph.PadSame)
+	x3 := b.Conv(in, 10, 3, 1, graph.PadSame)
+	cc := b.Concat(x1, x2, x3)
+	y := b.Conv(cc, 16, 3, 1, graph.PadSame)
+	b.ReLU(y)
+	return b.Graph()
+}
+
+// concatDWGraph: two branches -> concat -> depthwise -> relu (kernel-wise
+// pattern, Figure 9 bottom).
+func concatDWGraph() *graph.Graph {
+	b := graph.NewBuilder("cdw")
+	in := b.Input(graph.Shape{1, 8, 8, 4})
+	x1 := b.Conv(in, 6, 3, 1, graph.PadSame)
+	x2 := b.Conv(in, 10, 3, 1, graph.PadSame)
+	cc := b.Concat(x1, x2)
+	y := b.DepthwiseConv(cc, 3, 1, graph.PadSame)
+	b.ReLU(y)
+	return b.Graph()
+}
+
+func TestFindMatches(t *testing.T) {
+	g := concatConvGraph()
+	ms := FindMatches(g)
+	if len(ms) != 1 {
+		t.Fatalf("matches = %d, want 1", len(ms))
+	}
+	if ms[0].Kind != ChannelWise {
+		t.Errorf("kind = %v, want channel-wise", ms[0].Kind)
+	}
+	g2 := concatDWGraph()
+	ms2 := FindMatches(g2)
+	if len(ms2) != 1 || ms2[0].Kind != KernelWise {
+		t.Fatalf("dw matches = %+v", ms2)
+	}
+}
+
+func TestFindMatchesSkipsSharedConcat(t *testing.T) {
+	// Concat consumed by two ops must not match.
+	b := graph.NewBuilder("shared")
+	in := b.Input(graph.Shape{1, 8, 8, 4})
+	x1 := b.Conv(in, 4, 3, 1, graph.PadSame)
+	x2 := b.Conv(in, 4, 3, 1, graph.PadSame)
+	cc := b.Concat(x1, x2)
+	b.Conv(cc, 8, 3, 1, graph.PadSame)
+	b.ReLU(cc)
+	if ms := FindMatches(b.Graph()); len(ms) != 0 {
+		t.Fatalf("matched a shared concat: %+v", ms)
+	}
+}
+
+func TestFindMatchesSkipsNonConcatInput(t *testing.T) {
+	b := graph.NewBuilder("plain")
+	in := b.Input(graph.Shape{1, 8, 8, 4})
+	c := b.Conv(in, 8, 3, 1, graph.PadSame)
+	b.Conv(c, 8, 3, 1, graph.PadSame)
+	if ms := FindMatches(b.Graph()); len(ms) != 0 {
+		t.Fatalf("matched without concat: %+v", ms)
+	}
+}
+
+func TestApplyChannelWiseStructure(t *testing.T) {
+	g := concatConvGraph()
+	out, ms, err := Rewrite(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 {
+		t.Fatalf("want 1 match, got %d", len(ms))
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buffers, partials, joins int
+	for _, n := range out.Nodes {
+		switch n.Op {
+		case graph.OpBuffer:
+			buffers++
+		case graph.OpPartialConv:
+			partials++
+			if n.Attr.AliasOf < 0 || out.Nodes[n.Attr.AliasOf].Op != graph.OpBuffer {
+				t.Error("partial must alias the buffer")
+			}
+		case graph.OpConcat:
+			t.Error("concat should be elided")
+		case graph.OpIdentity:
+			joins++
+		}
+	}
+	if buffers != 1 || partials != 3 || joins != 1 {
+		t.Errorf("structure: buffers=%d partials=%d joins=%d", buffers, partials, joins)
+	}
+	// Channel offsets must tile the concatenated input (6, 8, 10).
+	offsets := map[int]int{}
+	for _, n := range out.Nodes {
+		if n.Op == graph.OpPartialConv {
+			offsets[n.Attr.ChanOffset] = n.Attr.InChannels
+		}
+	}
+	if offsets[0] != 6 || offsets[6] != 8 || offsets[14] != 10 {
+		t.Errorf("offsets = %v", offsets)
+	}
+	// Node count per Table 2's direction: rewriting increases nodes.
+	if out.NumNodes() <= g.NumNodes() {
+		t.Errorf("rewrite should add nodes: %d -> %d", g.NumNodes(), out.NumNodes())
+	}
+}
+
+func TestApplyKernelWiseStructure(t *testing.T) {
+	g := concatDWGraph()
+	out, _, err := Rewrite(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var partials int
+	for _, n := range out.Nodes {
+		if n.Op == graph.OpPartialDWConv {
+			partials++
+			// Partial slice shapes match branch channel counts.
+			if c := n.Shape.Channels(); c != n.Attr.InChannels {
+				t.Errorf("partial dw shape channels %d != in channels %d", c, n.Attr.InChannels)
+			}
+		}
+	}
+	if partials != 2 {
+		t.Errorf("partials = %d, want 2", partials)
+	}
+}
+
+// TestRewriteLowersOptimalPeak: the rewritten search space admits a schedule
+// at least as good as the original optimum, and for these concat-heavy
+// graphs strictly better (the paper's extra 10.7%).
+func TestRewriteLowersOptimalPeak(t *testing.T) {
+	for _, build := range []func() *graph.Graph{concatConvGraph, concatDWGraph} {
+		g := build()
+		out, _, err := Rewrite(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := dp.Optimal(sched.NewMemModel(g))
+		after := dp.Optimal(sched.NewMemModel(out))
+		if before.Flag != dp.FlagSolution || after.Flag != dp.FlagSolution {
+			t.Fatal("DP failed")
+		}
+		if after.Peak > before.Peak {
+			t.Errorf("%s: rewrite increased optimal peak %d -> %d", g.Name, before.Peak, after.Peak)
+		}
+		if after.Peak == before.Peak {
+			t.Logf("%s: rewrite neutral (%d)", g.Name, after.Peak)
+		}
+	}
+}
+
+func TestRewriteNoMatchesReturnsClone(t *testing.T) {
+	b := graph.NewBuilder("plain")
+	in := b.Input(graph.Shape{1, 4, 4, 2})
+	b.Conv(in, 4, 3, 1, graph.PadSame)
+	g := b.Graph()
+	out, ms, err := Rewrite(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 0 {
+		t.Fatalf("unexpected matches %+v", ms)
+	}
+	if out.NumNodes() != g.NumNodes() {
+		t.Error("clone changed structure")
+	}
+	out.Nodes[0].Name = "mutated"
+	if g.Nodes[0].Name == "mutated" {
+		t.Error("Rewrite returned the original graph, not a clone")
+	}
+}
+
+func TestApplyRejectsStaleMatch(t *testing.T) {
+	g := concatConvGraph()
+	if _, err := Apply(g, []Match{{Kind: ChannelWise, Concat: 0, Op: 1}}); err == nil {
+		t.Error("stale match accepted")
+	}
+}
+
+func TestWeightSeedStability(t *testing.T) {
+	if NameSeed("conv_1") != NameSeed("conv_1") {
+		t.Error("NameSeed not deterministic")
+	}
+	if NameSeed("conv_1") == NameSeed("conv_2") {
+		t.Error("NameSeed collision for distinct names")
+	}
+	n := &graph.Node{Name: "x", Attr: graph.Attr{Seed: 42, AliasOf: -1}}
+	if WeightSeed(n) != 42 {
+		t.Error("explicit seed ignored")
+	}
+	n.Attr.Seed = 0
+	if WeightSeed(n) != NameSeed("x") {
+		t.Error("fallback seed wrong")
+	}
+}
+
+func TestRewriteChainsOfConcats(t *testing.T) {
+	// Two independent matches in one graph are both rewritten.
+	b := graph.NewBuilder("double")
+	in := b.Input(graph.Shape{1, 8, 8, 4})
+	a1 := b.Conv(in, 4, 3, 1, graph.PadSame)
+	a2 := b.Conv(in, 4, 3, 1, graph.PadSame)
+	y1 := b.Conv(b.Concat(a1, a2), 8, 3, 1, graph.PadSame)
+	b1 := b.Conv(y1, 4, 3, 1, graph.PadSame)
+	b2 := b.Conv(y1, 4, 3, 1, graph.PadSame)
+	y2 := b.DepthwiseConv(b.Concat(b1, b2), 3, 1, graph.PadSame)
+	b.ReLU(y2)
+	g := b.Graph()
+
+	out, ms, err := Rewrite(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("matches = %d, want 2", len(ms))
+	}
+	var buffers int
+	for _, n := range out.Nodes {
+		if n.Op == graph.OpBuffer {
+			buffers++
+		}
+	}
+	if buffers != 2 {
+		t.Errorf("buffers = %d, want 2", buffers)
+	}
+}

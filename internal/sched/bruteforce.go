@@ -1,0 +1,123 @@
+package sched
+
+import (
+	"errors"
+
+	"github.com/serenity-ml/serenity/internal/graph"
+)
+
+// ErrTooLarge is returned by BruteForce for graphs beyond its node limit.
+var ErrTooLarge = errors.New("sched: graph too large for brute force")
+
+// BruteForceLimit caps the graph size BruteForce will attempt; the search is
+// Θ(|V|!)-flavoured and exists purely as an optimality oracle for tests.
+const BruteForceLimit = 14
+
+// BruteForce exhaustively enumerates topological orders (with
+// branch-and-bound pruning on the running peak) and returns an order with
+// the minimum peak activation footprint. It is the test oracle for the DP
+// scheduler's optimality proof (supplementary material, Theorem 1).
+func BruteForce(m *MemModel) (Schedule, int64, error) {
+	g := m.G
+	n := g.NumNodes()
+	if n > BruteForceLimit {
+		return nil, 0, ErrTooLarge
+	}
+	indeg := g.Indegrees()
+	remaining := make([]int, n)
+	for r, cs := range m.Consumers {
+		remaining[r] = len(cs)
+	}
+
+	best := int64(1) << 62
+	var bestOrder Schedule
+	cur := make(Schedule, 0, n)
+	scheduled := graph.NewBitset(n)
+
+	var rec func(mu, peak int64)
+	rec = func(mu, peak int64) {
+		if peak >= best {
+			return // bound: can only get worse
+		}
+		if len(cur) == n {
+			best = peak
+			bestOrder = append(Schedule(nil), cur...)
+			return
+		}
+		for u := 0; u < n; u++ {
+			if scheduled.Has(u) || indeg[u] != 0 {
+				continue
+			}
+			// Apply.
+			muU := mu + m.Alloc[u]
+			peakU := peak
+			if muU > peakU {
+				peakU = muU
+			}
+			scheduled.Set(u)
+			cur = append(cur, u)
+			var freed int64
+			for _, r := range m.PredRoots[u] {
+				remaining[r]--
+				if remaining[r] == 0 {
+					freed += m.RootSize[r]
+				}
+			}
+			for _, s := range g.Nodes[u].Succs {
+				indeg[s]--
+			}
+
+			rec(muU-freed, peakU)
+
+			// Undo.
+			for _, s := range g.Nodes[u].Succs {
+				indeg[s]++
+			}
+			for _, r := range m.PredRoots[u] {
+				remaining[r]++
+			}
+			cur = cur[:len(cur)-1]
+			scheduled.Clear(u)
+		}
+	}
+	rec(0, 0)
+	if bestOrder == nil {
+		return nil, 0, graph.ErrCycle
+	}
+	return bestOrder, best, nil
+}
+
+// CountTopoOrders counts the topological orders of g (no pruning); a helper
+// for tests quantifying the search-space sizes quoted in Section 2.3.
+func CountTopoOrders(g *graph.Graph, limit int64) int64 {
+	n := g.NumNodes()
+	indeg := g.Indegrees()
+	scheduled := graph.NewBitset(n)
+	var count int64
+	var rec func(done int)
+	rec = func(done int) {
+		if count >= limit {
+			return
+		}
+		if done == n {
+			count++
+			return
+		}
+		for u := 0; u < n; u++ {
+			if scheduled.Has(u) || indeg[u] != 0 {
+				continue
+			}
+			scheduled.Set(u)
+			for _, s := range g.Nodes[u].Succs {
+				indeg[s]--
+			}
+			rec(done + 1)
+			for _, s := range g.Nodes[u].Succs {
+				indeg[s]++
+			}
+			scheduled.Clear(u)
+		}
+	}
+	rec(0)
+	return count
+}

@@ -1,0 +1,90 @@
+package sched
+
+import (
+	"github.com/serenity-ml/serenity/internal/graph"
+)
+
+// GreedyMemory is a practical heuristic baseline between the
+// memory-oblivious orders and the exact DP: at every step it schedules the
+// ready node with the smallest resulting footprint, breaking ties toward
+// the node that frees the most memory, then the smallest allocation, then
+// the lowest ID (for determinism). Linear-ish time — O(V · width · deg) —
+// but not optimal: the DP-vs-greedy benchmark quantifies the gap that
+// justifies the paper's exact search.
+func GreedyMemory(m *MemModel) (Schedule, int64, error) {
+	g := m.G
+	n := g.NumNodes()
+	if _, err := g.TopoOrder(); err != nil {
+		return nil, 0, err
+	}
+
+	indeg := g.Indegrees()
+	scheduled := graph.NewBitset(n)
+	ready := make(map[int]bool)
+	for id := 0; id < n; id++ {
+		if indeg[id] == 0 {
+			ready[id] = true
+		}
+	}
+	remaining := make([]int, n)
+	for r, cs := range m.Consumers {
+		remaining[r] = len(cs)
+	}
+
+	order := make(Schedule, 0, n)
+	var mu, peak int64
+	for len(ready) > 0 {
+		best := -1
+		var bestAfter, bestFreed, bestAlloc int64
+		for u := range ready {
+			var freed int64
+			for _, r := range m.PredRoots[u] {
+				if remaining[r] == 1 {
+					freed += m.RootSize[r]
+				}
+			}
+			after := mu + m.Alloc[u] - freed
+			better := false
+			switch {
+			case best == -1:
+				better = true
+			case after != bestAfter:
+				better = after < bestAfter
+			case freed != bestFreed:
+				better = freed > bestFreed
+			case m.Alloc[u] != bestAlloc:
+				better = m.Alloc[u] < bestAlloc
+			default:
+				better = u < best
+			}
+			if better {
+				best, bestAfter, bestFreed, bestAlloc = u, after, freed, m.Alloc[u]
+			}
+		}
+
+		u := best
+		delete(ready, u)
+		scheduled.Set(u)
+		order = append(order, u)
+		mu += m.Alloc[u]
+		if mu > peak {
+			peak = mu
+		}
+		for _, r := range m.PredRoots[u] {
+			remaining[r]--
+			if remaining[r] == 0 {
+				mu -= m.RootSize[r]
+			}
+		}
+		for _, s := range g.Nodes[u].Succs {
+			indeg[s]--
+			if indeg[s] == 0 && !scheduled.Has(s) {
+				ready[s] = true
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, 0, graph.ErrCycle
+	}
+	return order, peak, nil
+}

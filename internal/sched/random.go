@@ -1,0 +1,102 @@
+package sched
+
+import (
+	"math/rand"
+	"sort"
+
+	"github.com/serenity-ml/serenity/internal/graph"
+)
+
+// RandomTopo samples a random topological order by running Kahn's algorithm
+// and drawing uniformly from the ready set at each step. (This is the
+// standard fast sampler; it is not exactly uniform over linear extensions,
+// which is #P-hard to sample, but it covers the schedule space well enough
+// for the CDF experiment of Figure 3b.)
+func RandomTopo(g *graph.Graph, rng *rand.Rand) Schedule {
+	n := g.NumNodes()
+	indeg := g.Indegrees()
+	ready := make([]int, 0, n)
+	for id := 0; id < n; id++ {
+		if indeg[id] == 0 {
+			ready = append(ready, id)
+		}
+	}
+	order := make(Schedule, 0, n)
+	for len(ready) > 0 {
+		i := rng.Intn(len(ready))
+		v := ready[i]
+		ready[i] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		order = append(order, v)
+		for _, s := range g.Nodes[v].Succs {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	return order
+}
+
+// PeakCDF holds sampled peak footprints in ascending order, for the
+// cumulative-distribution analysis of Figure 3(b).
+type PeakCDF struct {
+	Peaks []int64 // sorted ascending
+}
+
+// SamplePeakCDF draws samples random topological orders of g and returns
+// their peak footprints as a CDF.
+func SamplePeakCDF(m *MemModel, samples int, rng *rand.Rand) *PeakCDF {
+	peaks := make([]int64, samples)
+	for i := 0; i < samples; i++ {
+		order := RandomTopo(m.G, rng)
+		p, err := m.Peak(order)
+		if err != nil {
+			panic("sched: RandomTopo produced invalid order: " + err.Error())
+		}
+		peaks[i] = p
+	}
+	sort.Slice(peaks, func(i, j int) bool { return peaks[i] < peaks[j] })
+	return &PeakCDF{Peaks: peaks}
+}
+
+// FractionAtOrBelow returns the fraction of sampled schedules with peak
+// footprint ≤ budget.
+func (c *PeakCDF) FractionAtOrBelow(budget int64) float64 {
+	if len(c.Peaks) == 0 {
+		return 0
+	}
+	lo := sort.Search(len(c.Peaks), func(i int) bool { return c.Peaks[i] > budget })
+	return float64(lo) / float64(len(c.Peaks))
+}
+
+// Quantile returns the peak at quantile q in [0,1].
+func (c *PeakCDF) Quantile(q float64) int64 {
+	if len(c.Peaks) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(c.Peaks)-1))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(c.Peaks) {
+		i = len(c.Peaks) - 1
+	}
+	return c.Peaks[i]
+}
+
+// Min returns the smallest sampled peak.
+func (c *PeakCDF) Min() int64 {
+	if len(c.Peaks) == 0 {
+		return 0
+	}
+	return c.Peaks[0]
+}
+
+// Max returns the largest sampled peak.
+func (c *PeakCDF) Max() int64 {
+	if len(c.Peaks) == 0 {
+		return 0
+	}
+	return c.Peaks[len(c.Peaks)-1]
+}

@@ -1,0 +1,322 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// padOffsets returns the output spatial size and the top/left padding for a
+// convolution-like op, mirroring the IR builder's shape inference.
+func padOffsets(in, kernel, stride, dilation int, same bool) (out, pad int) {
+	if stride <= 0 {
+		stride = 1
+	}
+	if dilation <= 0 {
+		dilation = 1
+	}
+	eff := (kernel-1)*dilation + 1
+	if same {
+		out = (in + stride - 1) / stride
+		total := (out-1)*stride + eff - in
+		if total < 0 {
+			total = 0
+		}
+		pad = total / 2
+	} else {
+		out = (in-eff)/stride + 1
+		pad = 0
+	}
+	return out, pad
+}
+
+// Conv2D computes a standard NHWC convolution of x with weights
+// w[kh][kw][inC][outC].
+func Conv2D(x, w *Tensor, stride, dilation int, same bool) *Tensor {
+	n, h, wd, c := x.Rank4()
+	kh, kw, wc, oc := w.Shape[0], w.Shape[1], w.Shape[2], w.Shape[3]
+	if wc != c {
+		panic(fmt.Sprintf("tensor: conv weight in-channels %d != input %d", wc, c))
+	}
+	oh, ph := padOffsets(h, kh, stride, dilation, same)
+	ow, pw := padOffsets(wd, kw, stride, dilation, same)
+	y := New(n, oh, ow, oc)
+	if dilation <= 0 {
+		dilation = 1
+	}
+	if stride <= 0 {
+		stride = 1
+	}
+	for b := 0; b < n; b++ {
+		for yy := 0; yy < oh; yy++ {
+			for xx := 0; xx < ow; xx++ {
+				for o := 0; o < oc; o++ {
+					var acc float32
+					for i := 0; i < kh; i++ {
+						ih := yy*stride - ph + i*dilation
+						if ih < 0 || ih >= h {
+							continue
+						}
+						for j := 0; j < kw; j++ {
+							iw := xx*stride - pw + j*dilation
+							if iw < 0 || iw >= wd {
+								continue
+							}
+							for k := 0; k < c; k++ {
+								acc += x.At4(b, ih, iw, k) * w.Data[((i*kw+j)*wc+k)*oc+o]
+							}
+						}
+					}
+					y.Set4(b, yy, xx, o, acc)
+				}
+			}
+		}
+	}
+	return y
+}
+
+// DepthwiseConv2D computes a depthwise convolution with channel multiplier 1
+// and weights w[kh][kw][C].
+func DepthwiseConv2D(x, w *Tensor, stride, dilation int, same bool) *Tensor {
+	n, h, wd, c := x.Rank4()
+	kh, kw, wc := w.Shape[0], w.Shape[1], w.Shape[2]
+	if wc != c {
+		panic(fmt.Sprintf("tensor: dwconv weight channels %d != input %d", wc, c))
+	}
+	oh, ph := padOffsets(h, kh, stride, dilation, same)
+	ow, pw := padOffsets(wd, kw, stride, dilation, same)
+	y := New(n, oh, ow, c)
+	if dilation <= 0 {
+		dilation = 1
+	}
+	if stride <= 0 {
+		stride = 1
+	}
+	for b := 0; b < n; b++ {
+		for yy := 0; yy < oh; yy++ {
+			for xx := 0; xx < ow; xx++ {
+				for k := 0; k < c; k++ {
+					var acc float32
+					for i := 0; i < kh; i++ {
+						ih := yy*stride - ph + i*dilation
+						if ih < 0 || ih >= h {
+							continue
+						}
+						for j := 0; j < kw; j++ {
+							iw := xx*stride - pw + j*dilation
+							if iw < 0 || iw >= wd {
+								continue
+							}
+							acc += x.At4(b, ih, iw, k) * w.Data[(i*kw+j)*wc+k]
+						}
+					}
+					y.Set4(b, yy, xx, k, acc)
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Add returns the elementwise sum of same-shaped tensors.
+func Add(xs ...*Tensor) *Tensor {
+	y := xs[0].Clone()
+	for _, x := range xs[1:] {
+		if len(x.Data) != len(y.Data) {
+			panic("tensor: Add shape mismatch")
+		}
+		for i := range y.Data {
+			y.Data[i] += x.Data[i]
+		}
+	}
+	return y
+}
+
+// AccumulateInto adds src into dst elementwise (dst must match src's size).
+func AccumulateInto(dst, src *Tensor) {
+	if len(dst.Data) != len(src.Data) {
+		panic("tensor: AccumulateInto size mismatch")
+	}
+	for i := range dst.Data {
+		dst.Data[i] += src.Data[i]
+	}
+}
+
+// Mul returns the elementwise product.
+func Mul(a, b *Tensor) *Tensor {
+	y := a.Clone()
+	for i := range y.Data {
+		y.Data[i] *= b.Data[i]
+	}
+	return y
+}
+
+// ReLU applies max(0, x).
+func ReLU(x *Tensor) *Tensor {
+	y := x.Clone()
+	for i, v := range y.Data {
+		if v < 0 {
+			y.Data[i] = 0
+		}
+	}
+	_ = x
+	return y
+}
+
+// Sigmoid applies the logistic function.
+func Sigmoid(x *Tensor) *Tensor {
+	y := x.Clone()
+	for i, v := range y.Data {
+		y.Data[i] = float32(1.0 / (1.0 + math.Exp(-float64(v))))
+	}
+	return y
+}
+
+// ConcatChannels concatenates rank-4 tensors along the channel axis.
+func ConcatChannels(xs ...*Tensor) *Tensor {
+	n, h, w, _ := xs[0].Rank4()
+	total := 0
+	for _, x := range xs {
+		xn, xh, xw, xc := x.Rank4()
+		if xn != n || xh != h || xw != w {
+			panic("tensor: ConcatChannels spatial mismatch")
+		}
+		total += xc
+	}
+	y := New(n, h, w, total)
+	off := 0
+	for _, x := range xs {
+		_, _, _, xc := x.Rank4()
+		CopyChannels(y, x, off)
+		off += xc
+	}
+	return y
+}
+
+// CopyChannels writes src into dst's channel range [off, off+srcC).
+func CopyChannels(dst, src *Tensor, off int) {
+	n, h, w, sc := src.Rank4()
+	for b := 0; b < n; b++ {
+		for yy := 0; yy < h; yy++ {
+			for xx := 0; xx < w; xx++ {
+				for k := 0; k < sc; k++ {
+					dst.Set4(b, yy, xx, off+k, src.At4(b, yy, xx, k))
+				}
+			}
+		}
+	}
+}
+
+// SliceChannels extracts channels [off, off+count) of src.
+func SliceChannels(src *Tensor, off, count int) *Tensor {
+	n, h, w, _ := src.Rank4()
+	y := New(n, h, w, count)
+	for b := 0; b < n; b++ {
+		for yy := 0; yy < h; yy++ {
+			for xx := 0; xx < w; xx++ {
+				for k := 0; k < count; k++ {
+					y.Set4(b, yy, xx, k, src.At4(b, yy, xx, off+k))
+				}
+			}
+		}
+	}
+	return y
+}
+
+// MaxPool computes k×k max pooling.
+func MaxPool(x *Tensor, k, stride int, same bool) *Tensor {
+	return pool(x, k, stride, same, true)
+}
+
+// AvgPool computes k×k average pooling (count includes padding like
+// TensorFlow's 'SAME' with count_include_pad=false semantics simplified to
+// valid-element averaging).
+func AvgPool(x *Tensor, k, stride int, same bool) *Tensor {
+	return pool(x, k, stride, same, false)
+}
+
+func pool(x *Tensor, k, stride int, same, isMax bool) *Tensor {
+	n, h, w, c := x.Rank4()
+	oh, ph := padOffsets(h, k, stride, 1, same)
+	ow, pw := padOffsets(w, k, stride, 1, same)
+	if stride <= 0 {
+		stride = 1
+	}
+	y := New(n, oh, ow, c)
+	for b := 0; b < n; b++ {
+		for yy := 0; yy < oh; yy++ {
+			for xx := 0; xx < ow; xx++ {
+				for ch := 0; ch < c; ch++ {
+					var acc float32
+					count := 0
+					first := true
+					for i := 0; i < k; i++ {
+						ih := yy*stride - ph + i
+						if ih < 0 || ih >= h {
+							continue
+						}
+						for j := 0; j < k; j++ {
+							iw := xx*stride - pw + j
+							if iw < 0 || iw >= w {
+								continue
+							}
+							v := x.At4(b, ih, iw, ch)
+							if isMax {
+								if first || v > acc {
+									acc = v
+									first = false
+								}
+							} else {
+								acc += v
+								count++
+							}
+						}
+					}
+					if !isMax && count > 0 {
+						acc /= float32(count)
+					}
+					y.Set4(b, yy, xx, ch, acc)
+				}
+			}
+		}
+	}
+	return y
+}
+
+// GlobalAvgPool reduces H and W to 1.
+func GlobalAvgPool(x *Tensor) *Tensor {
+	n, h, w, c := x.Rank4()
+	y := New(n, 1, 1, c)
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			var acc float32
+			for yy := 0; yy < h; yy++ {
+				for xx := 0; xx < w; xx++ {
+					acc += x.At4(b, yy, xx, ch)
+				}
+			}
+			y.Set4(b, 0, 0, ch, acc/float32(h*w))
+		}
+	}
+	return y
+}
+
+// Dense computes x·W for flattened x (batch preserved) with W[in][out].
+func Dense(x, w *Tensor) *Tensor {
+	batch := x.Shape[0]
+	in := x.Elems() / batch
+	if w.Shape[0] != in {
+		panic(fmt.Sprintf("tensor: dense weight in %d != input %d", w.Shape[0], in))
+	}
+	out := w.Shape[1]
+	y := New(batch, out)
+	for b := 0; b < batch; b++ {
+		for o := 0; o < out; o++ {
+			var acc float32
+			for i := 0; i < in; i++ {
+				acc += x.Data[b*in+i] * w.Data[i*out+o]
+			}
+			y.Data[b*out+o] = acc
+		}
+	}
+	return y
+}

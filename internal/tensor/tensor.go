@@ -1,0 +1,108 @@
+// Package tensor is a minimal NHWC float32 tensor library used by the
+// reference executor to verify that identity graph rewriting preserves the
+// arithmetic of the network (Section 3.3: "our method keeps the mathematical
+// integrity of the graph intact, thus not an approximation method").
+//
+// It is deliberately simple and unoptimized: correctness oracle, not kernel
+// library.
+package tensor
+
+import "fmt"
+
+// Tensor is a dense float32 tensor in row-major NHWC order.
+type Tensor struct {
+	Shape []int
+	Data  []float32
+}
+
+// New allocates a zero tensor of the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dim in %v", shape))
+		}
+		n *= d
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float32, n)}
+}
+
+// Elems returns the number of elements.
+func (t *Tensor) Elems() int { return len(t.Data) }
+
+// Bytes returns the storage footprint in bytes.
+func (t *Tensor) Bytes() int64 { return int64(len(t.Data)) * 4 }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := &Tensor{Shape: append([]int(nil), t.Shape...), Data: make([]float32, len(t.Data))}
+	copy(c.Data, t.Data)
+	return c
+}
+
+// idx4 computes the flat index for NHWC coordinates.
+func (t *Tensor) idx4(n, h, w, c int) int {
+	_, H, W, C := t.Shape[0], t.Shape[1], t.Shape[2], t.Shape[3]
+	_ = H
+	return ((n*t.Shape[1]+h)*W+w)*C + c
+}
+
+// At4 reads element (n,h,w,c) of a rank-4 tensor.
+func (t *Tensor) At4(n, h, w, c int) float32 { return t.Data[t.idx4(n, h, w, c)] }
+
+// Set4 writes element (n,h,w,c) of a rank-4 tensor.
+func (t *Tensor) Set4(n, h, w, c int, v float32) { t.Data[t.idx4(n, h, w, c)] = v }
+
+// Rank4 panics unless the tensor is rank 4; returns its dims.
+func (t *Tensor) Rank4() (n, h, w, c int) {
+	if len(t.Shape) != 4 {
+		panic(fmt.Sprintf("tensor: want rank 4, got %v", t.Shape))
+	}
+	return t.Shape[0], t.Shape[1], t.Shape[2], t.Shape[3]
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference between two
+// same-shaped tensors.
+func MaxAbsDiff(a, b *Tensor) float64 {
+	if len(a.Data) != len(b.Data) {
+		return 1e30
+	}
+	var m float64
+	for i := range a.Data {
+		d := float64(a.Data[i] - b.Data[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// splitmix64 advances the deterministic PRNG used for weights and inputs.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// FillRandom fills the tensor with deterministic pseudo-random values in
+// [-0.5, 0.5) derived from seed. The same seed always produces the same
+// contents, which is how the rewrite-equivalence tests hold inputs and
+// weights constant across graph variants.
+func (t *Tensor) FillRandom(seed int64) {
+	s := uint64(seed) * 0x9e3779b97f4a7c15
+	for i := range t.Data {
+		t.Data[i] = float32(splitmix64(&s)>>40)/float32(1<<24) - 0.5
+	}
+}
+
+// RandomWeights generates a deterministic weight tensor for the given seed.
+func RandomWeights(seed int64, shape ...int) *Tensor {
+	t := New(shape...)
+	t.FillRandom(seed)
+	return t
+}

@@ -1,0 +1,295 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float32) bool {
+	return math.Abs(float64(a-b)) < 1e-5
+}
+
+func TestNewAndIndexing(t *testing.T) {
+	x := New(1, 2, 3, 4)
+	if x.Elems() != 24 || x.Bytes() != 96 {
+		t.Fatalf("Elems=%d Bytes=%d", x.Elems(), x.Bytes())
+	}
+	x.Set4(0, 1, 2, 3, 7)
+	if x.At4(0, 1, 2, 3) != 7 {
+		t.Error("Set4/At4 mismatch")
+	}
+	if x.Data[23] != 7 {
+		t.Error("NHWC layout wrong: last coordinate should be last element")
+	}
+	c := x.Clone()
+	c.Data[0] = 9
+	if x.Data[0] == 9 {
+		t.Error("Clone shares data")
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New accepted non-positive dim")
+		}
+	}()
+	New(1, 0, 3)
+}
+
+func TestFillRandomDeterministic(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	a.FillRandom(42)
+	b.FillRandom(42)
+	if MaxAbsDiff(a, b) != 0 {
+		t.Error("same seed produced different data")
+	}
+	b.FillRandom(43)
+	if MaxAbsDiff(a, b) == 0 {
+		t.Error("different seeds produced identical data")
+	}
+	for _, v := range a.Data {
+		if v < -0.5 || v >= 0.5 {
+			t.Fatalf("value %v out of [-0.5, 0.5)", v)
+		}
+	}
+}
+
+func TestConv2DIdentityKernel(t *testing.T) {
+	// 1x1 kernel with identity-ish weights: w[0][0][c][o] = 1 if c==o.
+	x := New(1, 3, 3, 2)
+	x.FillRandom(7)
+	w := New(1, 1, 2, 2)
+	w.Data[0] = 1 // c0->o0
+	w.Data[3] = 1 // c1->o1
+	y := Conv2D(x, w, 1, 1, true)
+	if MaxAbsDiff(x, y) != 0 {
+		t.Error("1x1 identity conv should be identity")
+	}
+}
+
+func TestConv2DKnownValues(t *testing.T) {
+	// 2x2 input, 2x2 all-ones kernel, valid padding: output = sum of inputs.
+	x := New(1, 2, 2, 1)
+	x.Data = []float32{1, 2, 3, 4}
+	w := New(2, 2, 1, 1)
+	for i := range w.Data {
+		w.Data[i] = 1
+	}
+	y := Conv2D(x, w, 1, 1, false)
+	if len(y.Data) != 1 || !almostEq(y.Data[0], 10) {
+		t.Errorf("valid conv = %v, want [10]", y.Data)
+	}
+	// Same padding, stride 1: output 2x2; corner (1,1) sees only x itself.
+	y2 := Conv2D(x, w, 1, 1, true)
+	if !y2ShapeOK(y2) {
+		t.Fatalf("same conv shape %v", y2.Shape)
+	}
+	if !almostEq(y2.At4(0, 0, 0, 0), 10) {
+		t.Errorf("center of same conv = %v, want 10", y2.At4(0, 0, 0, 0))
+	}
+}
+
+func y2ShapeOK(y *Tensor) bool {
+	return len(y.Shape) == 4 && y.Shape[1] == 2 && y.Shape[2] == 2
+}
+
+func TestConv2DLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		x1 := New(1, 5, 5, 3)
+		x2 := New(1, 5, 5, 3)
+		x1.FillRandom(seed)
+		x2.FillRandom(seed + 1)
+		w := RandomWeights(seed+2, 3, 3, 3, 4)
+		lhs := Conv2D(Add(x1, x2), w, 1, 1, true)
+		rhs := Add(Conv2D(x1, w, 1, 1, true), Conv2D(x2, w, 1, 1, true))
+		return MaxAbsDiff(lhs, rhs) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConvChannelDistributivity is Equation 3-6 in miniature: conv over
+// concatenated channels equals the sum of partial convs with weight slices.
+func TestConvChannelDistributivity(t *testing.T) {
+	x1 := New(1, 6, 6, 2)
+	x2 := New(1, 6, 6, 3)
+	x1.FillRandom(1)
+	x2.FillRandom(2)
+	w := RandomWeights(3, 3, 3, 5, 4) // over 5 input channels
+
+	full := Conv2D(ConcatChannels(x1, x2), w, 1, 1, true)
+
+	// Slice weights along the input-channel axis.
+	w1 := New(3, 3, 2, 4)
+	w2 := New(3, 3, 3, 4)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			for o := 0; o < 4; o++ {
+				for k := 0; k < 2; k++ {
+					w1.Data[((i*3+j)*2+k)*4+o] = w.Data[((i*3+j)*5+k)*4+o]
+				}
+				for k := 0; k < 3; k++ {
+					w2.Data[((i*3+j)*3+k)*4+o] = w.Data[((i*3+j)*5+(2+k))*4+o]
+				}
+			}
+		}
+	}
+	sum := Add(Conv2D(x1, w1, 1, 1, true), Conv2D(x2, w2, 1, 1, true))
+	if d := MaxAbsDiff(full, sum); d > 1e-4 {
+		t.Errorf("distributivity violated: %g", d)
+	}
+}
+
+// TestDepthwiseConcatCommutes is Equation 7-8: depthconv(concat) ==
+// concat(depthconv slices).
+func TestDepthwiseConcatCommutes(t *testing.T) {
+	x1 := New(1, 6, 6, 2)
+	x2 := New(1, 6, 6, 3)
+	x1.FillRandom(4)
+	x2.FillRandom(5)
+	w := RandomWeights(6, 3, 3, 5)
+
+	full := DepthwiseConv2D(ConcatChannels(x1, x2), w, 1, 1, true)
+
+	w1 := SliceChannelsW(w, 0, 2)
+	w2 := SliceChannelsW(w, 2, 3)
+	parts := ConcatChannels(
+		DepthwiseConv2D(x1, w1, 1, 1, true),
+		DepthwiseConv2D(x2, w2, 1, 1, true),
+	)
+	if d := MaxAbsDiff(full, parts); d > 1e-4 {
+		t.Errorf("commutativity violated: %g", d)
+	}
+}
+
+// SliceChannelsW slices a depthwise weight tensor [kh][kw][C] along C.
+func SliceChannelsW(w *Tensor, off, count int) *Tensor {
+	kh, kw := w.Shape[0], w.Shape[1]
+	c := w.Shape[2]
+	out := New(kh, kw, count)
+	for i := 0; i < kh*kw; i++ {
+		for k := 0; k < count; k++ {
+			out.Data[i*count+k] = w.Data[i*c+off+k]
+		}
+	}
+	return out
+}
+
+func TestAccumulateInto(t *testing.T) {
+	a := New(4)
+	b := New(4)
+	a.Data = []float32{1, 2, 3, 4}
+	b.Data = []float32{10, 20, 30, 40}
+	AccumulateInto(a, b)
+	want := []float32{11, 22, 33, 44}
+	for i := range want {
+		if a.Data[i] != want[i] {
+			t.Fatalf("AccumulateInto = %v", a.Data)
+		}
+	}
+}
+
+func TestReLUAndSigmoid(t *testing.T) {
+	x := New(4)
+	x.Data = []float32{-1, 0, 1, 2}
+	r := ReLU(x)
+	if r.Data[0] != 0 || r.Data[2] != 1 {
+		t.Errorf("ReLU = %v", r.Data)
+	}
+	if x.Data[0] != -1 {
+		t.Error("ReLU mutated input")
+	}
+	s := Sigmoid(x)
+	if !almostEq(s.Data[1], 0.5) {
+		t.Errorf("Sigmoid(0) = %v", s.Data[1])
+	}
+	if s.Data[0] >= 0.5 || s.Data[3] <= 0.5 {
+		t.Error("Sigmoid not monotone")
+	}
+}
+
+func TestConcatAndSliceRoundTrip(t *testing.T) {
+	x1 := New(1, 3, 3, 2)
+	x2 := New(1, 3, 3, 5)
+	x1.FillRandom(8)
+	x2.FillRandom(9)
+	cc := ConcatChannels(x1, x2)
+	if cc.Shape[3] != 7 {
+		t.Fatalf("concat channels = %d", cc.Shape[3])
+	}
+	back1 := SliceChannels(cc, 0, 2)
+	back2 := SliceChannels(cc, 2, 5)
+	if MaxAbsDiff(x1, back1) != 0 || MaxAbsDiff(x2, back2) != 0 {
+		t.Error("slice does not invert concat")
+	}
+}
+
+func TestPooling(t *testing.T) {
+	x := New(1, 2, 2, 1)
+	x.Data = []float32{1, 2, 3, 4}
+	mp := MaxPool(x, 2, 2, false)
+	if len(mp.Data) != 1 || mp.Data[0] != 4 {
+		t.Errorf("MaxPool = %v", mp.Data)
+	}
+	ap := AvgPool(x, 2, 2, false)
+	if !almostEq(ap.Data[0], 2.5) {
+		t.Errorf("AvgPool = %v", ap.Data)
+	}
+	gp := GlobalAvgPool(x)
+	if !almostEq(gp.Data[0], 2.5) {
+		t.Errorf("GlobalAvgPool = %v", gp.Data)
+	}
+}
+
+func TestDense(t *testing.T) {
+	x := New(1, 1, 1, 3)
+	x.Data = []float32{1, 2, 3}
+	w := New(3, 2)
+	w.Data = []float32{
+		1, 0,
+		0, 1,
+		1, 1,
+	}
+	y := Dense(x, w)
+	if !almostEq(y.Data[0], 4) || !almostEq(y.Data[1], 5) {
+		t.Errorf("Dense = %v", y.Data)
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := New(3)
+	b := New(3)
+	a.Data = []float32{1, 2, 3}
+	b.Data = []float32{4, 5, 6}
+	y := Mul(a, b)
+	want := []float32{4, 10, 18}
+	for i := range want {
+		if y.Data[i] != want[i] {
+			t.Fatalf("Mul = %v", y.Data)
+		}
+	}
+}
+
+func TestStridedAndDilatedConvShapes(t *testing.T) {
+	x := New(1, 9, 9, 1)
+	x.FillRandom(3)
+	w := RandomWeights(4, 3, 3, 1, 2)
+	y := Conv2D(x, w, 2, 1, true)
+	if y.Shape[1] != 5 || y.Shape[2] != 5 || y.Shape[3] != 2 {
+		t.Errorf("strided shape %v", y.Shape)
+	}
+	yd := Conv2D(x, w, 1, 2, false) // effective kernel 5
+	if yd.Shape[1] != 5 || yd.Shape[2] != 5 {
+		t.Errorf("dilated shape %v", yd.Shape)
+	}
+}
+
+func TestMaxAbsDiffShapeMismatch(t *testing.T) {
+	if MaxAbsDiff(New(2), New(3)) < 1e20 {
+		t.Error("shape mismatch should report huge diff")
+	}
+}

@@ -1,0 +1,17 @@
+package serenity
+
+import (
+	"io"
+
+	"github.com/serenity-ml/serenity/internal/graph"
+)
+
+// ReadGraphJSON parses a graph from the JSON IR format.
+func ReadGraphJSON(r io.Reader) (*Graph, error) {
+	return graph.ReadJSON(r)
+}
+
+// WriteGraphJSON writes g in the JSON IR format.
+func WriteGraphJSON(w io.Writer, g *Graph) error {
+	return g.WriteJSON(w)
+}

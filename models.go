@@ -1,0 +1,29 @@
+package serenity
+
+import "github.com/serenity-ml/serenity/internal/models"
+
+// Benchmark network generators re-exported from internal/models so library
+// users can reproduce the paper's evaluation workloads. See that package for
+// construction details and the DESIGN.md substitution notes.
+
+// DARTSNormalCell returns the DARTS ImageNet normal cell.
+func DARTSNormalCell() *Graph { return models.DARTSNormalCell() }
+
+// SwiftNetCellA returns SwiftNet's Cell A (human presence detection).
+func SwiftNetCellA() *Graph { return models.SwiftNetCellA() }
+
+// SwiftNetCellB returns SwiftNet's Cell B.
+func SwiftNetCellB() *Graph { return models.SwiftNetCellB() }
+
+// SwiftNetCellC returns SwiftNet's Cell C.
+func SwiftNetCellC() *Graph { return models.SwiftNetCellC() }
+
+// SwiftNet returns the full 62-node SwiftNet graph.
+func SwiftNet() *Graph { return models.SwiftNet() }
+
+// RandWireCell generates a randomly wired cell from a Watts–Strogatz graph.
+func RandWireCell(name string, nodes, k int, p float64, seed int64, hw, channels int) *Graph {
+	return models.RandWireCell(name, models.WSConfig{
+		Nodes: nodes, K: k, P: p, Seed: seed, HW: hw, Channel: channels,
+	})
+}

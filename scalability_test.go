@@ -1,0 +1,85 @@
+// Scalability benchmarks: divide-and-conquer keeps SERENITY's scheduling
+// time roughly linear in the number of stacked cells, the property that
+// makes whole-network compilation practical (Section 3.2's motivation).
+package serenity
+
+import (
+	"testing"
+	"time"
+
+	"github.com/serenity-ml/serenity/internal/models"
+	"github.com/serenity-ml/serenity/internal/partition"
+)
+
+func stackedNet(cells int) *Graph {
+	return models.StackedRandWire("stack", cells, models.WSConfig{
+		Nodes: 16, K: 4, P: 0.75, Seed: 5, HW: 16, Channel: 16,
+	})
+}
+
+func TestStackedRandWirePartitionsPerCell(t *testing.T) {
+	g := stackedNet(4)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := partition.Split(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Segments) < 4 {
+		t.Fatalf("stacked net yields %d segments, want >= one per cell", len(p.Segments))
+	}
+	res, err := Schedule(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Peak > res.BaselinePeak {
+		t.Errorf("DP %d worse than baseline %d", res.Peak, res.BaselinePeak)
+	}
+}
+
+func TestStackedPeakIndependentOfDepth(t *testing.T) {
+	// With identical per-cell wiring statistics, the whole-network optimum
+	// is the max over cells, so stacking more cells must not inflate it
+	// beyond the worst cell.
+	opts := DefaultOptions()
+	opts.StepTimeout = 250 * time.Millisecond
+	r2, err := Schedule(stackedNet(2), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r6, err := Schedule(stackedNet(6), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cells differ per seed, so allow headroom; an O(depth) blow-up would
+	// fail this easily.
+	if r6.Peak > 2*r2.Peak {
+		t.Errorf("peak grew with depth: %d (2 cells) -> %d (6 cells)", r2.Peak, r6.Peak)
+	}
+}
+
+func BenchmarkScalabilityStackedCells(b *testing.B) {
+	for _, cells := range []int{2, 4, 8, 16} {
+		g := stackedNet(cells)
+		opts := DefaultOptions()
+		opts.Rewrite = false
+		opts.StepTimeout = 250 * time.Millisecond
+		b.Run(byCells(cells), func(b *testing.B) {
+			var ms float64
+			for i := 0; i < b.N; i++ {
+				res, err := Schedule(g, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ms = float64(res.SchedulingTime.Milliseconds())
+			}
+			b.ReportMetric(ms, "scheduling-ms")
+			b.ReportMetric(float64(g.NumNodes()), "nodes")
+		})
+	}
+}
+
+func byCells(n int) string {
+	return map[int]string{2: "cells=2", 4: "cells=4", 8: "cells=8", 16: "cells=16"}[n]
+}

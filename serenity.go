@@ -1,0 +1,278 @@
+// Package serenity is a memory-aware scheduler for irregularly wired neural
+// networks, reproducing "Ordering Chaos: Memory-Aware Scheduling of
+// Irregularly Wired Neural Networks for Edge Devices" (Ahn et al.,
+// MLSys 2020).
+//
+// Given a dataflow graph of tensor operations, Schedule finds an execution
+// order minimizing the peak activation memory footprint, using the paper's
+// full pipeline: identity graph rewriting, divide-and-conquer partitioning,
+// and dynamic programming with adaptive soft budgeting. The resulting
+// schedule is paired with a TensorFlow-Lite-style arena allocation, so the
+// reported footprint is what a runtime would actually reserve.
+//
+// Quick start:
+//
+//	b := serenity.NewBuilder("net")
+//	in := b.Input(serenity.Shape{1, 56, 56, 8})
+//	... build the graph ...
+//	res, err := serenity.Schedule(b.Graph(), serenity.DefaultOptions())
+//	// res.Order, res.Peak, res.ArenaSize
+package serenity
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/serenity-ml/serenity/internal/alloc"
+	"github.com/serenity-ml/serenity/internal/dp"
+	"github.com/serenity-ml/serenity/internal/graph"
+	"github.com/serenity-ml/serenity/internal/partition"
+	"github.com/serenity-ml/serenity/internal/rewrite"
+	"github.com/serenity-ml/serenity/internal/sched"
+)
+
+// Re-exported IR types; see the internal/graph package for full docs.
+type (
+	// Graph is the scheduler's dataflow IR.
+	Graph = graph.Graph
+	// Node is one operation in a Graph.
+	Node = graph.Node
+	// Shape is a tensor shape in NHWC layout.
+	Shape = graph.Shape
+	// Builder constructs graphs with shape inference.
+	Builder = graph.Builder
+	// OpType enumerates operation kinds.
+	OpType = graph.OpType
+	// Padding selects convolution padding.
+	Padding = graph.Padding
+	// Order is an execution order over a Graph's nodes.
+	Order = sched.Schedule
+)
+
+// Re-exported padding policies.
+const (
+	PadSame  = graph.PadSame
+	PadValid = graph.PadValid
+)
+
+// NewGraph returns an empty graph.
+func NewGraph(name string) *Graph { return graph.New(name) }
+
+// NewBuilder returns a graph builder.
+func NewBuilder(name string) *Builder { return graph.NewBuilder(name) }
+
+// Options configures the scheduling pipeline. The zero value disables every
+// stage except the core DP scheduler; use DefaultOptions for the paper's
+// full pipeline.
+type Options struct {
+	// Rewrite enables identity graph rewriting (Section 3.3).
+	Rewrite bool
+	// ExtendedRewrite additionally applies the extension rules beyond the
+	// paper (nested-concat flattening, identity-copy elimination) before the
+	// partitioning patterns. Implies Rewrite semantics when set.
+	ExtendedRewrite bool
+	// Partition enables divide-and-conquer (Section 3.2).
+	Partition bool
+	// AdaptiveBudget enables adaptive soft budgeting (Section 3.2). When
+	// false the DP runs unbudgeted, which is exact but may be intractable
+	// for graphs beyond ~30 nodes per partition.
+	AdaptiveBudget bool
+	// StepTimeout is the per-search-step limit T of Algorithm 2.
+	// Defaults to 1s when zero and AdaptiveBudget is on.
+	StepTimeout time.Duration
+	// MemoryBudget, when positive, makes Schedule fail with
+	// ErrBudgetExceeded if even the optimal schedule's arena exceeds it
+	// (the edge device's hard capacity, e.g. 250KB for a SparkFun Edge).
+	MemoryBudget int64
+	// MaxStates caps the DP frontier as a memory-safety valve; zero means
+	// the adaptive default.
+	MaxStates int
+}
+
+// DefaultOptions returns the paper's full pipeline configuration.
+func DefaultOptions() Options {
+	return Options{
+		Rewrite:        true,
+		Partition:      true,
+		AdaptiveBudget: true,
+		StepTimeout:    time.Second,
+	}
+}
+
+// ErrBudgetExceeded is returned when the optimal schedule still exceeds
+// Options.MemoryBudget.
+type ErrBudgetExceeded struct {
+	Required int64
+	Budget   int64
+}
+
+// Error implements the error interface.
+func (e *ErrBudgetExceeded) Error() string {
+	return fmt.Sprintf("serenity: optimal arena %d bytes exceeds device budget %d bytes", e.Required, e.Budget)
+}
+
+// Result is the outcome of Schedule.
+type Result struct {
+	// Graph is the graph the schedule indexes: the rewritten graph when
+	// rewriting applied, otherwise the input graph.
+	Graph *Graph
+	// Order is the memory-optimal execution order over Graph.
+	Order Order
+	// Peak is the ideal peak footprint (sum of live tensor bytes).
+	Peak int64
+	// ArenaSize is the concrete footprint after arena allocation (includes
+	// fragmentation; this is what a runtime reserves).
+	ArenaSize int64
+	// Offsets[node] is the arena byte offset of each physical tensor, -1
+	// for aliases.
+	Offsets []int64
+	// BaselinePeak is the input graph's peak under Kahn's memory-oblivious
+	// order (the hard budget τmax).
+	BaselinePeak int64
+	// Rewritten reports whether graph rewriting changed the graph, and
+	// RewriteCount how many patterns were substituted.
+	Rewritten    bool
+	RewriteCount int
+	// PartitionSizes lists the divide-and-conquer segment node counts.
+	PartitionSizes []int
+	// SchedulingTime is the end-to-end compile time.
+	SchedulingTime time.Duration
+	// StatesExplored counts DP memo entries across all segments.
+	StatesExplored int64
+}
+
+// Schedule runs the SERENITY pipeline (Figure 4) on g.
+func Schedule(g *Graph, opts Options) (*Result, error) {
+	start := time.Now()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{Graph: g}
+
+	// Baseline / hard budget from Kahn's algorithm.
+	kahn, err := sched.KahnFIFO(g)
+	if err != nil {
+		return nil, err
+	}
+	baseModel := sched.NewMemModel(g)
+	res.BaselinePeak, err = baseModel.Peak(kahn)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 1: identity graph rewriting.
+	work := g
+	if opts.Rewrite || opts.ExtendedRewrite {
+		rules := rewrite.DefaultRules()
+		if opts.ExtendedRewrite {
+			rules = rewrite.ExtendedRules()
+		}
+		rw, apps, err := rewrite.RewriteAll(g, rules, 0)
+		if err != nil {
+			return nil, err
+		}
+		if len(apps) > 0 {
+			work = rw
+			res.Rewritten = true
+			for _, a := range apps {
+				res.RewriteCount += a.Sites
+			}
+			res.Graph = rw
+		}
+	}
+	model := sched.NewMemModel(work)
+
+	// Stage 2: divide-and-conquer.
+	var segments []*partition.Segment
+	var part *partition.Partition
+	if opts.Partition {
+		part, err = partition.Split(work)
+		if err != nil {
+			return nil, err
+		}
+		segments = part.Segments
+		res.PartitionSizes = part.Sizes()
+	} else {
+		res.PartitionSizes = []int{work.NumNodes()}
+	}
+
+	// Stage 3: dynamic programming with adaptive soft budgeting.
+	scheduleOne := func(m *sched.MemModel) (sched.Schedule, int64, error) {
+		if opts.AdaptiveBudget {
+			ar, err := dp.AdaptiveSchedule(m, dp.AdaptiveOptions{
+				StepTimeout: opts.StepTimeout,
+				MaxStates:   opts.MaxStates,
+			})
+			if err != nil {
+				return nil, 0, err
+			}
+			if ar.Flag != dp.FlagSolution {
+				return nil, 0, fmt.Errorf("serenity: adaptive scheduling ended with %v", ar.Flag)
+			}
+			res.StatesExplored += ar.StatesExplored
+			return ar.Order, ar.Peak, nil
+		}
+		r := dp.Schedule(m, dp.Options{MaxStates: opts.MaxStates})
+		if r.Flag != dp.FlagSolution {
+			return nil, 0, fmt.Errorf("serenity: dynamic programming ended with %v", r.Flag)
+		}
+		res.StatesExplored += r.StatesExplored
+		return r.Order, r.Peak, nil
+	}
+
+	var order sched.Schedule
+	if part != nil {
+		orders := make([]sched.Schedule, len(segments))
+		for i, seg := range segments {
+			o, _, err := scheduleOne(sched.NewMemModel(seg.G))
+			if err != nil {
+				return nil, fmt.Errorf("segment %d: %w", i, err)
+			}
+			orders[i] = o
+		}
+		order, err = part.Combine(orders)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		order, _, err = scheduleOne(model)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Verify and measure the combined schedule end to end.
+	sim, err := model.Simulate(order)
+	if err != nil {
+		return nil, fmt.Errorf("serenity: combined schedule invalid: %w", err)
+	}
+	res.Order = order
+	res.Peak = sim.Peak
+
+	// Stage 4: arena allocation (TF-Lite simple memory arena).
+	asn, err := alloc.Plan(model, order)
+	if err != nil {
+		return nil, err
+	}
+	res.ArenaSize = asn.ArenaSize
+	res.Offsets = asn.Offsets
+	res.SchedulingTime = time.Since(start)
+
+	if opts.MemoryBudget > 0 && res.ArenaSize > opts.MemoryBudget {
+		return res, &ErrBudgetExceeded{Required: res.ArenaSize, Budget: opts.MemoryBudget}
+	}
+	return res, nil
+}
+
+// PeakOf evaluates the peak footprint of an arbitrary schedule on g;
+// a convenience for comparing against baselines.
+func PeakOf(g *Graph, order Order) (int64, error) {
+	return sched.NewMemModel(g).Peak(order)
+}
+
+// BaselineOrder returns Kahn's memory-oblivious topological order — the
+// "basic topological ordering algorithm" the paper attributes to existing
+// frameworks.
+func BaselineOrder(g *Graph) (Order, error) {
+	return sched.KahnFIFO(g)
+}

@@ -1,0 +1,163 @@
+package serenity
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/serenity-ml/serenity/internal/sched"
+)
+
+func buildSmallNet() *Graph {
+	b := NewBuilder("small")
+	in := b.Input(Shape{1, 16, 16, 4})
+	x1 := b.Conv(in, 8, 3, 1, PadSame)
+	x2 := b.Conv(in, 8, 3, 1, PadSame)
+	cc := b.Concat(x1, x2)
+	y := b.Conv(cc, 8, 3, 1, PadSame)
+	b.ReLU(y)
+	return b.Graph()
+}
+
+func TestScheduleDefaultPipeline(t *testing.T) {
+	g := buildSmallNet()
+	res, err := Schedule(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Peak <= 0 || res.ArenaSize < res.Peak {
+		t.Errorf("peak %d arena %d", res.Peak, res.ArenaSize)
+	}
+	if res.Peak > res.BaselinePeak {
+		t.Errorf("DP peak %d worse than baseline %d", res.Peak, res.BaselinePeak)
+	}
+	if !res.Rewritten || res.RewriteCount != 1 {
+		t.Errorf("expected one rewrite, got %v/%d", res.Rewritten, res.RewriteCount)
+	}
+	if len(res.Order) != res.Graph.NumNodes() {
+		t.Errorf("order covers %d of %d nodes", len(res.Order), res.Graph.NumNodes())
+	}
+	if res.SchedulingTime <= 0 {
+		t.Error("missing scheduling time")
+	}
+}
+
+func TestScheduleNoStages(t *testing.T) {
+	g := buildSmallNet()
+	res, err := Schedule(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rewritten {
+		t.Error("rewriting ran despite being disabled")
+	}
+	if res.Graph != g {
+		t.Error("graph replaced despite rewrite disabled")
+	}
+	// Plain DP is exact: must equal the full pipeline's pre-rewrite optimum.
+	full, err := Schedule(g, Options{Partition: true, AdaptiveBudget: true, StepTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Peak != full.Peak {
+		t.Errorf("plain DP %d != partitioned+budgeted %d", res.Peak, full.Peak)
+	}
+}
+
+func TestScheduleRespectsMemoryBudget(t *testing.T) {
+	g := buildSmallNet()
+	opts := DefaultOptions()
+	opts.MemoryBudget = 1 // impossible
+	_, err := Schedule(g, opts)
+	var be *ErrBudgetExceeded
+	if !errors.As(err, &be) {
+		t.Fatalf("want ErrBudgetExceeded, got %v", err)
+	}
+	if be.Budget != 1 || be.Required <= 0 {
+		t.Errorf("budget error fields: %+v", be)
+	}
+	if be.Error() == "" {
+		t.Error("empty error message")
+	}
+
+	opts.MemoryBudget = 64 << 20 // plenty
+	if _, err := Schedule(g, opts); err != nil {
+		t.Fatalf("generous budget rejected: %v", err)
+	}
+}
+
+func TestScheduleRejectsInvalidGraph(t *testing.T) {
+	g := NewGraph("cyclic")
+	a := g.AddNode(0 /* OpInput */, "a", Shape{4})
+	b := g.AddNode(9 /* OpReLU-ish */, "b", Shape{4}, a)
+	g.AddEdge(b, a)
+	if _, err := Schedule(g, DefaultOptions()); err == nil {
+		t.Error("cyclic graph accepted")
+	}
+}
+
+func TestScheduleOrderIsValidOnRewrittenGraph(t *testing.T) {
+	g := SwiftNetCellA()
+	res, err := Schedule(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sched.NewMemModel(res.Graph)
+	if err := m.CheckValid(res.Order); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.MustPeak(res.Order); got != res.Peak {
+		t.Errorf("reported peak %d != simulated %d", res.Peak, got)
+	}
+}
+
+func TestScheduleFullSwiftNetPartitions(t *testing.T) {
+	res, err := Schedule(SwiftNet(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PartitionSizes) != 3 {
+		t.Errorf("partitions = %v, want 3 segments", res.PartitionSizes)
+	}
+	want := []int{33, 28, 29} // rewritten SwiftNet (Table 2)
+	for i, w := range want {
+		if i < len(res.PartitionSizes) && res.PartitionSizes[i] != w {
+			t.Errorf("partitions = %v, want %v", res.PartitionSizes, want)
+			break
+		}
+	}
+}
+
+func TestBaselineOrderAndPeakOf(t *testing.T) {
+	g := buildSmallNet()
+	base, err := BaselineOrder(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := PeakOf(g, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Schedule(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != res.BaselinePeak {
+		t.Errorf("PeakOf baseline %d != result baseline %d", p, res.BaselinePeak)
+	}
+}
+
+func TestModelReexports(t *testing.T) {
+	for name, g := range map[string]*Graph{
+		"darts":    DARTSNormalCell(),
+		"swiftA":   SwiftNetCellA(),
+		"swiftB":   SwiftNetCellB(),
+		"swiftC":   SwiftNetCellC(),
+		"swiftnet": SwiftNet(),
+		"randwire": RandWireCell("rw", 16, 4, 0.5, 3, 16, 8),
+	} {
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

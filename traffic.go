@@ -1,0 +1,37 @@
+package serenity
+
+import (
+	"github.com/serenity-ml/serenity/internal/memsim"
+	"github.com/serenity-ml/serenity/internal/sched"
+)
+
+// Traffic reports the off-chip bytes a schedule moves on a device with a
+// two-level memory hierarchy (on-chip SRAM backed by DRAM), measured with
+// Belady's clairvoyant replacement as in the paper's Figure 11.
+type Traffic struct {
+	// FetchBytes are DRAM->SRAM refills of spilled tensors.
+	FetchBytes int64
+	// WritebackBytes are SRAM->DRAM spills of still-live tensors.
+	WritebackBytes int64
+	// BypassBytes stream tensors larger than the SRAM per access.
+	BypassBytes int64
+}
+
+// Total returns all off-chip bytes moved.
+func (t Traffic) Total() int64 { return t.FetchBytes + t.WritebackBytes + t.BypassBytes }
+
+// SimulateTraffic measures the off-chip traffic of executing g in the given
+// order with onChipBytes of SRAM. A zero Total means the schedule's working
+// set fits on-chip for the whole inference.
+func SimulateTraffic(g *Graph, order Order, onChipBytes int64) (Traffic, error) {
+	m := sched.NewMemModel(g)
+	tr, err := memsim.Simulate(m, order, memsim.Config{OnChipBytes: onChipBytes})
+	if err != nil {
+		return Traffic{}, err
+	}
+	return Traffic{
+		FetchBytes:     tr.FetchBytes,
+		WritebackBytes: tr.WritebackBytes,
+		BypassBytes:    tr.BypassBytes,
+	}, nil
+}
