@@ -9,6 +9,7 @@
 package serenity
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -216,6 +217,42 @@ func BenchmarkRandomScheduleSampling(b *testing.B) {
 		if _, err := m.Peak(order); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkScheduleParallelism measures the wall-clock effect of fanning the
+// per-segment DP over the worker pool (Options.Parallelism) on a stacked
+// multi-segment graph; results are bit-identical across sub-benchmarks, only
+// the elapsed time changes. Compare:
+//
+//	go test -bench BenchmarkScheduleParallelism -benchtime 3x
+//
+// The step timeout is set high enough that adaptive budgeting runs exactly
+// one probe per segment, so the comparison isolates the DP fan-out. Speedup
+// requires GOMAXPROCS > 1; on a single core the pool degrades to roughly
+// sequential cost.
+func BenchmarkScheduleParallelism(b *testing.B) {
+	g := models.StackedRandWire("bench-par", 6, models.WSConfig{
+		Nodes: 40, K: 6, P: 0.9, Seed: 5, HW: 16, Channel: 8,
+	})
+	var wantPeak int64
+	for _, p := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("parallelism=%d", p), func(b *testing.B) {
+			opts := DefaultOptions()
+			opts.StepTimeout = time.Minute
+			opts.Parallelism = p
+			for i := 0; i < b.N; i++ {
+				res, err := Schedule(g, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if wantPeak == 0 {
+					wantPeak = res.Peak
+				} else if res.Peak != wantPeak {
+					b.Fatalf("peak %d diverged from %d", res.Peak, wantPeak)
+				}
+			}
+		})
 	}
 }
 

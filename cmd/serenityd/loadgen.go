@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	serenity "github.com/serenity-ml/serenity"
+)
+
+// loadgenWorkload serializes the bundled benchmark models once; the
+// generator cycles through them so the cache sees repeated topologies, as a
+// fleet of clients compiling a fixed model zoo would produce.
+func loadgenWorkload() ([][]byte, error) {
+	graphs := []*serenity.Graph{
+		serenity.SwiftNetCellA(),
+		serenity.SwiftNetCellB(),
+		serenity.SwiftNetCellC(),
+		serenity.DARTSNormalCell(),
+		serenity.RandWireCell("rw-loadgen", 24, 4, 0.75, 11, 16, 8),
+	}
+	bodies := make([][]byte, len(graphs))
+	for i, g := range graphs {
+		var buf bytes.Buffer
+		if err := serenity.WriteGraphJSON(&buf, g); err != nil {
+			return nil, err
+		}
+		bodies[i] = buf.Bytes()
+	}
+	return bodies, nil
+}
+
+// runLoadgen stands the server up in-process and fires n schedule requests
+// at it from c concurrent clients, then prints throughput plus the server's
+// own metrics so cache behaviour is visible.
+func runLoadgen(s *server, n, c int, out io.Writer) error {
+	bodies, err := loadgenWorkload()
+	if err != nil {
+		return err
+	}
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	if c < 1 {
+		c = 1
+	}
+	var (
+		next     atomic.Int64
+		failures atomic.Int64
+		cached   atomic.Int64
+		wg       sync.WaitGroup
+	)
+	fmt.Fprintf(out, "loadgen: %d requests, %d clients, %d distinct graphs\n", n, c, len(bodies))
+	start := time.Now()
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := ts.Client()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				resp, err := client.Post(ts.URL+"/v1/schedule", "application/json", bytes.NewReader(bodies[i%len(bodies)]))
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failures.Add(1)
+					continue
+				}
+				if bytes.Contains(body, []byte(`"cached": true`)) {
+					cached.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	ok := int64(n) - failures.Load()
+	fmt.Fprintf(out, "loadgen: %d ok, %d failed in %s (%.1f req/s); %d served from cache\n",
+		ok, failures.Load(), elapsed.Round(time.Millisecond),
+		float64(ok)/elapsed.Seconds(), cached.Load())
+	cs := s.cache.Stats()
+	fmt.Fprintf(out, "cache: %d hits, %d misses, %d entries; %d coalesced; %d DP states explored\n",
+		cs.Hits, cs.Misses, cs.Len, s.coalesced.Load(), s.states.Load())
+	if failures.Load() > 0 {
+		return fmt.Errorf("%d requests failed", failures.Load())
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+// Command serenityd is the SERENITY compile server: it schedules dataflow
+// graphs for minimum peak activation memory over HTTP, caching results by
+// structural fingerprint so repeated compilations of the same topology are
+// O(1).
+//
+//	serenityd -addr :7433 [-cache 256] [-parallelism 8] [-timeout 1s]
+//
+// Endpoints:
+//
+//	POST /v1/schedule   body: graph in the JSON IR format (see internal/graph)
+//	                    query: parallelism=N, budget=250KiB, rewrite=false,
+//	                    partition=false override the server defaults
+//	                    response: order, peak, arena_size, ...; when rewriting
+//	                    changed the graph, rewritten_graph carries the IR the
+//	                    order indexes
+//	GET  /healthz       liveness probe
+//	GET  /metrics       Prometheus-style counters (cache hits, in-flight
+//	                    requests, states explored, ...)
+//
+// Example:
+//
+//	graphgen -net swiftnet-a -o model.json   # any JSON IR producer works
+//	curl -s -X POST --data-binary @model.json localhost:7433/v1/schedule
+//
+// With -loadgen the binary instead starts an in-process server, fires
+// -loadgen-n requests at it from -loadgen-c concurrent clients drawing from
+// the bundled benchmark models, and prints the achieved throughput — a
+// self-contained demonstration of the cache and the concurrent scheduler.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	serenity "github.com/serenity-ml/serenity"
+)
+
+func main() {
+	addr := flag.String("addr", ":7433", "listen address")
+	cacheSize := flag.Int("cache", 256, "schedule cache capacity (entries)")
+	parallelism := flag.Int("parallelism", runtime.GOMAXPROCS(0), "per-request segment scheduling parallelism")
+	stepTimeout := flag.Duration("timeout", time.Second, "adaptive soft budgeting step timeout T")
+	noRewrite := flag.Bool("no-rewrite", false, "disable identity graph rewriting")
+	noPartition := flag.Bool("no-partition", false, "disable divide-and-conquer")
+	maxNodes := flag.Int("max-nodes", 20000, "reject graphs with more nodes (0 = unlimited)")
+	computeTimeout := flag.Duration("compute-timeout", 2*time.Minute, "server-side limit per compilation (0 = unlimited)")
+	loadgen := flag.Bool("loadgen", false, "run the load generator against an in-process server instead of serving")
+	loadN := flag.Int("loadgen-n", 200, "loadgen: total requests")
+	loadC := flag.Int("loadgen-c", 16, "loadgen: concurrent clients")
+	flag.Parse()
+
+	opts := serenity.DefaultOptions()
+	opts.Rewrite = !*noRewrite
+	opts.Partition = !*noPartition
+	opts.StepTimeout = *stepTimeout
+	opts.Parallelism = *parallelism
+
+	s := newServer(opts, *cacheSize)
+	s.maxNodes = *maxNodes
+	s.computeTimeout = *computeTimeout
+	if *loadgen {
+		if err := runLoadgen(s, *loadN, *loadC, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "serenityd:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	log.Printf("serenityd listening on %s (cache=%d, parallelism=%d)", *addr, *cacheSize, *parallelism)
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: s.handler(),
+		// No WriteTimeout: compilations may legitimately run long. Header
+		// and idle timeouts keep slow or abandoned connections from
+		// pinning goroutines and descriptors.
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	if err := srv.ListenAndServe(); err != nil {
+		fmt.Fprintln(os.Stderr, "serenityd:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBytes accepts "262144", "250KiB"/"250KB", or "4MiB"/"4MB".
+func parseBytes(s string) (int64, error) {
+	mult := int64(1)
+	u := strings.ToLower(s)
+	switch {
+	case strings.HasSuffix(u, "kib"), strings.HasSuffix(u, "kb"):
+		mult = 1024
+		u = strings.TrimSuffix(strings.TrimSuffix(u, "kib"), "kb")
+	case strings.HasSuffix(u, "mib"), strings.HasSuffix(u, "mb"):
+		mult = 1 << 20
+		u = strings.TrimSuffix(strings.TrimSuffix(u, "mib"), "mb")
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(u), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad byte size %q", s)
+	}
+	return v * mult, nil
+}

@@ -1,0 +1,344 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	serenity "github.com/serenity-ml/serenity"
+	"github.com/serenity-ml/serenity/internal/cache"
+)
+
+// maxRequestBytes bounds a /v1/schedule request body; the largest bundled
+// model serializes to well under 1 MB, so 64 MB leaves room for very large
+// client graphs without letting one request exhaust memory.
+const maxRequestBytes = 64 << 20
+
+// scheduleResponse is the wire format of a successful /v1/schedule call.
+// Cached entries are shared across responses, so the struct is immutable
+// after construction; Cached is the only per-response field and is set on a
+// shallow copy.
+type scheduleResponse struct {
+	Graph          string  `json:"graph"`
+	Nodes          int     `json:"nodes"`
+	Fingerprint    string  `json:"fingerprint"`
+	Order          []int   `json:"order"`
+	Peak           int64   `json:"peak"`
+	ArenaSize      int64   `json:"arena_size"`
+	BaselinePeak   int64   `json:"baseline_peak"`
+	Rewrites       int     `json:"rewrites,omitempty"`
+	PartitionSizes []int   `json:"partition_sizes,omitempty"`
+	StatesExplored int64   `json:"states_explored"`
+	SchedulingMS   float64 `json:"scheduling_ms"`
+	Cached         bool    `json:"cached"`
+	// RewrittenGraph is set when identity graph rewriting changed the graph:
+	// Order indexes ITS nodes, not the submitted graph's, so clients need it
+	// to interpret or execute the schedule.
+	RewrittenGraph *serenity.Graph `json:"rewritten_graph,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// flight is one in-progress compilation; concurrent requests for the same
+// key wait on done instead of recomputing.
+type flight struct {
+	done chan struct{}
+	resp *scheduleResponse
+	err  error
+}
+
+// server is the serenityd compile service: a schedule cache keyed by the
+// graph's structural fingerprint plus the effective options, fronted by
+// HTTP handlers with Prometheus-style counters.
+type server struct {
+	opts  serenity.Options
+	cache *cache.Cache[*scheduleResponse]
+	// maxNodes rejects graphs above this node count (0 = unlimited);
+	// computeTimeout bounds one compilation server-side so a patient client
+	// cannot pin a CPU indefinitely (0 = unlimited).
+	maxNodes       int
+	computeTimeout time.Duration
+
+	mu      sync.Mutex
+	flights map[string]*flight
+
+	requests  atomic.Int64 // /v1/schedule requests received, including rejected ones
+	inFlight  atomic.Int64 // currently executing schedule requests
+	coalesced atomic.Int64 // requests served by joining another's flight
+	states    atomic.Int64 // DP states explored by non-cached compilations
+	errored   atomic.Int64 // requests answered with an error status
+	canceled  atomic.Int64 // requests abandoned by the client mid-compile
+	started   time.Time
+}
+
+func newServer(opts serenity.Options, cacheSize int) *server {
+	return &server{
+		opts:    opts,
+		cache:   cache.New[*scheduleResponse](cacheSize),
+		flights: make(map[string]*flight),
+		started: time.Now(),
+	}
+}
+
+// handler routes the service endpoints.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/schedule", s.handleSchedule)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+
+	opts, err := s.requestOptions(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	g, err := serenity.ReadGraphJSON(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("parsing graph: %w", err))
+		return
+	}
+	if s.maxNodes > 0 && g.NumNodes() > s.maxNodes {
+		s.fail(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("graph has %d nodes, server accepts at most %d", g.NumNodes(), s.maxNodes))
+		return
+	}
+
+	ctx := r.Context()
+	if s.computeTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.computeTimeout)
+		defer cancel()
+	}
+	fp := g.Fingerprint()
+	key := fp + "|" + optionsKey(opts)
+	resp, cached, err := s.schedule(ctx, g, opts, fp, key)
+	switch {
+	case err == nil:
+	case errors.As(err, new(*serenity.ErrBudgetExceeded)):
+		s.fail(w, http.StatusUnprocessableEntity, err)
+		return
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		if r.Context().Err() == nil {
+			// The server's own compute deadline fired, not the client's
+			// disconnect: tell the client.
+			s.fail(w, http.StatusServiceUnavailable,
+				fmt.Errorf("compilation exceeded the server's %s compute budget", s.computeTimeout))
+			return
+		}
+		// The client is gone; nothing useful to write, and it is not a
+		// served error — it gets its own counter.
+		s.canceled.Add(1)
+		return
+	default:
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+
+	if cached {
+		// The cached entry was built for the first submitter of this
+		// structure; echo the current client's graph name on the copy (the
+		// fingerprint deliberately ignores names, the response should not).
+		c := *resp
+		c.Cached = true
+		c.Graph = g.Name
+		resp = &c
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// schedule returns the response for key, serving from the cache when
+// possible, otherwise computing it at most once across concurrent requests:
+// later arrivals join the first request's flight. A follower whose leader
+// failed with a context error (the leader's client hung up mid-compile)
+// retries with its own context rather than inheriting the failure.
+func (s *server) schedule(ctx context.Context, g *serenity.Graph, opts serenity.Options, fingerprint, key string) (*scheduleResponse, bool, error) {
+	for {
+		if resp, ok := s.cache.Get(key); ok {
+			return resp, true, nil
+		}
+		s.mu.Lock()
+		if f, ok := s.flights[key]; ok {
+			s.mu.Unlock()
+			select {
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			case <-f.done:
+			}
+			if f.err == nil {
+				s.coalesced.Add(1)
+				return f.resp, true, nil
+			}
+			if errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded) {
+				continue // leader was canceled, not the computation's fault
+			}
+			return nil, false, f.err
+		}
+		f := &flight{done: make(chan struct{})}
+		s.flights[key] = f
+		s.mu.Unlock()
+
+		// Deferred so a panic inside compute (recovered per-connection by
+		// net/http) cannot leak the flight and wedge every later request
+		// for this key on an f.done that never closes.
+		defer func() {
+			s.mu.Lock()
+			delete(s.flights, key)
+			s.mu.Unlock()
+			close(f.done)
+		}()
+		f.resp, f.err = s.compute(ctx, g, opts, fingerprint)
+		if f.err == nil {
+			s.cache.Put(key, f.resp)
+		}
+		return f.resp, false, f.err
+	}
+}
+
+func (s *server) compute(ctx context.Context, g *serenity.Graph, opts serenity.Options, fingerprint string) (*scheduleResponse, error) {
+	res, err := serenity.ScheduleContext(ctx, g, opts)
+	if res != nil {
+		// Over-budget compilations (ErrBudgetExceeded) still ran the full
+		// DP; their states count.
+		s.states.Add(res.StatesExplored)
+	}
+	if err != nil {
+		return nil, err
+	}
+	resp := &scheduleResponse{
+		Graph:          g.Name,
+		Nodes:          res.Graph.NumNodes(),
+		Fingerprint:    fingerprint,
+		Order:          res.Order,
+		Peak:           res.Peak,
+		ArenaSize:      res.ArenaSize,
+		BaselinePeak:   res.BaselinePeak,
+		Rewrites:       res.RewriteCount,
+		PartitionSizes: res.PartitionSizes,
+		StatesExplored: res.StatesExplored,
+		SchedulingMS:   float64(res.SchedulingTime.Microseconds()) / 1000,
+	}
+	if res.Rewritten {
+		resp.RewrittenGraph = res.Graph
+	}
+	return resp, nil
+}
+
+// requestOptions derives the effective scheduling options for one request:
+// the server's defaults overridden by query parameters.
+func (s *server) requestOptions(r *http.Request) (serenity.Options, error) {
+	opts := s.opts
+	q := r.URL.Query()
+	if v := q.Get("parallelism"); v != "" {
+		p, err := strconv.Atoi(v)
+		if err != nil {
+			return opts, fmt.Errorf("bad parallelism %q", v)
+		}
+		opts.Parallelism = p
+	}
+	if v := q.Get("budget"); v != "" {
+		b, err := parseBytes(v)
+		if err != nil {
+			return opts, err
+		}
+		opts.MemoryBudget = b
+	}
+	if v := q.Get("rewrite"); v != "" {
+		on, err := strconv.ParseBool(v)
+		if err != nil {
+			return opts, fmt.Errorf("bad rewrite %q", v)
+		}
+		opts.Rewrite = on
+	}
+	if v := q.Get("partition"); v != "" {
+		on, err := strconv.ParseBool(v)
+		if err != nil {
+			return opts, fmt.Errorf("bad partition %q", v)
+		}
+		opts.Partition = on
+	}
+	return opts, nil
+}
+
+// optionsKey renders every result-affecting option into the cache key.
+// Parallelism is deliberately excluded: it introduces no nondeterminism of
+// its own and every returned schedule is peak-optimal for its options, so
+// results are interchangeable across Parallelism settings.
+func optionsKey(o serenity.Options) string {
+	return fmt.Sprintf("r%t:x%t:p%t:a%t:t%d:b%d:s%d",
+		o.Rewrite, o.ExtendedRewrite, o.Partition, o.AdaptiveBudget,
+		o.StepTimeout, o.MemoryBudget, o.MaxStates)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{
+		"status": "ok",
+		"uptime": time.Since(s.started).Round(time.Millisecond).String(),
+	})
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	cs := s.cache.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# HELP serenityd_requests_total Schedule requests received, including rejected ones.\n")
+	fmt.Fprintf(w, "# TYPE serenityd_requests_total counter\n")
+	fmt.Fprintf(w, "serenityd_requests_total %d\n", s.requests.Load())
+	fmt.Fprintf(w, "# HELP serenityd_in_flight_requests Schedule requests currently executing.\n")
+	fmt.Fprintf(w, "# TYPE serenityd_in_flight_requests gauge\n")
+	fmt.Fprintf(w, "serenityd_in_flight_requests %d\n", s.inFlight.Load())
+	fmt.Fprintf(w, "# HELP serenityd_cache_hits_total Schedule cache hits.\n")
+	fmt.Fprintf(w, "# TYPE serenityd_cache_hits_total counter\n")
+	fmt.Fprintf(w, "serenityd_cache_hits_total %d\n", cs.Hits)
+	fmt.Fprintf(w, "# HELP serenityd_cache_misses_total Schedule cache lookups that missed; subtract coalesced requests for compilations actually run.\n")
+	fmt.Fprintf(w, "# TYPE serenityd_cache_misses_total counter\n")
+	fmt.Fprintf(w, "serenityd_cache_misses_total %d\n", cs.Misses)
+	fmt.Fprintf(w, "# HELP serenityd_cache_evictions_total Schedule cache evictions.\n")
+	fmt.Fprintf(w, "# TYPE serenityd_cache_evictions_total counter\n")
+	fmt.Fprintf(w, "serenityd_cache_evictions_total %d\n", cs.Evictions)
+	fmt.Fprintf(w, "# HELP serenityd_cache_entries Schedule cache current size.\n")
+	fmt.Fprintf(w, "# TYPE serenityd_cache_entries gauge\n")
+	fmt.Fprintf(w, "serenityd_cache_entries %d\n", cs.Len)
+	fmt.Fprintf(w, "# HELP serenityd_coalesced_requests_total Requests served by joining an identical in-flight compilation.\n")
+	fmt.Fprintf(w, "# TYPE serenityd_coalesced_requests_total counter\n")
+	fmt.Fprintf(w, "serenityd_coalesced_requests_total %d\n", s.coalesced.Load())
+	fmt.Fprintf(w, "# HELP serenityd_states_explored_total DP states explored by non-cached compilations.\n")
+	fmt.Fprintf(w, "# TYPE serenityd_states_explored_total counter\n")
+	fmt.Fprintf(w, "serenityd_states_explored_total %d\n", s.states.Load())
+	fmt.Fprintf(w, "# HELP serenityd_errors_total Requests answered with an error.\n")
+	fmt.Fprintf(w, "# TYPE serenityd_errors_total counter\n")
+	fmt.Fprintf(w, "serenityd_errors_total %d\n", s.errored.Load())
+	fmt.Fprintf(w, "# HELP serenityd_canceled_requests_total Requests abandoned by the client mid-compile.\n")
+	fmt.Fprintf(w, "# TYPE serenityd_canceled_requests_total counter\n")
+	fmt.Fprintf(w, "serenityd_canceled_requests_total %d\n", s.canceled.Load())
+}
+
+func (s *server) fail(w http.ResponseWriter, code int, err error) {
+	s.errored.Add(1)
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

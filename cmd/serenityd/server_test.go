@@ -1,0 +1,360 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	serenity "github.com/serenity-ml/serenity"
+)
+
+func testServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	opts := serenity.DefaultOptions()
+	opts.StepTimeout = 500 * time.Millisecond
+	opts.Parallelism = 4
+	s := newServer(opts, 64)
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// smallCell is a compact irregularly wired model: real enough to exercise
+// rewriting/partitioning, small enough that the DP is instant even under the
+// race detector.
+func smallCell(seed int64) *serenity.Graph {
+	return serenity.RandWireCell(fmt.Sprintf("rw-test-%d", seed), 12, 4, 0.75, seed, 8, 4)
+}
+
+func graphBody(t *testing.T, g *serenity.Graph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := serenity.WriteGraphJSON(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func postSchedule(t *testing.T, ts *httptest.Server, query string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+"/v1/schedule"+query, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func TestScheduleEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	body := graphBody(t, smallCell(1))
+
+	resp, data := postSchedule(t, ts, "", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var got scheduleResponse
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Nodes == 0 || len(got.Order) != got.Nodes {
+		t.Errorf("order covers %d of %d nodes", len(got.Order), got.Nodes)
+	}
+	if got.Peak <= 0 || got.ArenaSize < got.Peak {
+		t.Errorf("peak %d arena %d", got.Peak, got.ArenaSize)
+	}
+	if got.Cached {
+		t.Error("first request reported cached")
+	}
+	if got.Fingerprint == "" {
+		t.Error("missing fingerprint")
+	}
+
+	// Same topology again: served from cache, otherwise identical.
+	resp2, data2 := postSchedule(t, ts, "", body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp2.StatusCode, data2)
+	}
+	var again scheduleResponse
+	if err := json.Unmarshal(data2, &again); err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Error("second request not served from cache")
+	}
+	again.Cached = got.Cached
+	if !reflect.DeepEqual(got, again) {
+		t.Errorf("cached response differs:\n%+v\n%+v", got, again)
+	}
+
+	// A structurally identical graph under a different name hits the cache
+	// but must echo the requester's name, not the first submitter's.
+	renamed := smallCell(1)
+	renamed.Name = "renamed-topology"
+	resp3, data3 := postSchedule(t, ts, "", graphBody(t, renamed))
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp3.StatusCode, data3)
+	}
+	var third scheduleResponse
+	if err := json.Unmarshal(data3, &third); err != nil {
+		t.Fatal(err)
+	}
+	if !third.Cached {
+		t.Error("renamed topology missed the structural cache")
+	}
+	if third.Graph != "renamed-topology" {
+		t.Errorf("cached response echoes %q, want the requester's name", third.Graph)
+	}
+}
+
+// TestConcurrentScheduleRequests is the acceptance scenario: 50 concurrent
+// POSTs over a small model zoo, all answered correctly, with the cache
+// recording hits.
+func TestConcurrentScheduleRequests(t *testing.T) {
+	s, ts := testServer(t)
+	bodies := [][]byte{
+		graphBody(t, smallCell(1)),
+		graphBody(t, smallCell(2)),
+		graphBody(t, smallCell(3)),
+	}
+	// Warm one entry so at least one concurrent request is a plain cache hit
+	// regardless of scheduling interleavings.
+	if resp, data := postSchedule(t, ts, "", bodies[0]); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm-up failed: %d %s", resp.StatusCode, data)
+	}
+
+	const requests = 50
+	responses := make([]scheduleResponse, requests)
+	errs := make([]error, requests)
+	var wg sync.WaitGroup
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := ts.Client().Post(ts.URL+"/v1/schedule", "application/json", bytes.NewReader(bodies[i%len(bodies)]))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			data, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d: %s", resp.StatusCode, data)
+				return
+			}
+			errs[i] = json.Unmarshal(data, &responses[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	// Identical topology => identical schedule, cached or not.
+	for i := len(bodies); i < requests; i++ {
+		prev := responses[i-len(bodies)]
+		cur := responses[i]
+		if cur.Peak != prev.Peak || !reflect.DeepEqual(cur.Order, prev.Order) {
+			t.Errorf("request %d: schedule diverged from request %d", i, i-len(bodies))
+		}
+	}
+	if hits := s.cache.Stats().Hits; hits < 1 {
+		t.Errorf("cache hits = %d, want >= 1", hits)
+	}
+	if got := s.requests.Load(); got != requests+1 {
+		t.Errorf("requests counter = %d, want %d", got, requests+1)
+	}
+	if s.inFlight.Load() != 0 {
+		t.Errorf("in-flight gauge = %d after quiesce", s.inFlight.Load())
+	}
+}
+
+// TestScheduleReturnsRewrittenGraph pins the contract that makes responses
+// self-contained: when rewriting changes the graph, Order indexes the
+// rewritten graph, so the response must carry it and the order must be valid
+// against it.
+func TestScheduleReturnsRewrittenGraph(t *testing.T) {
+	_, ts := testServer(t)
+	b := serenity.NewBuilder("rewritable")
+	in := b.Input(serenity.Shape{1, 16, 16, 4})
+	x := b.Conv(in, 8, 3, 1, serenity.PadSame)
+	y := b.Conv(in, 8, 3, 1, serenity.PadSame)
+	cc := b.Concat(x, y)
+	z := b.Conv(cc, 8, 3, 1, serenity.PadSame)
+	b.ReLU(z)
+
+	resp, data := postSchedule(t, ts, "", graphBody(t, b.Graph()))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var got scheduleResponse
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Rewrites == 0 {
+		t.Fatal("conv-conv-concat pattern did not rewrite; test graph needs updating")
+	}
+	if got.RewrittenGraph == nil {
+		t.Fatal("rewritten response carries no rewritten_graph; Order is uninterpretable")
+	}
+	if got.RewrittenGraph.NumNodes() != got.Nodes || len(got.Order) != got.Nodes {
+		t.Errorf("rewritten graph has %d nodes, response reports %d with %d order entries",
+			got.RewrittenGraph.NumNodes(), got.Nodes, len(got.Order))
+	}
+	seen := make(map[int]bool)
+	for _, id := range got.Order {
+		if id < 0 || id >= got.Nodes || seen[id] {
+			t.Fatalf("order is not a permutation of the rewritten graph's nodes: %v", got.Order)
+		}
+		seen[id] = true
+	}
+
+	// A graph that does not rewrite must omit the field.
+	resp, data = postSchedule(t, ts, "?rewrite=false", graphBody(t, b.Graph()))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var plain scheduleResponse
+	if err := json.Unmarshal(data, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if plain.RewrittenGraph != nil {
+		t.Error("rewrite=false response still carries rewritten_graph")
+	}
+}
+
+func TestMetricsAndHealthz(t *testing.T) {
+	s, ts := testServer(t)
+	if resp, data := postSchedule(t, ts, "", graphBody(t, smallCell(1))); resp.StatusCode != http.StatusOK {
+		t.Fatalf("schedule failed: %d %s", resp.StatusCode, data)
+	}
+	postSchedule(t, ts, "", graphBody(t, smallCell(1)))
+
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health["status"] != "ok" {
+		t.Errorf("healthz = %v", health)
+	}
+
+	resp, err = ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"serenityd_requests_total 2",
+		"serenityd_cache_hits_total 1",
+		"serenityd_cache_misses_total 1",
+		"serenityd_in_flight_requests 0",
+		"serenityd_states_explored_total",
+		"serenityd_errors_total 0",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	if s.states.Load() <= 0 {
+		t.Error("states-explored counter never incremented")
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	s, ts := testServer(t)
+	body := graphBody(t, smallCell(1))
+
+	if resp, _ := postSchedule(t, ts, "", []byte("{not json")); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid body: status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := postSchedule(t, ts, "?parallelism=abc", body); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad query: status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := postSchedule(t, ts, "?budget=1", body); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("impossible budget: status %d, want 422", resp.StatusCode)
+	}
+	s.maxNodes = 3
+	if resp, _ := postSchedule(t, ts, "", body); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("over max-nodes: status %d, want 413", resp.StatusCode)
+	}
+	s.maxNodes = 0
+	resp, err := ts.Client().Get(ts.URL + "/v1/schedule")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestQueryOverridesChangeCacheKey(t *testing.T) {
+	s, ts := testServer(t)
+	body := graphBody(t, smallCell(1))
+	postSchedule(t, ts, "", body)
+	resp, data := postSchedule(t, ts, "?rewrite=false", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var got scheduleResponse
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Cached {
+		t.Error("different options hit the same cache entry")
+	}
+	if s.cache.Stats().Len != 2 {
+		t.Errorf("cache entries = %d, want 2 distinct keys", s.cache.Stats().Len)
+	}
+
+	// Parallelism is excluded from the key: results are bit-identical.
+	resp, data = postSchedule(t, ts, "?parallelism=1", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Cached {
+		t.Error("parallelism override missed the cache")
+	}
+}
+
+func TestLoadgenSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loadgen smoke test is not short")
+	}
+	opts := serenity.DefaultOptions()
+	opts.StepTimeout = 500 * time.Millisecond
+	s := newServer(opts, 64)
+	var out bytes.Buffer
+	if err := runLoadgen(s, 30, 8, &out); err != nil {
+		t.Fatalf("loadgen: %v\n%s", err, out.String())
+	}
+	if s.cache.Stats().Hits < 1 {
+		t.Errorf("loadgen produced no cache hits:\n%s", out.String())
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/serenity-ml/serenity
+
+go 1.24

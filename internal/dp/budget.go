@@ -1,6 +1,7 @@
 package dp
 
 import (
+	"context"
 	"time"
 
 	"github.com/serenity-ml/serenity/internal/sched"
@@ -50,6 +51,14 @@ type AdaptiveResult struct {
 // and the search only accepts solutions, whose peaks are optimal for their
 // budget; see the package tests for the oracle comparison.
 func AdaptiveSchedule(m *sched.MemModel, opts AdaptiveOptions) (*AdaptiveResult, error) {
+	return AdaptiveScheduleCtx(context.Background(), m, opts)
+}
+
+// AdaptiveScheduleCtx is AdaptiveSchedule with cooperative cancellation. The
+// context is threaded into every DP probe; when it is done the meta-search
+// stops immediately and ctx.Err() is returned (the probes made so far remain
+// recorded in the error-free path only).
+func AdaptiveScheduleCtx(ctx context.Context, m *sched.MemModel, opts AdaptiveOptions) (*AdaptiveResult, error) {
 	if opts.StepTimeout <= 0 {
 		opts.StepTimeout = time.Second
 	}
@@ -79,7 +88,10 @@ func AdaptiveSchedule(m *sched.MemModel, opts AdaptiveOptions) (*AdaptiveResult,
 		tauOld, tauNew := hardBudget, hardBudget
 		var best *Result
 		for iter := 0; iter < opts.MaxIters; iter++ {
-			r := Schedule(m, Options{Budget: tauNew, StepTimeout: timeout, MaxStates: opts.MaxStates})
+			r := ScheduleCtx(ctx, m, Options{Budget: tauNew, StepTimeout: timeout, MaxStates: opts.MaxStates})
+			if r.Flag == FlagCanceled {
+				return nil, ctx.Err()
+			}
 			ar.Probes = append(ar.Probes, BudgetProbe{Budget: tauNew, Flag: r.Flag, States: r.StatesExplored, Elapsed: r.Elapsed})
 			switch r.Flag {
 			case FlagSolution:

@@ -17,6 +17,7 @@
 package dp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -25,7 +26,8 @@ import (
 )
 
 // Flag is the scheduler's outcome, mirroring Figure 4's
-// {'no solution', 'timeout', 'solution'}.
+// {'no solution', 'timeout', 'solution'}, extended with 'canceled' for
+// context cancellation (client disconnect, deadline).
 type Flag int
 
 // Scheduler outcomes.
@@ -33,6 +35,7 @@ const (
 	FlagSolution Flag = iota
 	FlagNoSolution
 	FlagTimeout
+	FlagCanceled
 )
 
 // String renders the flag as in the paper.
@@ -44,6 +47,8 @@ func (f Flag) String() string {
 		return "no solution"
 	case FlagTimeout:
 		return "timeout"
+	case FlagCanceled:
+		return "canceled"
 	}
 	return fmt.Sprintf("Flag(%d)", int(f))
 }
@@ -90,6 +95,14 @@ type state struct {
 // unlimited budget it returns a schedule with the minimum possible peak
 // activation footprint (Theorem 1 of the paper's supplementary material).
 func Schedule(m *sched.MemModel, opts Options) *Result {
+	return ScheduleCtx(context.Background(), m, opts)
+}
+
+// ScheduleCtx is Schedule with cooperative cancellation: the search loop
+// polls ctx at every level of the recursion tree and every 64 states within
+// a level, returning FlagCanceled as soon as ctx is done. The partial memo
+// tables are discarded; a canceled run does no further work.
+func ScheduleCtx(ctx context.Context, m *sched.MemModel, opts Options) *Result {
 	start := time.Now()
 	g := m.G
 	n := g.NumNodes()
@@ -121,7 +134,22 @@ func Schedule(m *sched.MemModel, opts Options) *Result {
 		return true
 	}
 
+	done := ctx.Done()
+	canceled := func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+
 	for i := 0; i < n; i++ {
+		if canceled() {
+			res.Flag = FlagCanceled
+			res.Elapsed = time.Since(start)
+			return res
+		}
 		stepStart := time.Now()
 		cur := levels[i]
 		nextIdx := make(map[string]int32, len(cur)*2)
@@ -178,10 +206,17 @@ func Schedule(m *sched.MemModel, opts Options) *Result {
 			})
 			_ = budgetPruned
 
-			if opts.StepTimeout > 0 && si%64 == 63 && time.Since(stepStart) > opts.StepTimeout {
-				res.Flag = FlagTimeout
-				res.Elapsed = time.Since(start)
-				return res
+			if si%64 == 63 {
+				if canceled() {
+					res.Flag = FlagCanceled
+					res.Elapsed = time.Since(start)
+					return res
+				}
+				if opts.StepTimeout > 0 && time.Since(stepStart) > opts.StepTimeout {
+					res.Flag = FlagTimeout
+					res.Elapsed = time.Since(start)
+					return res
+				}
 			}
 			if opts.MaxStates > 0 && len(next) > opts.MaxStates {
 				res.Flag = FlagTimeout

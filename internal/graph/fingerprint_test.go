@@ -1,0 +1,73 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func fingerprintNet() *Graph {
+	b := NewBuilder("fp")
+	in := b.Input(Shape{1, 8, 8, 4})
+	x := b.Conv(in, 8, 3, 1, PadSame)
+	y := b.Conv(in, 8, 3, 1, PadSame)
+	b.Concat(x, y)
+	return b.Graph()
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	g := fingerprintNet()
+	f1, f2 := g.Fingerprint(), g.Fingerprint()
+	if f1 != f2 {
+		t.Fatalf("fingerprint not deterministic: %s vs %s", f1, f2)
+	}
+	if len(f1) != 64 {
+		t.Fatalf("fingerprint length %d, want 64 hex chars", len(f1))
+	}
+}
+
+func TestFingerprintIgnoresNames(t *testing.T) {
+	a, b := fingerprintNet(), fingerprintNet()
+	b.Name = "renamed"
+	for _, n := range b.Nodes {
+		n.Name = "x" + n.Name
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("renaming nodes changed the structural fingerprint")
+	}
+	b.Nodes[1].Attr.Seed = 42
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("Attr.Seed changed the structural fingerprint")
+	}
+}
+
+func TestFingerprintSensitiveToStructure(t *testing.T) {
+	base := fingerprintNet().Fingerprint()
+	mut := func(name string, f func(g *Graph)) {
+		g := fingerprintNet()
+		f(g)
+		if g.Fingerprint() == base {
+			t.Errorf("%s: fingerprint unchanged", name)
+		}
+	}
+	mut("shape", func(g *Graph) { g.Nodes[1].Shape[3] = 16 })
+	mut("dtype", func(g *Graph) { g.Nodes[1].DType = Int8 })
+	mut("op", func(g *Graph) { g.Nodes[1].Op = OpMaxPool })
+	mut("kernel", func(g *Graph) { g.Nodes[1].Attr.KernelH = 5 })
+	mut("alias", func(g *Graph) { g.Nodes[3].Attr.AliasOf = 1 })
+	mut("extra-node", func(g *Graph) { g.AddNode(OpReLU, "t", Shape{1, 8, 8, 16}, 3) })
+	mut("extra-edge", func(g *Graph) { g.AddEdge(0, 3) })
+}
+
+func TestFingerprintRandomCollisionFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		g := RandomDAG(rng, RandomDAGConfig{Nodes: 12, EdgeProb: 0.4})
+		seen[g.Fingerprint()] = true
+	}
+	// Random graphs occasionally repeat topology+sizes; just require that
+	// fingerprints distinguish the overwhelming majority.
+	if len(seen) < 190 {
+		t.Errorf("only %d distinct fingerprints over 200 random graphs", len(seen))
+	}
+}

@@ -25,6 +25,7 @@ type jsonNode struct {
 	StrideW    int    `json:"stride_w,omitempty"`
 	Pad        string `json:"pad,omitempty"`
 	Dilation   int    `json:"dilation,omitempty"`
+	Axis       int    `json:"axis,omitempty"`
 	AliasOf    *int   `json:"alias_of,omitempty"`
 	ChanOffset int    `json:"chan_offset,omitempty"`
 	InChannels int    `json:"in_channels,omitempty"`
@@ -46,6 +47,7 @@ func (g *Graph) MarshalJSON() ([]byte, error) {
 			StrideH:    n.Attr.StrideH,
 			StrideW:    n.Attr.StrideW,
 			Dilation:   n.Attr.Dilation,
+			Axis:       n.Attr.Axis,
 			ChanOffset: n.Attr.ChanOffset,
 			InChannels: n.Attr.InChannels,
 		}
@@ -89,6 +91,7 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 		n.Attr.KernelH, n.Attr.KernelW = jn.KernelH, jn.KernelW
 		n.Attr.StrideH, n.Attr.StrideW = jn.StrideH, jn.StrideW
 		n.Attr.Dilation = jn.Dilation
+		n.Attr.Axis = jn.Axis
 		n.Attr.ChanOffset = jn.ChanOffset
 		n.Attr.InChannels = jn.InChannels
 		if jn.Pad == "valid" {

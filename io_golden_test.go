@@ -1,0 +1,107 @@
+package serenity
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGoldenJSONRoundTrip locks the JSON IR wire format to the committed
+// fixtures: every golden graph must parse, re-serialize byte-identically,
+// and survive a second read. serenityd serves this exact format, so any
+// silent drift (field renames, ordering changes, dropped attributes) fails
+// here before it can break clients. Regenerate deliberately with
+// `go run testdata/golden/gen.go` after an intentional format change.
+func TestGoldenJSONRoundTrip(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "golden", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 4 {
+		t.Fatalf("found %d golden fixtures, want at least 4", len(files))
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			want, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := ReadGraphJSON(bytes.NewReader(want))
+			if err != nil {
+				t.Fatalf("golden fixture rejected: %v", err)
+			}
+			var buf bytes.Buffer
+			if err := WriteGraphJSON(&buf, g); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("wire format drifted from %s; if intentional, regenerate with `go run testdata/golden/gen.go`", file)
+			}
+			g2, err := ReadGraphJSON(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("re-read failed: %v", err)
+			}
+			if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+				t.Errorf("re-read changed graph: %d/%d nodes, %d/%d edges",
+					g2.NumNodes(), g.NumNodes(), g2.NumEdges(), g.NumEdges())
+			}
+		})
+	}
+}
+
+// TestGoldenFingerprints locks the structural hash: the cache key format of
+// internal/cache and serenityd. A change here invalidates every deployed
+// cache, so it must be a conscious decision.
+func TestGoldenFingerprints(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "golden", "fingerprints.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	checked := 0
+	scanner := bufio.NewScanner(f)
+	for scanner.Scan() {
+		fields := strings.Fields(scanner.Text())
+		if len(fields) != 2 {
+			t.Fatalf("malformed manifest line %q", scanner.Text())
+		}
+		name, want := fields[0], fields[1]
+		data, err := os.ReadFile(filepath.Join("testdata", "golden", name+".json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := ReadGraphJSON(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := g.Fingerprint(); got != want {
+			t.Errorf("%s: fingerprint %s, want %s (cache keys would be invalidated)", name, got, want)
+		}
+		checked++
+	}
+	if err := scanner.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if checked < 4 {
+		t.Errorf("manifest covers %d graphs, want at least 4", checked)
+	}
+}
+
+// TestGoldenRewrittenGraphCoversAliasing guards against fixtures regressing
+// to shapes that no longer exercise the aliasing fields of the wire format.
+func TestGoldenRewrittenGraphCoversAliasing(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "golden", "swiftnet_cell_a_rewritten.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"alias_of"`)) {
+		t.Error("rewritten fixture carries no alias_of fields")
+	}
+	if !bytes.Contains(data, []byte(`"Buffer"`)) {
+		t.Error("rewritten fixture carries no Buffer ops")
+	}
+}

@@ -1,0 +1,170 @@
+package serenity
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/serenity-ml/serenity/internal/models"
+)
+
+// TestParallelMatchesSequential asserts the tentpole determinism claim: on
+// the paper's full model suite, fanning the per-segment DP over a worker
+// pool produces exactly the sequential result — same Order, Peak, ArenaSize,
+// Offsets, and even StatesExplored.
+func TestParallelMatchesSequential(t *testing.T) {
+	cells := models.BenchmarkCells()
+	if testing.Short() {
+		cells = cells[:4]
+	}
+	for _, cell := range cells {
+		cell := cell
+		t.Run(cell.Network+"/"+cell.Cell, func(t *testing.T) {
+			t.Parallel()
+			opts := DefaultOptions()
+			// Large enough that no DP step ever hits the timeout, even under
+			// the race detector: Algorithm 2's probe sequence is then
+			// wall-clock independent, and the whole pipeline deterministic.
+			opts.StepTimeout = time.Minute
+			seq, err := Schedule(cell.Build(), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range []int{2, 8} {
+				popts := opts
+				popts.Parallelism = p
+				par, err := ScheduleContext(context.Background(), cell.Build(), popts)
+				if err != nil {
+					t.Fatalf("parallelism %d: %v", p, err)
+				}
+				if !reflect.DeepEqual(par.Order, seq.Order) {
+					t.Errorf("parallelism %d: order diverged\nseq: %v\npar: %v", p, seq.Order, par.Order)
+				}
+				if par.Peak != seq.Peak || par.ArenaSize != seq.ArenaSize {
+					t.Errorf("parallelism %d: peak/arena %d/%d, want %d/%d",
+						p, par.Peak, par.ArenaSize, seq.Peak, seq.ArenaSize)
+				}
+				if !reflect.DeepEqual(par.Offsets, seq.Offsets) {
+					t.Errorf("parallelism %d: arena offsets diverged", p)
+				}
+				if par.StatesExplored != seq.StatesExplored {
+					t.Errorf("parallelism %d: states %d, want %d", p, par.StatesExplored, seq.StatesExplored)
+				}
+				if !reflect.DeepEqual(par.PartitionSizes, seq.PartitionSizes) {
+					t.Errorf("parallelism %d: partitions %v, want %v", p, par.PartitionSizes, seq.PartitionSizes)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelismOversubscription exercises worker counts beyond the segment
+// count and degenerate values.
+func TestParallelismOversubscription(t *testing.T) {
+	build := func() *Graph {
+		return models.StackedRandWire("oversub", 6, models.WSConfig{
+			Nodes: 14, K: 4, P: 0.75, Seed: 21, HW: 8, Channel: 4,
+		})
+	}
+	opts := DefaultOptions()
+	seq, err := Schedule(build(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.PartitionSizes) < 4 {
+		t.Fatalf("test graph split into %v; need several segments", seq.PartitionSizes)
+	}
+	for _, p := range []int{-3, 0, 1, 64} {
+		opts.Parallelism = p
+		res, err := Schedule(build(), opts)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", p, err)
+		}
+		if res.Peak != seq.Peak || !reflect.DeepEqual(res.Order, seq.Order) {
+			t.Errorf("parallelism %d: result diverged", p)
+		}
+	}
+}
+
+func TestScheduleContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ScheduleContext(ctx, SwiftNetCellA(), DefaultOptions())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestScheduleContextDeadline verifies cancellation reaches down into the DP
+// search loop: an unbudgeted exact DP on a large cell would run far beyond
+// the deadline, but must return promptly with the context's error.
+func TestScheduleContextDeadline(t *testing.T) {
+	g := models.StackedRandWire("cancel", 2, models.WSConfig{
+		Nodes: 32, K: 4, P: 0.75, Seed: 9, HW: 16, Channel: 8,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := ScheduleContext(ctx, g, Options{}) // exact DP, no budget pruning
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("cancellation took %s; search loop is not polling the context", elapsed)
+	}
+}
+
+// TestScheduleContextDeadlineParallel does the same through the worker pool.
+func TestScheduleContextDeadlineParallel(t *testing.T) {
+	// Each cell's exact DP runs ~1.5s standalone, so a 50ms deadline lands
+	// mid-search in every worker.
+	g := models.StackedRandWire("cancel-par", 4, models.WSConfig{
+		Nodes: 48, K: 8, P: 0.9, Seed: 10, HW: 16, Channel: 8,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	opts := Options{Partition: true, Parallelism: 4}
+	start := time.Now()
+	_, err := ScheduleContext(ctx, g, opts)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("parallel cancellation took %s", elapsed)
+	}
+}
+
+// TestParallelErrorPropagation asserts that a genuine per-segment failure —
+// not the induced cancellation of its siblings — is what surfaces from the
+// worker pool. The reported segment index may differ from the sequential
+// path's (siblings are canceled on first failure), but the cause must be the
+// real DP outcome and never a bare context.Canceled.
+func TestParallelErrorPropagation(t *testing.T) {
+	g := SwiftNet()
+	opts := Options{Partition: true, AdaptiveBudget: false, MaxStates: 1}
+	_, seqErr := Schedule(g, opts)
+	if seqErr == nil {
+		t.Fatal("MaxStates=1 unexpectedly solvable; test needs a harder setup")
+	}
+	if !strings.Contains(seqErr.Error(), "segment 0") {
+		t.Errorf("sequential path reports %q, want the first segment", seqErr)
+	}
+	for i := 0; i < 5; i++ {
+		opts.Parallelism = 4
+		_, parErr := Schedule(SwiftNet(), opts)
+		if parErr == nil {
+			t.Fatal("parallel run unexpectedly succeeded")
+		}
+		if errors.Is(parErr, context.Canceled) {
+			t.Fatalf("induced sibling cancellation leaked to the caller: %v", parErr)
+		}
+		if !strings.Contains(parErr.Error(), "dynamic programming ended with timeout") {
+			t.Fatalf("parallel error %q lost the underlying DP outcome", parErr)
+		}
+	}
+}

@@ -17,10 +17,32 @@
 //	... build the graph ...
 //	res, err := serenity.Schedule(b.Graph(), serenity.DefaultOptions())
 //	// res.Order, res.Peak, res.ArenaSize
+//
+// Divide-and-conquer makes the partition segments independent sub-problems,
+// so ScheduleContext can solve them concurrently: set Options.Parallelism
+// to fan the per-segment DP out over a bounded worker pool. Parallelism
+// changes wall-clock time, not results (see Options.Parallelism for the
+// wall-clock caveat Algorithm 2 carries with or without the pool).
+// ScheduleContext also threads context.Context cancellation into the
+// DP search loops, so deadlines and client disconnects abort a compilation
+// mid-search:
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+//	defer cancel()
+//	opts := serenity.DefaultOptions()
+//	opts.Parallelism = runtime.GOMAXPROCS(0)
+//	res, err := serenity.ScheduleContext(ctx, g, opts)
+//
+// For serving schedule requests over HTTP (with an LRU schedule cache keyed
+// by Graph.Fingerprint), see cmd/serenityd.
 package serenity
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"github.com/serenity-ml/serenity/internal/alloc"
@@ -87,6 +109,20 @@ type Options struct {
 	// MaxStates caps the DP frontier as a memory-safety valve; zero means
 	// the adaptive default.
 	MaxStates int
+	// Parallelism bounds the worker pool scheduling partition segments
+	// concurrently. Values <= 1 mean sequential. Segments are independent
+	// sub-problems (Section 3.2) and each segment's DP is deterministic, so
+	// parallelism introduces no nondeterminism of its own: given the same
+	// per-segment budget-probe outcomes, the combined schedule is
+	// bit-identical to the sequential path. The one caveat is inherited
+	// from Algorithm 2, not from the pool: with AdaptiveBudget on, probe
+	// outcomes depend on wall-clock StepTimeout, so under CPU contention
+	// any two runs — sequential or parallel — can converge through
+	// different budgets (Order and StatesExplored may vary; the peak stays
+	// optimal). Whenever no probe times out, the whole pipeline is
+	// deterministic at every Parallelism. Has no effect unless Partition is
+	// enabled and the graph actually splits into multiple segments.
+	Parallelism int
 }
 
 // DefaultOptions returns the paper's full pipeline configuration.
@@ -143,7 +179,21 @@ type Result struct {
 
 // Schedule runs the SERENITY pipeline (Figure 4) on g.
 func Schedule(g *Graph, opts Options) (*Result, error) {
+	return ScheduleContext(context.Background(), g, opts)
+}
+
+// ScheduleContext runs the SERENITY pipeline (Figure 4) on g under ctx.
+//
+// Cancellation is threaded down into the DP search loops: when ctx is done
+// the search aborts promptly (within one polling interval of ~64 states) and
+// ctx.Err() is returned. With opts.Parallelism > 1 the per-segment DP runs
+// on a bounded worker pool; see Options.Parallelism for the determinism
+// guarantee.
+func ScheduleContext(ctx context.Context, g *Graph, opts Options) (*Result, error) {
 	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -196,10 +246,12 @@ func Schedule(g *Graph, opts Options) (*Result, error) {
 		res.PartitionSizes = []int{work.NumNodes()}
 	}
 
-	// Stage 3: dynamic programming with adaptive soft budgeting.
-	scheduleOne := func(m *sched.MemModel) (sched.Schedule, int64, error) {
+	// Stage 3: dynamic programming with adaptive soft budgeting. Each
+	// segment is an independent sub-problem; scheduleOne is pure (no shared
+	// state), so segments may run concurrently.
+	scheduleOne := func(ctx context.Context, m *sched.MemModel) (sched.Schedule, int64, error) {
 		if opts.AdaptiveBudget {
-			ar, err := dp.AdaptiveSchedule(m, dp.AdaptiveOptions{
+			ar, err := dp.AdaptiveScheduleCtx(ctx, m, dp.AdaptiveOptions{
 				StepTimeout: opts.StepTimeout,
 				MaxStates:   opts.MaxStates,
 			})
@@ -209,36 +261,36 @@ func Schedule(g *Graph, opts Options) (*Result, error) {
 			if ar.Flag != dp.FlagSolution {
 				return nil, 0, fmt.Errorf("serenity: adaptive scheduling ended with %v", ar.Flag)
 			}
-			res.StatesExplored += ar.StatesExplored
-			return ar.Order, ar.Peak, nil
+			return ar.Order, ar.StatesExplored, nil
 		}
-		r := dp.Schedule(m, dp.Options{MaxStates: opts.MaxStates})
+		r := dp.ScheduleCtx(ctx, m, dp.Options{MaxStates: opts.MaxStates})
+		if r.Flag == dp.FlagCanceled {
+			return nil, 0, ctx.Err()
+		}
 		if r.Flag != dp.FlagSolution {
 			return nil, 0, fmt.Errorf("serenity: dynamic programming ended with %v", r.Flag)
 		}
-		res.StatesExplored += r.StatesExplored
-		return r.Order, r.Peak, nil
+		return r.Order, r.StatesExplored, nil
 	}
 
 	var order sched.Schedule
 	if part != nil {
-		orders := make([]sched.Schedule, len(segments))
-		for i, seg := range segments {
-			o, _, err := scheduleOne(sched.NewMemModel(seg.G))
-			if err != nil {
-				return nil, fmt.Errorf("segment %d: %w", i, err)
-			}
-			orders[i] = o
+		orders, states, err := scheduleSegments(ctx, segments, opts.Parallelism, scheduleOne)
+		if err != nil {
+			return nil, err
 		}
+		res.StatesExplored += states
 		order, err = part.Combine(orders)
 		if err != nil {
 			return nil, err
 		}
 	} else {
-		order, _, err = scheduleOne(model)
+		var states int64
+		order, states, err = scheduleOne(ctx, model)
 		if err != nil {
 			return nil, err
 		}
+		res.StatesExplored += states
 	}
 
 	// Verify and measure the combined schedule end to end.
@@ -262,6 +314,105 @@ func Schedule(g *Graph, opts Options) (*Result, error) {
 		return res, &ErrBudgetExceeded{Required: res.ArenaSize, Budget: opts.MemoryBudget}
 	}
 	return res, nil
+}
+
+// scheduleSegments solves every partition segment, sequentially or on a
+// bounded worker pool of min(parallelism, len(segments)) goroutines. Results
+// are collected by segment index and state counts summed in segment order,
+// so on success the outcome is identical regardless of parallelism or
+// goroutine interleaving. On the first failure the remaining segments are
+// canceled for a prompt abort; the reported segment index may then differ
+// from the sequential path's (the failure itself is the same kind), which is
+// the one deliberate concession to the worker pool.
+func scheduleSegments(ctx context.Context, segments []*partition.Segment, parallelism int,
+	scheduleOne func(context.Context, *sched.MemModel) (sched.Schedule, int64, error)) ([]sched.Schedule, int64, error) {
+
+	orders := make([]sched.Schedule, len(segments))
+	states := make([]int64, len(segments))
+	errs := make([]error, len(segments))
+
+	workers := parallelism
+	if workers > len(segments) {
+		workers = len(segments)
+	}
+	// The per-segment DP is pure CPU work: workers beyond GOMAXPROCS cannot
+	// run and only multiply live memo tables, so cap the pool there.
+	if mp := runtime.GOMAXPROCS(0); workers > mp {
+		workers = mp
+	}
+	if workers <= 1 {
+		for i, seg := range segments {
+			o, s, err := scheduleOne(ctx, sched.NewMemModel(seg.G))
+			if err != nil {
+				if ctxErr := ctx.Err(); ctxErr != nil {
+					return nil, 0, ctxErr
+				}
+				return nil, 0, fmt.Errorf("segment %d: %w", i, err)
+			}
+			orders[i], states[i] = o, s
+		}
+	} else {
+		segCtx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					o, s, err := scheduleOne(segCtx, sched.NewMemModel(segments[i].G))
+					if err != nil {
+						errs[i] = err
+						cancel() // abort the remaining segments
+						continue
+					}
+					orders[i], states[i] = o, s
+				}
+			}()
+		}
+		for i := range segments {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			// The caller's own cancellation outranks any per-segment error.
+			return nil, 0, ctxErr
+		}
+		// A genuine failure cancels its siblings, so skip induced
+		// context.Canceled errors and report the lowest-index real one.
+		var firstErr error
+		firstIdx := -1
+		for i, err := range errs {
+			if err == nil || errors.Is(err, context.Canceled) {
+				continue
+			}
+			firstErr, firstIdx = err, i
+			break
+		}
+		if firstErr == nil {
+			// Unreachable under the invariant that a Canceled entry implies
+			// some worker recorded a genuine failure first (only failures
+			// call cancel, and the caller's own cancellation returned
+			// above); kept so a broken invariant surfaces as an error
+			// rather than as missing segment orders.
+			for i, err := range errs {
+				if err != nil {
+					firstErr, firstIdx = err, i
+					break
+				}
+			}
+		}
+		if firstErr != nil {
+			return nil, 0, fmt.Errorf("segment %d: %w", firstIdx, firstErr)
+		}
+	}
+	var total int64
+	for _, s := range states {
+		total += s
+	}
+	return orders, total, nil
 }
 
 // PeakOf evaluates the peak footprint of an arbitrary schedule on g;

@@ -1,0 +1,59 @@
+//go:build ignore
+
+// Generates the golden JSON IR fixtures and the fingerprint manifest. Run
+// from the repository root after an *intentional* wire-format change:
+//
+//	go run testdata/golden/gen.go
+//
+// Committing regenerated fixtures is the explicit act that acknowledges the
+// format changed; TestGoldenJSONRoundTrip failing means the change was not
+// acknowledged.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	serenity "github.com/serenity-ml/serenity"
+	"github.com/serenity-ml/serenity/internal/graph"
+	"github.com/serenity-ml/serenity/internal/rewrite"
+)
+
+func main() {
+	dir := filepath.Join("testdata", "golden")
+	graphs := map[string]*serenity.Graph{
+		"swiftnet_cell_a": serenity.SwiftNetCellA(),
+		"randwire_small":  serenity.RandWireCell("randwire_small", 12, 4, 0.75, 5, 8, 4),
+		"random_dag":      graph.RandomDAG(rand.New(rand.NewSource(3)), graph.RandomDAGConfig{Nodes: 8, EdgeProb: 0.4}),
+	}
+	// A rewritten graph covers the aliasing fields (Buffer/Partial ops,
+	// alias_of, chan_offset, in_channels) that plain builder graphs lack.
+	rw, _, err := rewrite.RewriteAll(serenity.SwiftNetCellA(), rewrite.DefaultRules(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	graphs["swiftnet_cell_a_rewritten"] = rw
+
+	manifest, err := os.Create(filepath.Join(dir, "fingerprints.txt"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer manifest.Close()
+	names := []string{"random_dag", "randwire_small", "swiftnet_cell_a", "swiftnet_cell_a_rewritten"}
+	for _, name := range names {
+		g := graphs[name]
+		f, err := os.Create(filepath.Join(dir, name+".json"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := serenity.WriteGraphJSON(f, g); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Fprintf(manifest, "%s %s\n", name, g.Fingerprint())
+	}
+	fmt.Println("golden fixtures regenerated")
+}
