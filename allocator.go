@@ -1,0 +1,60 @@
+package serenity
+
+import (
+	"github.com/serenity-ml/serenity/internal/alloc"
+)
+
+// Allocation maps a schedule's physical tensors to byte offsets in one flat
+// arena.
+type Allocation struct {
+	// Offsets[node] is the arena byte offset of each physical tensor, -1
+	// for aliases and zero-sized tensors.
+	Offsets []int64
+	// ArenaSize is the total bytes the arena reserves: max(offset+size).
+	ArenaSize int64
+}
+
+// Allocator plans the arena for a finished schedule. Implementations must
+// guarantee that tensors with overlapping lifetimes never overlap in space.
+type Allocator interface {
+	// Name identifies the strategy in logs, metrics, and responses.
+	Name() string
+	// Allocate assigns every physical tensor of m an offset under order.
+	Allocate(m *MemModel, order Order) (Allocation, error)
+}
+
+// ArenaBestFit is TensorFlow Lite's "simple memory arena" planning scheme —
+// greedy best-fit offset assignment over tensor lifetimes, largest tensors
+// first — and the default Allocator. This is the allocator the paper pairs
+// with its scheduler (the "+Memory Allocator" curves of Figure 12a).
+type ArenaBestFit struct{}
+
+// Name implements Allocator.
+func (ArenaBestFit) Name() string { return "best-fit" }
+
+// Allocate implements Allocator.
+func (ArenaBestFit) Allocate(m *MemModel, order Order) (Allocation, error) {
+	a, err := alloc.Plan(m, order)
+	if err != nil {
+		return Allocation{}, err
+	}
+	return Allocation{Offsets: a.Offsets, ArenaSize: a.ArenaSize}, nil
+}
+
+// ArenaBump never reuses space: every tensor gets a fresh offset, so the
+// arena is the sum of all tensor sizes. The degenerate no-sharing strategy —
+// a fragmentation-free correctness baseline, and the honest answer for
+// runtimes that cannot alias buffers at all.
+type ArenaBump struct{}
+
+// Name implements Allocator.
+func (ArenaBump) Name() string { return "bump" }
+
+// Allocate implements Allocator.
+func (ArenaBump) Allocate(m *MemModel, order Order) (Allocation, error) {
+	a, err := alloc.PlanBump(m, order)
+	if err != nil {
+		return Allocation{}, err
+	}
+	return Allocation{Offsets: a.Offsets, ArenaSize: a.ArenaSize}, nil
+}

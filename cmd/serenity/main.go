@@ -3,6 +3,7 @@
 // runs the full SERENITY pipeline, and prints the schedule and footprint.
 //
 //	serenity -in model.json [-budget 256KiB] [-dot out.dot] [-no-rewrite]
+//	         [-strategy exact|greedy|best-effort] [-deadline 200ms]
 //
 // With -builtin NAME it schedules one of the bundled benchmark networks
 // (darts, swiftnet, swiftnet-a, swiftnet-b, swiftnet-c, randwire) instead of
@@ -10,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -28,16 +30,18 @@ func main() {
 	noRewrite := flag.Bool("no-rewrite", false, "disable identity graph rewriting")
 	noPartition := flag.Bool("no-partition", false, "disable divide-and-conquer")
 	stepTimeout := flag.Duration("timeout", time.Second, "adaptive soft budgeting step timeout T")
+	strategy := flag.String("strategy", "exact", "search strategy (exact|greedy|best-effort)")
+	deadline := flag.Duration("deadline", 0, "compile deadline; with -strategy best-effort the search degrades instead of failing")
 	quiet := flag.Bool("quiet", false, "print only the summary line")
 	flag.Parse()
 
-	if err := run(*in, *builtin, *budget, *dotOut, *noRewrite, *noPartition, *stepTimeout, *quiet); err != nil {
+	if err := run(*in, *builtin, *budget, *dotOut, *noRewrite, *noPartition, *stepTimeout, *strategy, *deadline, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "serenity:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, builtin, budget, dotOut string, noRewrite, noPartition bool, stepTimeout time.Duration, quiet bool) error {
+func run(in, builtin, budget, dotOut string, noRewrite, noPartition bool, stepTimeout time.Duration, strategy string, deadline time.Duration, quiet bool) error {
 	g, err := loadGraph(in, builtin)
 	if err != nil {
 		return err
@@ -47,6 +51,10 @@ func run(in, builtin, budget, dotOut string, noRewrite, noPartition bool, stepTi
 	opts.Rewrite = !noRewrite
 	opts.Partition = !noPartition
 	opts.StepTimeout = stepTimeout
+	opts.Strategy, err = serenity.ParseStrategy(strategy)
+	if err != nil {
+		return err
+	}
 	if budget != "" {
 		b, err := parseBytes(budget)
 		if err != nil {
@@ -54,8 +62,17 @@ func run(in, builtin, budget, dotOut string, noRewrite, noPartition bool, stepTi
 		}
 		opts.MemoryBudget = b
 	}
+	if err := opts.Validate(); err != nil {
+		return err
+	}
 
-	res, err := serenity.Schedule(g, opts)
+	ctx := context.Background()
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+	res, err := serenity.ScheduleContext(ctx, g, opts)
 	var be *serenity.ErrBudgetExceeded
 	if err != nil {
 		if e, ok := err.(*serenity.ErrBudgetExceeded); ok {
@@ -65,11 +82,12 @@ func run(in, builtin, budget, dotOut string, noRewrite, noPartition bool, stepTi
 		}
 	}
 
-	fmt.Printf("graph=%s nodes=%d baseline=%.1fKB peak=%.1fKB arena=%.1fKB reduction=%.2fx rewrites=%d partitions=%v time=%s\n",
+	fmt.Printf("graph=%s nodes=%d baseline=%.1fKB peak=%.1fKB arena=%.1fKB reduction=%.2fx rewrites=%d partitions=%v quality=%s fallbacks=%d time=%s\n",
 		g.Name, g.NumNodes(),
 		float64(res.BaselinePeak)/1024, float64(res.Peak)/1024, float64(res.ArenaSize)/1024,
 		float64(res.BaselinePeak)/float64(res.Peak),
-		res.RewriteCount, res.PartitionSizes, res.SchedulingTime.Round(time.Millisecond))
+		res.RewriteCount, res.PartitionSizes, res.Quality, res.Fallbacks,
+		res.SchedulingTime.Round(time.Millisecond))
 	if !quiet {
 		fmt.Println("schedule:")
 		for i, id := range res.Order {

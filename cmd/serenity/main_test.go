@@ -75,7 +75,7 @@ func TestLoadGraphFromJSONFile(t *testing.T) {
 
 func TestRunEndToEnd(t *testing.T) {
 	dot := filepath.Join(t.TempDir(), "out.dot")
-	err := run("", "swiftnet-c", "250KiB", dot, false, false, time.Second, true)
+	err := run("", "swiftnet-c", "250KiB", dot, false, false, time.Second, "exact", 0, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,8 +88,23 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 }
 
+func TestRunStrategies(t *testing.T) {
+	for _, strategy := range []string{"greedy", "best-effort"} {
+		if err := run("", "swiftnet-c", "", "", false, false, time.Second, strategy, 0, true); err != nil {
+			t.Errorf("strategy %s: %v", strategy, err)
+		}
+	}
+	if err := run("", "swiftnet-c", "", "", false, false, time.Second, "bogus", 0, true); err == nil {
+		t.Error("bogus strategy accepted")
+	}
+	// A deadline the DP cannot meet must still succeed under best-effort.
+	if err := run("", "randwire", "", "", false, false, time.Second, "best-effort", 30*time.Millisecond, true); err != nil {
+		t.Errorf("best-effort under deadline: %v", err)
+	}
+}
+
 func TestRunBudgetExceeded(t *testing.T) {
-	err := run("", "swiftnet-a", "1", "", false, false, time.Second, true)
+	err := run("", "swiftnet-a", "1", "", false, false, time.Second, "exact", 0, true)
 	if _, ok := err.(*serenity.ErrBudgetExceeded); !ok {
 		t.Fatalf("want ErrBudgetExceeded, got %v", err)
 	}

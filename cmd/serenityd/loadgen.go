@@ -35,9 +35,21 @@ func loadgenWorkload() ([][]byte, error) {
 	return bodies, nil
 }
 
+// loadgenStrategies is the traffic mix the generator rotates through: the
+// default exact search, explicit greedy, and best-effort under two
+// deadlines — the shape of a fleet where latency-sensitive callers degrade
+// and batch callers wait for the optimum.
+var loadgenStrategies = []string{
+	"",
+	"?strategy=greedy",
+	"?strategy=best-effort&deadline_ms=250",
+	"?strategy=best-effort&deadline_ms=2000",
+}
+
 // runLoadgen stands the server up in-process and fires n schedule requests
-// at it from c concurrent clients, then prints throughput plus the server's
-// own metrics so cache behaviour is visible.
+// at it from c concurrent clients under mixed strategies, then prints
+// throughput plus the server's own metrics so cache and fallback behaviour
+// are visible.
 func runLoadgen(s *server, n, c int, out io.Writer) error {
 	bodies, err := loadgenWorkload()
 	if err != nil {
@@ -50,12 +62,14 @@ func runLoadgen(s *server, n, c int, out io.Writer) error {
 		c = 1
 	}
 	var (
-		next     atomic.Int64
-		failures atomic.Int64
-		cached   atomic.Int64
-		wg       sync.WaitGroup
+		next      atomic.Int64
+		failures  atomic.Int64
+		cached    atomic.Int64
+		heuristic atomic.Int64
+		wg        sync.WaitGroup
 	)
-	fmt.Fprintf(out, "loadgen: %d requests, %d clients, %d distinct graphs\n", n, c, len(bodies))
+	fmt.Fprintf(out, "loadgen: %d requests, %d clients, %d distinct graphs, %d strategy mixes\n",
+		n, c, len(bodies), len(loadgenStrategies))
 	start := time.Now()
 	for w := 0; w < c; w++ {
 		wg.Add(1)
@@ -67,7 +81,8 @@ func runLoadgen(s *server, n, c int, out io.Writer) error {
 				if i >= n {
 					return
 				}
-				resp, err := client.Post(ts.URL+"/v1/schedule", "application/json", bytes.NewReader(bodies[i%len(bodies)]))
+				query := loadgenStrategies[i%len(loadgenStrategies)]
+				resp, err := client.Post(ts.URL+"/v1/schedule"+query, "application/json", bytes.NewReader(bodies[i%len(bodies)]))
 				if err != nil {
 					failures.Add(1)
 					continue
@@ -81,6 +96,9 @@ func runLoadgen(s *server, n, c int, out io.Writer) error {
 				if bytes.Contains(body, []byte(`"cached": true`)) {
 					cached.Add(1)
 				}
+				if bytes.Contains(body, []byte(`"quality": "heuristic"`)) {
+					heuristic.Add(1)
+				}
 			}
 		}()
 	}
@@ -88,12 +106,12 @@ func runLoadgen(s *server, n, c int, out io.Writer) error {
 	elapsed := time.Since(start)
 
 	ok := int64(n) - failures.Load()
-	fmt.Fprintf(out, "loadgen: %d ok, %d failed in %s (%.1f req/s); %d served from cache\n",
+	fmt.Fprintf(out, "loadgen: %d ok, %d failed in %s (%.1f req/s); %d served from cache, %d heuristic-quality\n",
 		ok, failures.Load(), elapsed.Round(time.Millisecond),
-		float64(ok)/elapsed.Seconds(), cached.Load())
+		float64(ok)/elapsed.Seconds(), cached.Load(), heuristic.Load())
 	cs := s.cache.Stats()
-	fmt.Fprintf(out, "cache: %d hits, %d misses, %d entries; %d coalesced; %d DP states explored\n",
-		cs.Hits, cs.Misses, cs.Len, s.coalesced.Load(), s.states.Load())
+	fmt.Fprintf(out, "cache: %d hits, %d misses, %d entries; %d coalesced; %d states explored; %d segment fallbacks\n",
+		cs.Hits, cs.Misses, cs.Len, s.coalesced.Load(), s.states.Load(), s.fallbacks.Load())
 	if failures.Load() > 0 {
 		return fmt.Errorf("%d requests failed", failures.Load())
 	}

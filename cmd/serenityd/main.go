@@ -9,13 +9,19 @@
 //
 //	POST /v1/schedule   body: graph in the JSON IR format (see internal/graph)
 //	                    query: parallelism=N, budget=250KiB, rewrite=false,
-//	                    partition=false override the server defaults
-//	                    response: order, peak, arena_size, ...; when rewriting
-//	                    changed the graph, rewritten_graph carries the IR the
-//	                    order indexes
+//	                    partition=false, strategy=exact|greedy|best-effort,
+//	                    deadline_ms=N override the server defaults; with
+//	                    strategy=best-effort an expiring deadline degrades
+//	                    the search to the greedy heuristic instead of
+//	                    failing the request
+//	                    response: order, peak, arena_size, quality,
+//	                    segment_quality, fallbacks, stage_ms, ...; when
+//	                    rewriting changed the graph, rewritten_graph carries
+//	                    the IR the order indexes
 //	GET  /healthz       liveness probe
 //	GET  /metrics       Prometheus-style counters (cache hits, in-flight
-//	                    requests, states explored, ...)
+//	                    requests, states explored, fallbacks, per-stage
+//	                    compile seconds, ...)
 //
 // Example:
 //
@@ -24,8 +30,10 @@
 //
 // With -loadgen the binary instead starts an in-process server, fires
 // -loadgen-n requests at it from -loadgen-c concurrent clients drawing from
-// the bundled benchmark models, and prints the achieved throughput — a
-// self-contained demonstration of the cache and the concurrent scheduler.
+// the bundled benchmark models under a rotating mix of strategies (exact,
+// greedy, best-effort-with-deadline), and prints the achieved throughput —
+// a self-contained demonstration of the cache, the concurrent scheduler,
+// and the degradable search path.
 package main
 
 import (
@@ -46,6 +54,7 @@ func main() {
 	addr := flag.String("addr", ":7433", "listen address")
 	cacheSize := flag.Int("cache", 256, "schedule cache capacity (entries)")
 	parallelism := flag.Int("parallelism", runtime.GOMAXPROCS(0), "per-request segment scheduling parallelism")
+	strategy := flag.String("strategy", "exact", "default search strategy (exact|greedy|best-effort); requests override with ?strategy=")
 	stepTimeout := flag.Duration("timeout", time.Second, "adaptive soft budgeting step timeout T")
 	noRewrite := flag.Bool("no-rewrite", false, "disable identity graph rewriting")
 	noPartition := flag.Bool("no-partition", false, "disable divide-and-conquer")
@@ -61,6 +70,16 @@ func main() {
 	opts.Partition = !*noPartition
 	opts.StepTimeout = *stepTimeout
 	opts.Parallelism = *parallelism
+	st, err := serenity.ParseStrategy(*strategy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serenityd:", err)
+		os.Exit(2)
+	}
+	opts.Strategy = st
+	if err := opts.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "serenityd:", err)
+		os.Exit(2)
+	}
 
 	s := newServer(opts, *cacheSize)
 	s.maxNodes = *maxNodes

@@ -20,23 +20,36 @@ import (
 // client graphs without letting one request exhaust memory.
 const maxRequestBytes = 64 << 20
 
+// stageMS breaks the compile time down per pipeline stage, milliseconds.
+type stageMS struct {
+	Rewrite   float64 `json:"rewrite"`
+	Partition float64 `json:"partition"`
+	Search    float64 `json:"search"`
+	Alloc     float64 `json:"alloc"`
+}
+
 // scheduleResponse is the wire format of a successful /v1/schedule call.
 // Cached entries are shared across responses, so the struct is immutable
 // after construction; Cached is the only per-response field and is set on a
 // shallow copy.
 type scheduleResponse struct {
-	Graph          string  `json:"graph"`
-	Nodes          int     `json:"nodes"`
-	Fingerprint    string  `json:"fingerprint"`
-	Order          []int   `json:"order"`
-	Peak           int64   `json:"peak"`
-	ArenaSize      int64   `json:"arena_size"`
-	BaselinePeak   int64   `json:"baseline_peak"`
-	Rewrites       int     `json:"rewrites,omitempty"`
-	PartitionSizes []int   `json:"partition_sizes,omitempty"`
-	StatesExplored int64   `json:"states_explored"`
-	SchedulingMS   float64 `json:"scheduling_ms"`
-	Cached         bool    `json:"cached"`
+	Graph          string             `json:"graph"`
+	Nodes          int                `json:"nodes"`
+	Fingerprint    string             `json:"fingerprint"`
+	Order          []int              `json:"order"`
+	Peak           int64              `json:"peak"`
+	ArenaSize      int64              `json:"arena_size"`
+	BaselinePeak   int64              `json:"baseline_peak"`
+	Rewrites       int                `json:"rewrites,omitempty"`
+	PartitionSizes []int              `json:"partition_sizes,omitempty"`
+	Strategy       string             `json:"strategy"`
+	Quality        serenity.Quality   `json:"quality"`
+	SegmentQuality []serenity.Quality `json:"segment_quality,omitempty"`
+	Fallbacks      int                `json:"fallbacks,omitempty"`
+	StatesExplored int64              `json:"states_explored"`
+	SchedulingMS   float64            `json:"scheduling_ms"`
+	StageMS        stageMS            `json:"stage_ms"`
+	Cached         bool               `json:"cached"`
 	// RewrittenGraph is set when identity graph rewriting changed the graph:
 	// Order indexes ITS nodes, not the submitted graph's, so clients need it
 	// to interpret or execute the schedule.
@@ -76,7 +89,27 @@ type server struct {
 	states    atomic.Int64 // DP states explored by non-cached compilations
 	errored   atomic.Int64 // requests answered with an error status
 	canceled  atomic.Int64 // requests abandoned by the client mid-compile
-	started   time.Time
+	fallbacks atomic.Int64 // segments degraded from exact to heuristic search
+	heuristic atomic.Int64 // non-cached compilations answered with a heuristic schedule
+	// Cumulative per-stage pipeline time in nanoseconds, fed by the
+	// Pipeline's Observer hook on every non-cached compilation.
+	stageNS [4]atomic.Int64 // indexed by stageIdx order: rewrite, partition, search, alloc
+	started time.Time
+}
+
+// pipelineStages fixes the order of the stageNS counters and the /metrics
+// stage labels.
+var pipelineStages = [4]serenity.Stage{
+	serenity.StageRewrite, serenity.StagePartition, serenity.StageSearch, serenity.StageAlloc,
+}
+
+func stageIdx(st serenity.Stage) int {
+	for i, s := range pipelineStages {
+		if s == st {
+			return i
+		}
+	}
+	return -1
 }
 
 func newServer(opts serenity.Options, cacheSize int) *server {
@@ -106,7 +139,7 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
 
-	opts, err := s.requestOptions(r)
+	opts, deadline, err := s.requestOptions(r)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
@@ -128,8 +161,21 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, s.computeTimeout)
 		defer cancel()
 	}
+	if deadline > 0 {
+		// The client's own compile deadline: under strategy=best-effort it
+		// degrades the search instead of failing it.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
 	fp := g.Fingerprint()
 	key := fp + "|" + optionsKey(opts)
+	if opts.Strategy == serenity.StrategyBestEffort {
+		// Only best-effort results depend on the deadline (it decides which
+		// segments degrade); exact and greedy results are deadline-invariant,
+		// so keying them by deadline would only fragment the cache.
+		key += deadlineKey(deadline)
+	}
 	resp, cached, err := s.schedule(ctx, g, opts, fp, key)
 	switch {
 	case err == nil:
@@ -138,8 +184,21 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		return
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		if r.Context().Err() == nil {
-			// The server's own compute deadline fired, not the client's
-			// disconnect: tell the client.
+			// A server-side deadline fired, not the client's disconnect:
+			// tell the client which budget ran out.
+			if deadline > 0 && (s.computeTimeout <= 0 || deadline <= s.computeTimeout) {
+				if opts.Strategy == serenity.StrategyBestEffort {
+					// The deadline expired before the search stage could
+					// intercept it and degrade (e.g. during parsing or
+					// graph validation): no schedule exists to serve.
+					s.fail(w, http.StatusServiceUnavailable,
+						fmt.Errorf("the requested %s deadline expired before the search could degrade; raise deadline_ms", deadline))
+					return
+				}
+				s.fail(w, http.StatusServiceUnavailable,
+					fmt.Errorf("compilation exceeded the requested %s deadline (use strategy=best-effort to degrade instead)", deadline))
+				return
+			}
 			s.fail(w, http.StatusServiceUnavailable,
 				fmt.Errorf("compilation exceeded the server's %s compute budget", s.computeTimeout))
 			return
@@ -157,8 +216,11 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		// The cached entry was built for the first submitter of this
 		// structure; echo the current client's graph name on the copy (the
 		// fingerprint deliberately ignores names, the response should not).
+		// A coalesced follower of a degraded compute is NOT labeled cached:
+		// fallback responses are never stored, and clients rely on
+		// cached=true implying a repeatable (exact-quality) entry.
 		c := *resp
-		c.Cached = true
+		c.Cached = resp.Fallbacks == 0
 		c.Graph = g.Name
 		resp = &c
 	}
@@ -206,7 +268,11 @@ func (s *server) schedule(ctx context.Context, g *serenity.Graph, opts serenity.
 			close(f.done)
 		}()
 		f.resp, f.err = s.compute(ctx, g, opts, fingerprint)
-		if f.err == nil {
+		if f.err == nil && f.resp.Fallbacks == 0 {
+			// Degraded (fallback) schedules are served but not cached: the
+			// degradation reflects this moment's load, and pinning it would
+			// deny every later identical request the exact answer a quieter
+			// server could produce.
 			s.cache.Put(key, f.resp)
 		}
 		return f.resp, false, f.err
@@ -214,7 +280,23 @@ func (s *server) schedule(ctx context.Context, g *serenity.Graph, opts serenity.
 }
 
 func (s *server) compute(ctx context.Context, g *serenity.Graph, opts serenity.Options, fingerprint string) (*scheduleResponse, error) {
-	res, err := serenity.ScheduleContext(ctx, g, opts)
+	p, err := serenity.NewPipeline(opts)
+	if err != nil {
+		return nil, err
+	}
+	// The Observer feeds the /metrics stage and fallback counters as the
+	// compilation runs, so a long compile is visible before it finishes.
+	p.Observer = serenity.ObserverFunc(func(e serenity.Event) {
+		switch e.Kind {
+		case serenity.EventStageDone:
+			if i := stageIdx(e.Stage); i >= 0 {
+				s.stageNS[i].Add(int64(e.Elapsed))
+			}
+		case serenity.EventFallback:
+			s.fallbacks.Add(1)
+		}
+	})
+	res, err := p.Run(ctx, g)
 	if res != nil {
 		// Over-budget compilations (ErrBudgetExceeded) still ran the full
 		// DP; their states count.
@@ -222,6 +304,9 @@ func (s *server) compute(ctx context.Context, g *serenity.Graph, opts serenity.O
 	}
 	if err != nil {
 		return nil, err
+	}
+	if res.Quality == serenity.QualityHeuristic {
+		s.heuristic.Add(1)
 	}
 	resp := &scheduleResponse{
 		Graph:          g.Name,
@@ -233,8 +318,18 @@ func (s *server) compute(ctx context.Context, g *serenity.Graph, opts serenity.O
 		BaselinePeak:   res.BaselinePeak,
 		Rewrites:       res.RewriteCount,
 		PartitionSizes: res.PartitionSizes,
+		Strategy:       p.Searcher.Name(),
+		Quality:        res.Quality,
+		SegmentQuality: res.SegmentQuality,
+		Fallbacks:      res.Fallbacks,
 		StatesExplored: res.StatesExplored,
 		SchedulingMS:   float64(res.SchedulingTime.Microseconds()) / 1000,
+		StageMS: stageMS{
+			Rewrite:   float64(res.Stages.Rewrite.Microseconds()) / 1000,
+			Partition: float64(res.Stages.Partition.Microseconds()) / 1000,
+			Search:    float64(res.Stages.Search.Microseconds()) / 1000,
+			Alloc:     float64(res.Stages.Alloc.Microseconds()) / 1000,
+		},
 	}
 	if res.Rewritten {
 		resp.RewrittenGraph = res.Graph
@@ -242,40 +337,60 @@ func (s *server) compute(ctx context.Context, g *serenity.Graph, opts serenity.O
 	return resp, nil
 }
 
-// requestOptions derives the effective scheduling options for one request:
-// the server's defaults overridden by query parameters.
-func (s *server) requestOptions(r *http.Request) (serenity.Options, error) {
+// requestOptions derives the effective scheduling options for one request —
+// the server's defaults overridden by query parameters — plus the client's
+// optional compile deadline. Options.Validate runs here so a bad request
+// fails with a clear 400 instead of a deep-pipeline error.
+func (s *server) requestOptions(r *http.Request) (serenity.Options, time.Duration, error) {
 	opts := s.opts
+	var deadline time.Duration
 	q := r.URL.Query()
 	if v := q.Get("parallelism"); v != "" {
 		p, err := strconv.Atoi(v)
 		if err != nil {
-			return opts, fmt.Errorf("bad parallelism %q", v)
+			return opts, 0, fmt.Errorf("bad parallelism %q", v)
 		}
 		opts.Parallelism = p
 	}
 	if v := q.Get("budget"); v != "" {
 		b, err := parseBytes(v)
 		if err != nil {
-			return opts, err
+			return opts, 0, err
 		}
 		opts.MemoryBudget = b
 	}
 	if v := q.Get("rewrite"); v != "" {
 		on, err := strconv.ParseBool(v)
 		if err != nil {
-			return opts, fmt.Errorf("bad rewrite %q", v)
+			return opts, 0, fmt.Errorf("bad rewrite %q", v)
 		}
 		opts.Rewrite = on
 	}
 	if v := q.Get("partition"); v != "" {
 		on, err := strconv.ParseBool(v)
 		if err != nil {
-			return opts, fmt.Errorf("bad partition %q", v)
+			return opts, 0, fmt.Errorf("bad partition %q", v)
 		}
 		opts.Partition = on
 	}
-	return opts, nil
+	if v := q.Get("strategy"); v != "" {
+		st, err := serenity.ParseStrategy(v)
+		if err != nil {
+			return opts, 0, err
+		}
+		opts.Strategy = st
+	}
+	if v := q.Get("deadline_ms"); v != "" {
+		ms, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || ms <= 0 {
+			return opts, 0, fmt.Errorf("bad deadline_ms %q (want a positive integer)", v)
+		}
+		deadline = time.Duration(ms) * time.Millisecond
+	}
+	if err := opts.Validate(); err != nil {
+		return opts, 0, err
+	}
+	return opts, deadline, nil
 }
 
 // optionsKey renders every result-affecting option into the cache key.
@@ -283,9 +398,19 @@ func (s *server) requestOptions(r *http.Request) (serenity.Options, error) {
 // its own and every returned schedule is peak-optimal for its options, so
 // results are interchangeable across Parallelism settings.
 func optionsKey(o serenity.Options) string {
-	return fmt.Sprintf("r%t:x%t:p%t:a%t:t%d:b%d:s%d",
+	return fmt.Sprintf("r%t:x%t:p%t:a%t:t%d:b%d:s%d:y%s",
 		o.Rewrite, o.ExtendedRewrite, o.Partition, o.AdaptiveBudget,
-		o.StepTimeout, o.MemoryBudget, o.MaxStates)
+		o.StepTimeout, o.MemoryBudget, o.MaxStates, o.Strategy)
+}
+
+// deadlineKey extends a cache key with the client deadline: under
+// strategy=best-effort the deadline changes which segments degrade, so
+// responses are only interchangeable at the same deadline.
+func deadlineKey(d time.Duration) string {
+	if d <= 0 {
+		return ""
+	}
+	return fmt.Sprintf("|d%d", d)
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -328,6 +453,17 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP serenityd_canceled_requests_total Requests abandoned by the client mid-compile.\n")
 	fmt.Fprintf(w, "# TYPE serenityd_canceled_requests_total counter\n")
 	fmt.Fprintf(w, "serenityd_canceled_requests_total %d\n", s.canceled.Load())
+	fmt.Fprintf(w, "# HELP serenityd_fallbacks_total Segments degraded from exact to heuristic search (strategy=best-effort).\n")
+	fmt.Fprintf(w, "# TYPE serenityd_fallbacks_total counter\n")
+	fmt.Fprintf(w, "serenityd_fallbacks_total %d\n", s.fallbacks.Load())
+	fmt.Fprintf(w, "# HELP serenityd_heuristic_responses_total Non-cached compilations answered with a heuristic-quality schedule.\n")
+	fmt.Fprintf(w, "# TYPE serenityd_heuristic_responses_total counter\n")
+	fmt.Fprintf(w, "serenityd_heuristic_responses_total %d\n", s.heuristic.Load())
+	fmt.Fprintf(w, "# HELP serenityd_stage_seconds_total Cumulative pipeline time per stage across non-cached compilations.\n")
+	fmt.Fprintf(w, "# TYPE serenityd_stage_seconds_total counter\n")
+	for i, st := range pipelineStages {
+		fmt.Fprintf(w, "serenityd_stage_seconds_total{stage=%q} %.6f\n", st, float64(s.stageNS[i].Load())/1e9)
+	}
 }
 
 func (s *server) fail(w http.ResponseWriter, code int, err error) {

@@ -343,6 +343,172 @@ func TestQueryOverridesChangeCacheKey(t *testing.T) {
 	}
 }
 
+// TestStrategyParam: per-request strategy selection reaches the pipeline
+// and the response is honestly labeled.
+func TestStrategyParam(t *testing.T) {
+	_, ts := testServer(t)
+	body := graphBody(t, smallCell(4))
+
+	resp, data := postSchedule(t, ts, "?strategy=greedy", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var got scheduleResponse
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Strategy != "greedy" {
+		t.Errorf("strategy = %q, want greedy", got.Strategy)
+	}
+	if got.Quality != serenity.QualityHeuristic {
+		t.Errorf("quality = %q, want heuristic", got.Quality)
+	}
+	if got.StatesExplored <= 0 {
+		t.Error("greedy response reports no states explored")
+	}
+	if len(got.SegmentQuality) != len(got.PartitionSizes) {
+		t.Errorf("segment_quality %d entries, partitions %d", len(got.SegmentQuality), len(got.PartitionSizes))
+	}
+
+	// Exact on the same graph: distinct cache entry, optimal quality, and a
+	// peak no better than the heuristic's.
+	resp, data = postSchedule(t, ts, "", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var exact scheduleResponse
+	if err := json.Unmarshal(data, &exact); err != nil {
+		t.Fatal(err)
+	}
+	if exact.Cached {
+		t.Error("exact request hit the greedy cache entry")
+	}
+	if exact.Strategy != "exact" || exact.Quality != serenity.QualityOptimal {
+		t.Errorf("exact response labeled %q/%q", exact.Strategy, exact.Quality)
+	}
+	if got.Peak < exact.Peak {
+		t.Errorf("greedy peak %d below optimal %d", got.Peak, exact.Peak)
+	}
+}
+
+// TestBestEffortDeadlineFallback is the serving-side acceptance scenario: a
+// deadline far too tight for the exact DP yields 200 with a heuristic
+// schedule, and /metrics reports the fallback.
+func TestBestEffortDeadlineFallback(t *testing.T) {
+	s, ts := testServer(t)
+	// Exact DP on this wiring runs seconds per segment; 50ms lands mid-search.
+	g := serenity.RandWireCell("be-big", 48, 8, 0.9, 10, 16, 8)
+	resp, data := postSchedule(t, ts, "?strategy=best-effort&deadline_ms=50", graphBody(t, g))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var got scheduleResponse
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Quality != serenity.QualityHeuristic {
+		t.Errorf("quality = %q, want heuristic under an impossible deadline", got.Quality)
+	}
+	if got.Fallbacks == 0 {
+		t.Error("response reports no fallbacks")
+	}
+	if len(got.Order) != got.Nodes || got.Peak <= 0 {
+		t.Errorf("degraded response is not a valid schedule: %d/%d nodes, peak %d", len(got.Order), got.Nodes, got.Peak)
+	}
+	if s.fallbacks.Load() == 0 {
+		t.Error("fallback counter never incremented")
+	}
+
+	mresp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		"serenityd_fallbacks_total",
+		"serenityd_heuristic_responses_total 1",
+		`serenityd_stage_seconds_total{stage="search"}`,
+		`serenityd_stage_seconds_total{stage="alloc"}`,
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// Degraded results must not be pinned in the cache.
+	resp, data = postSchedule(t, ts, "?strategy=best-effort&deadline_ms=50", graphBody(t, g))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat status %d: %s", resp.StatusCode, data)
+	}
+	var again scheduleResponse
+	if err := json.Unmarshal(data, &again); err != nil {
+		t.Fatal(err)
+	}
+	if again.Cached {
+		t.Error("heuristic fallback response was served from the cache")
+	}
+
+	// Same strategy with a generous deadline: full exact quality.
+	small := graphBody(t, smallCell(5))
+	resp, data = postSchedule(t, ts, "?strategy=best-effort&deadline_ms=60000", small)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var easy scheduleResponse
+	if err := json.Unmarshal(data, &easy); err != nil {
+		t.Fatal(err)
+	}
+	if easy.Quality != serenity.QualityOptimal || easy.Fallbacks != 0 {
+		t.Errorf("feasible best-effort degraded: quality=%q fallbacks=%d", easy.Quality, easy.Fallbacks)
+	}
+}
+
+// TestRequestValidation: malformed strategy/deadline/options fail fast with
+// 400 and a JSON error body, before any scheduling work.
+func TestRequestValidation(t *testing.T) {
+	_, ts := testServer(t)
+	body := graphBody(t, smallCell(1))
+	for _, query := range []string{
+		"?strategy=simulated-annealing",
+		"?deadline_ms=abc",
+		"?deadline_ms=-5",
+		"?deadline_ms=0",
+		"?parallelism=-2",
+	} {
+		resp, data := postSchedule(t, ts, query, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", query, resp.StatusCode, data)
+			continue
+		}
+		var e errorResponse
+		if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body %q is not a JSON error", query, data)
+		}
+	}
+}
+
+// TestBudgetExceededResponse pins the ErrBudgetExceeded wire contract: a
+// distinct 422 status with a JSON error body naming both sides of the
+// overflow.
+func TestBudgetExceededResponse(t *testing.T) {
+	_, ts := testServer(t)
+	resp, data := postSchedule(t, ts, "?budget=1", graphBody(t, smallCell(1)))
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422: %s", resp.StatusCode, data)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("content type %q, want JSON", ct)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(data, &e); err != nil {
+		t.Fatalf("error body is not JSON: %v (%s)", err, data)
+	}
+	if !strings.Contains(e.Error, "exceeds device budget") {
+		t.Errorf("error %q does not explain the budget overflow", e.Error)
+	}
+}
+
 func TestLoadgenSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loadgen smoke test is not short")

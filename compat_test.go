@@ -1,0 +1,101 @@
+package serenity
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/serenity-ml/serenity/internal/models"
+)
+
+// compatGolden pins the pre-Pipeline-redesign outputs of Schedule with
+// DefaultOptions (StepTimeout raised to a minute so no adaptive probe ever
+// hits its wall-clock limit, making the pipeline fully deterministic) on the
+// paper's nine-cell model suite. Captured from the monolithic
+// ScheduleContext immediately before the Searcher/Allocator redesign; the
+// compatibility contract is that the ExactDP strategy reproduces these bit
+// for bit.
+var compatGolden = []struct {
+	name      string
+	cell      int // index into models.BenchmarkCells()
+	peak      int64
+	arenaSize int64
+	order     []int
+}{
+	{"DARTS/Normal", 0, 903168, 903168, []int{0, 2, 1, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 21, 16, 23, 17, 18, 19, 20, 22, 24, 25, 26}},
+	{"SwiftNet/CellA", 1, 123904, 123904, []int{0, 2, 6, 7, 3, 8, 4, 9, 5, 10, 12, 16, 17, 13, 18, 14, 19, 15, 20, 22, 26, 27, 23, 28, 24, 29, 25, 30, 1, 11, 21, 31, 32}},
+	{"SwiftNet/CellB", 2, 30976, 30976, []int{0, 2, 5, 6, 3, 7, 4, 8, 10, 13, 14, 11, 15, 12, 16, 18, 21, 22, 19, 23, 20, 24, 1, 9, 17, 25, 26, 27, 28}},
+	{"SwiftNet/CellC", 3, 7328, 7328, []int{0, 2, 6, 7, 3, 8, 4, 9, 5, 10, 12, 15, 16, 13, 17, 14, 18, 1, 11, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29}},
+	{"RandWire/C10-A", 4, 983040, 983040, []int{0, 1, 2, 3, 4, 5, 6, 9, 12, 13, 19, 21, 24, 25, 31, 32, 33, 34, 7, 8, 35, 20, 22, 23, 26, 27, 10, 11, 14, 15, 16, 17, 18, 28, 29, 30, 36, 37, 38, 39, 40, 41, 42, 43, 44, 45, 46, 47, 48, 49, 50, 51, 52}},
+	{"RandWire/C10-B", 5, 458752, 458752, []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 23, 24, 25, 26, 21, 27, 28, 29, 30, 31, 32, 33, 34, 35, 36, 20, 22, 37, 38, 39, 42, 40, 41, 43, 44, 45, 46, 47, 48, 49, 50, 51, 52, 53}},
+	{"RandWire/C100-A", 6, 983040, 983040, []int{0, 1, 2, 5, 6, 7, 8, 9, 4, 11, 12, 20, 13, 10, 14, 15, 16, 3, 17, 18, 19, 21, 22, 23, 24, 25, 26, 27, 28, 48, 29, 30, 31, 32, 35, 33, 34, 36, 37, 38, 39, 40, 41, 42, 43, 44, 45, 46, 47, 49, 50, 51, 52, 53}},
+	{"RandWire/C100-B", 7, 491520, 491520, []int{0, 1, 3, 4, 5, 9, 10, 18, 6, 2, 8, 11, 13, 14, 7, 19, 22, 23, 24, 25, 28, 29, 26, 30, 32, 45, 12, 15, 16, 17, 20, 21, 27, 31, 33, 36, 37, 38, 39, 34, 35, 40, 41, 42, 43, 44, 46, 47, 48, 49, 50, 51, 52}},
+	{"RandWire/C100-C", 8, 229376, 229376, []int{0, 1, 3, 6, 7, 8, 9, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 23, 24, 4, 27, 5, 10, 33, 11, 34, 35, 2, 36, 37, 25, 26, 38, 39, 22, 28, 29, 30, 31, 32, 40, 41, 42, 43, 44, 45, 46, 47, 48, 49, 50, 51, 52}},
+}
+
+func compatOptions() Options {
+	opts := DefaultOptions()
+	opts.StepTimeout = time.Minute
+	return opts
+}
+
+// TestExactDPMatchesPreRedesignSchedule is the API-redesign compatibility
+// contract: the ExactDP strategy — reached through both the Schedule wrapper
+// and an explicitly assembled Pipeline — produces bit-identical Order, Peak,
+// and ArenaSize to the pre-redesign monolithic Schedule on the nine-cell
+// model suite (golden values captured before the refactor).
+func TestExactDPMatchesPreRedesignSchedule(t *testing.T) {
+	cells := models.BenchmarkCells()
+	for _, tc := range compatGolden {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+
+			// Through the compatibility wrapper.
+			res, err := Schedule(cells[tc.cell].Build(), compatOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkCompat(t, "Schedule", res, tc.peak, tc.arenaSize, tc.order)
+
+			// Through an explicitly assembled Pipeline with the ExactDP
+			// strategy spelled out.
+			p := &Pipeline{
+				Searcher:  ExactDP{AdaptiveBudget: true, StepTimeout: time.Minute},
+				Allocator: ArenaBestFit{},
+				Rewrite:   true,
+				Partition: true,
+			}
+			pres, err := p.Run(context.Background(), cells[tc.cell].Build())
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkCompat(t, "Pipeline", pres, tc.peak, tc.arenaSize, tc.order)
+			if pres.Quality != QualityOptimal {
+				t.Errorf("ExactDP quality = %q, want optimal", pres.Quality)
+			}
+			for i, q := range pres.SegmentQuality {
+				if q != QualityOptimal {
+					t.Errorf("segment %d quality = %q, want optimal", i, q)
+				}
+			}
+			if pres.Fallbacks != 0 {
+				t.Errorf("ExactDP reported %d fallbacks", pres.Fallbacks)
+			}
+		})
+	}
+}
+
+func checkCompat(t *testing.T, via string, res *Result, peak, arena int64, order []int) {
+	t.Helper()
+	if res.Peak != peak {
+		t.Errorf("%s: peak = %d, want golden %d", via, res.Peak, peak)
+	}
+	if res.ArenaSize != arena {
+		t.Errorf("%s: arena = %d, want golden %d", via, res.ArenaSize, arena)
+	}
+	if !reflect.DeepEqual([]int(res.Order), order) {
+		t.Errorf("%s: order diverged from pre-redesign golden\ngot:  %v\nwant: %v", via, res.Order, order)
+	}
+}

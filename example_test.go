@@ -1,0 +1,74 @@
+package serenity_test
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	serenity "github.com/serenity-ml/serenity"
+)
+
+// ExampleBestEffort shows the degradable compile contract: under a deadline
+// the exact DP cannot meet, the best-effort strategy returns a valid
+// heuristic schedule tagged as such instead of an error.
+func ExampleBestEffort() {
+	g := serenity.RandWireCell("rw", 48, 8, 0.9, 10, 16, 8)
+
+	opts := serenity.DefaultOptions()
+	opts.Strategy = serenity.StrategyBestEffort
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+
+	res, err := serenity.ScheduleContext(ctx, g, opts)
+	if err != nil {
+		panic(err) // best-effort degrades rather than failing on deadline
+	}
+	fmt.Println("quality:", res.Quality)
+	fmt.Println("valid schedule:", len(res.Order) == res.Graph.NumNodes())
+	// Output:
+	// quality: heuristic
+	// valid schedule: true
+}
+
+// ExampleOptions_Validate shows the fast-fail contract for nonsensical
+// option combinations.
+func ExampleOptions_Validate() {
+	opts := serenity.DefaultOptions()
+	opts.Parallelism = -4
+	fmt.Println(opts.Validate())
+	// Output:
+	// serenity: negative Parallelism -4 (0 or 1 means sequential)
+}
+
+// ExamplePipeline assembles the composable form explicitly: an exact
+// searcher, the TF-Lite best-fit arena planner, and an observer counting
+// segment searches.
+func ExamplePipeline() {
+	b := serenity.NewBuilder("net")
+	in := b.Input(serenity.Shape{1, 16, 16, 4})
+	x := b.Conv(in, 8, 3, 1, serenity.PadSame)
+	y := b.Conv(in, 8, 3, 1, serenity.PadSame)
+	b.Concat(x, y)
+
+	segments := 0
+	p := &serenity.Pipeline{
+		Searcher:  serenity.ExactDP{AdaptiveBudget: true},
+		Allocator: serenity.ArenaBestFit{},
+		Rewrite:   true,
+		Partition: true,
+		Observer: serenity.ObserverFunc(func(e serenity.Event) {
+			if e.Kind == serenity.EventSegmentDone {
+				segments++
+			}
+		}),
+	}
+	res, err := p.Run(context.Background(), b.Graph())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("quality:", res.Quality)
+	fmt.Println("segments searched:", segments)
+	// Output:
+	// quality: optimal
+	// segments searched: 1
+}

@@ -119,7 +119,11 @@ func TestPipelineAllStageCombinations(t *testing.T) {
 					Rewrite:        rw,
 					Partition:      part,
 					AdaptiveBudget: asb,
-					StepTimeout:    500 * time.Millisecond,
+				}
+				if asb {
+					// Validate rejects a StepTimeout the unbudgeted DP
+					// would silently ignore.
+					opts.StepTimeout = 500 * time.Millisecond
 				}
 				res, err := Schedule(g, opts)
 				if err != nil {

@@ -56,8 +56,9 @@ func AdaptiveSchedule(m *sched.MemModel, opts AdaptiveOptions) (*AdaptiveResult,
 
 // AdaptiveScheduleCtx is AdaptiveSchedule with cooperative cancellation. The
 // context is threaded into every DP probe; when it is done the meta-search
-// stops immediately and ctx.Err() is returned (the probes made so far remain
-// recorded in the error-free path only).
+// stops immediately and ctx.Err() is returned alongside the partial
+// AdaptiveResult, whose Probes record the work done up to and including the
+// canceled probe (Result stays nil).
 func AdaptiveScheduleCtx(ctx context.Context, m *sched.MemModel, opts AdaptiveOptions) (*AdaptiveResult, error) {
 	if opts.StepTimeout <= 0 {
 		opts.StepTimeout = time.Second
@@ -90,7 +91,11 @@ func AdaptiveScheduleCtx(ctx context.Context, m *sched.MemModel, opts AdaptiveOp
 		for iter := 0; iter < opts.MaxIters; iter++ {
 			r := ScheduleCtx(ctx, m, Options{Budget: tauNew, StepTimeout: timeout, MaxStates: opts.MaxStates})
 			if r.Flag == FlagCanceled {
-				return nil, ctx.Err()
+				// Return the probe record alongside the error: the states
+				// explored before cancellation are real work callers may
+				// want to account for (e.g. a degradable searcher).
+				ar.Probes = append(ar.Probes, BudgetProbe{Budget: tauNew, Flag: r.Flag, States: r.StatesExplored, Elapsed: r.Elapsed})
+				return ar, ctx.Err()
 			}
 			ar.Probes = append(ar.Probes, BudgetProbe{Budget: tauNew, Flag: r.Flag, States: r.StatesExplored, Elapsed: r.Elapsed})
 			switch r.Flag {

@@ -63,6 +63,46 @@ func TestGreedyMemoryDeterministic(t *testing.T) {
 	}
 }
 
+// TestGreedyMemoryStatesAccounting pins the work metric that makes the
+// heuristic comparable to the DP: one state per ready-node evaluation. Every
+// step evaluates at least one candidate and at most every unscheduled node,
+// so n <= states <= n^2, and a second run reports the identical count.
+func TestGreedyMemoryStatesAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	for trial := 0; trial < 25; trial++ {
+		g := graph.RandomDAG(rng, graph.RandomDAGConfig{Nodes: 18, EdgeProb: 0.2})
+		m := NewMemModel(g)
+		r1, err := GreedyMemoryRun(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := int64(g.NumNodes())
+		if r1.StatesExplored < n || r1.StatesExplored > n*n {
+			t.Fatalf("trial %d: states %d outside [%d, %d]", trial, r1.StatesExplored, n, n*n)
+		}
+		r2, err := GreedyMemoryRun(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r2.StatesExplored != r1.StatesExplored {
+			t.Fatalf("trial %d: states nondeterministic: %d vs %d", trial, r1.StatesExplored, r2.StatesExplored)
+		}
+		// The wrapper and the full run must agree.
+		order, peak, err := GreedyMemory(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if peak != r1.Peak {
+			t.Fatalf("trial %d: wrapper peak %d != run peak %d", trial, peak, r1.Peak)
+		}
+		for i := range order {
+			if order[i] != r1.Order[i] {
+				t.Fatalf("trial %d: wrapper order diverged", trial)
+			}
+		}
+	}
+}
+
 // TestGreedyMemoryIsSuboptimalSomewhere documents why the exact DP matters:
 // there exist graphs where the one-step-lookahead heuristic is strictly
 // worse than the optimum.

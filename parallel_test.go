@@ -77,7 +77,7 @@ func TestParallelismOversubscription(t *testing.T) {
 	if len(seq.PartitionSizes) < 4 {
 		t.Fatalf("test graph split into %v; need several segments", seq.PartitionSizes)
 	}
-	for _, p := range []int{-3, 0, 1, 64} {
+	for _, p := range []int{0, 1, 64} {
 		opts.Parallelism = p
 		res, err := Schedule(build(), opts)
 		if err != nil {

@@ -1,0 +1,343 @@
+package serenity
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/serenity-ml/serenity/internal/partition"
+	"github.com/serenity-ml/serenity/internal/rewrite"
+	"github.com/serenity-ml/serenity/internal/sched"
+)
+
+// StageTimings records how long each pipeline stage took; disabled stages
+// report zero.
+type StageTimings struct {
+	Rewrite   time.Duration `json:"rewrite"`
+	Partition time.Duration `json:"partition"`
+	Search    time.Duration `json:"search"`
+	Alloc     time.Duration `json:"alloc"`
+}
+
+// Pipeline is the composable form of the SERENITY compilation pipeline
+// (Figure 4: rewrite → partition → search → arena allocation) with the
+// search and allocation strategies pluggable and every stage observable.
+//
+// Construct one with NewPipeline (which derives the strategy from Options)
+// or populate the fields directly; then call Run. Schedule and
+// ScheduleContext remain as thin wrappers for callers that don't need to
+// swap strategies.
+type Pipeline struct {
+	// Searcher schedules each partition segment. Required. Must be safe for
+	// concurrent use when Parallelism > 1.
+	Searcher Searcher
+	// Allocator plans the arena for the combined schedule; nil means
+	// ArenaBestFit (the paper's TF-Lite planner).
+	Allocator Allocator
+	// Observer, when non-nil, receives per-stage and per-segment events.
+	// Calls are serialized; see Observer.
+	Observer Observer
+
+	// Rewrite / ExtendedRewrite / Partition toggle the graph stages, with
+	// the same semantics as the corresponding Options fields.
+	Rewrite         bool
+	ExtendedRewrite bool
+	Partition       bool
+	// Parallelism bounds the worker pool searching segments concurrently;
+	// values <= 1 mean sequential. See Options.Parallelism.
+	Parallelism int
+	// MemoryBudget, when positive, makes Run fail with ErrBudgetExceeded if
+	// the planned arena exceeds it. The partial Result is still returned.
+	MemoryBudget int64
+}
+
+// NewPipeline builds a Pipeline from opts: the Searcher is derived from
+// opts.Strategy (and the exact-search knobs), the Allocator is the default
+// best-fit planner, and the stage toggles are copied over. Returns an error
+// if opts fails Validate.
+func NewPipeline(opts Options) (*Pipeline, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	return &Pipeline{
+		Searcher:        opts.searcher(),
+		Allocator:       ArenaBestFit{},
+		Rewrite:         opts.Rewrite,
+		ExtendedRewrite: opts.ExtendedRewrite,
+		Partition:       opts.Partition,
+		Parallelism:     opts.Parallelism,
+		MemoryBudget:    opts.MemoryBudget,
+	}, nil
+}
+
+// Run executes the pipeline on g under ctx.
+//
+// Cancellation is threaded into the search stage; whether a deadline aborts
+// the compilation or degrades it is the Searcher's contract (ExactDP errors,
+// BestEffort falls back). The other stages are fast and run to completion.
+func (p *Pipeline) Run(ctx context.Context, g *Graph) (*Result, error) {
+	start := time.Now()
+	if p.Searcher == nil {
+		return nil, errors.New("serenity: pipeline has no Searcher")
+	}
+	allocator := p.Allocator
+	if allocator == nil {
+		allocator = ArenaBestFit{}
+	}
+	obs := &emitter{obs: p.Observer}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{Graph: g, Quality: QualityOptimal}
+
+	// Baseline / hard budget from Kahn's algorithm.
+	kahn, err := sched.KahnFIFO(g)
+	if err != nil {
+		return nil, err
+	}
+	baseModel := sched.NewMemModel(g)
+	res.BaselinePeak, err = baseModel.Peak(kahn)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 1: identity graph rewriting.
+	work := g
+	if p.Rewrite || p.ExtendedRewrite {
+		obs.stageStart(StageRewrite)
+		t0 := time.Now()
+		rules := rewrite.DefaultRules()
+		if p.ExtendedRewrite {
+			rules = rewrite.ExtendedRules()
+		}
+		rw, apps, err := rewrite.RewriteAll(g, rules, 0)
+		if err != nil {
+			return nil, err
+		}
+		if len(apps) > 0 {
+			work = rw
+			res.Rewritten = true
+			for _, a := range apps {
+				res.RewriteCount += a.Sites
+			}
+			res.Graph = rw
+		}
+		res.Stages.Rewrite = time.Since(t0)
+		obs.stageDone(StageRewrite, res.Stages.Rewrite)
+	}
+	model := sched.NewMemModel(work)
+
+	// Stage 2: divide-and-conquer.
+	var segments []*partition.Segment
+	var part *partition.Partition
+	if p.Partition {
+		obs.stageStart(StagePartition)
+		t0 := time.Now()
+		part, err = partition.Split(work)
+		if err != nil {
+			return nil, err
+		}
+		segments = part.Segments
+		res.PartitionSizes = part.Sizes()
+		res.Stages.Partition = time.Since(t0)
+		obs.stageDone(StagePartition, res.Stages.Partition)
+	} else {
+		res.PartitionSizes = []int{work.NumNodes()}
+	}
+
+	// Stage 3: per-segment search. Each segment is an independent
+	// sub-problem; the Searcher is required to be pure across segments, so
+	// segments may run concurrently.
+	obs.stageStart(StageSearch)
+	searchStart := time.Now()
+	searchOne := func(ctx context.Context, idx int, m *sched.MemModel) (SearchResult, error) {
+		segStart := time.Now()
+		nodes := m.G.NumNodes()
+		obs.segmentStart(idx, nodes)
+		sr, err := p.Searcher.Search(ctx, m)
+		if err != nil {
+			return sr, err
+		}
+		if len(sr.Order) != nodes {
+			return sr, fmt.Errorf("serenity: searcher %s returned %d of %d nodes", p.Searcher.Name(), len(sr.Order), nodes)
+		}
+		if sr.FellBack {
+			obs.fallback(idx, sr.FallbackReason)
+		}
+		obs.segmentDone(idx, nodes, sr, time.Since(segStart))
+		return sr, nil
+	}
+
+	var order sched.Schedule
+	var results []SearchResult
+	if part != nil {
+		results, err = searchSegments(ctx, segments, p.Parallelism, searchOne)
+		if err != nil {
+			return nil, err
+		}
+		orders := make([]sched.Schedule, len(results))
+		for i, sr := range results {
+			orders[i] = sr.Order
+		}
+		order, err = part.Combine(orders)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		sr, err := searchOne(ctx, 0, model)
+		if err != nil {
+			return nil, err
+		}
+		results = []SearchResult{sr}
+		order = sr.Order
+	}
+	for _, sr := range results {
+		res.StatesExplored += sr.StatesExplored
+		res.SegmentQuality = append(res.SegmentQuality, sr.Quality)
+		if sr.Quality != QualityOptimal {
+			res.Quality = QualityHeuristic
+		}
+		if sr.FellBack {
+			res.Fallbacks++
+		}
+	}
+	res.Stages.Search = time.Since(searchStart)
+	obs.stageDone(StageSearch, res.Stages.Search)
+
+	// Verify and measure the combined schedule end to end.
+	sim, err := model.Simulate(order)
+	if err != nil {
+		return nil, fmt.Errorf("serenity: combined schedule invalid: %w", err)
+	}
+	res.Order = order
+	res.Peak = sim.Peak
+
+	// Stage 4: arena allocation.
+	obs.stageStart(StageAlloc)
+	t0 := time.Now()
+	asn, err := allocator.Allocate(model, order)
+	if err != nil {
+		return nil, err
+	}
+	res.ArenaSize = asn.ArenaSize
+	res.Offsets = asn.Offsets
+	res.Stages.Alloc = time.Since(t0)
+	obs.stageDone(StageAlloc, res.Stages.Alloc)
+	res.SchedulingTime = time.Since(start)
+
+	if p.MemoryBudget > 0 && res.ArenaSize > p.MemoryBudget {
+		return res, &ErrBudgetExceeded{Required: res.ArenaSize, Budget: p.MemoryBudget}
+	}
+	return res, nil
+}
+
+// searchSegments solves every partition segment, sequentially or on a
+// bounded worker pool of min(parallelism, len(segments)) goroutines. Results
+// are collected by segment index, so on success the outcome is identical
+// regardless of parallelism or goroutine interleaving. On the first failure
+// the remaining segments are canceled for a prompt abort; the reported
+// segment index may then differ from the sequential path's (the failure
+// itself is the same kind), which is the one deliberate concession to the
+// worker pool.
+func searchSegments(ctx context.Context, segments []*partition.Segment, parallelism int,
+	searchOne func(context.Context, int, *sched.MemModel) (SearchResult, error)) ([]SearchResult, error) {
+
+	results := make([]SearchResult, len(segments))
+	errs := make([]error, len(segments))
+
+	workers := parallelism
+	if workers > len(segments) {
+		workers = len(segments)
+	}
+	// The per-segment search is pure CPU work: workers beyond GOMAXPROCS
+	// cannot run and only multiply live memo tables, so cap the pool there.
+	if mp := runtime.GOMAXPROCS(0); workers > mp {
+		workers = mp
+	}
+	if workers <= 1 {
+		for i, seg := range segments {
+			sr, err := searchOne(ctx, i, sched.NewMemModel(seg.G))
+			if err != nil {
+				if ctxErr := ctx.Err(); ctxErr != nil {
+					return nil, ctxErr
+				}
+				return nil, fmt.Errorf("segment %d: %w", i, err)
+			}
+			results[i] = sr
+		}
+		return results, nil
+	}
+
+	segCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				sr, err := searchOne(segCtx, i, sched.NewMemModel(segments[i].G))
+				if err != nil {
+					errs[i] = err
+					cancel() // abort the remaining segments
+					continue
+				}
+				results[i] = sr
+			}
+		}()
+	}
+	for i := range segments {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	failed := false
+	for _, err := range errs {
+		if err != nil {
+			failed = true
+			break
+		}
+	}
+	if !failed {
+		// Every segment succeeded. A degradable searcher may have finished
+		// by falling back after the deadline passed, so the caller's
+		// expired context must not retroactively void the valid result.
+		return results, nil
+	}
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		// The caller's own cancellation outranks any per-segment error.
+		return nil, ctxErr
+	}
+	// A genuine failure cancels its siblings, so skip induced
+	// context.Canceled errors and report the lowest-index real one.
+	var firstErr error
+	firstIdx := -1
+	for i, err := range errs {
+		if err == nil || errors.Is(err, context.Canceled) {
+			continue
+		}
+		firstErr, firstIdx = err, i
+		break
+	}
+	if firstErr == nil {
+		// Unreachable under the invariant that a Canceled entry implies
+		// some worker recorded a genuine failure first (only failures
+		// call cancel, and the caller's own cancellation returned
+		// above); kept so a broken invariant surfaces as an error
+		// rather than as missing segment orders.
+		for i, err := range errs {
+			if err != nil {
+				firstErr, firstIdx = err, i
+				break
+			}
+		}
+	}
+	return nil, fmt.Errorf("segment %d: %w", firstIdx, firstErr)
+}

@@ -18,38 +18,49 @@
 //	res, err := serenity.Schedule(b.Graph(), serenity.DefaultOptions())
 //	// res.Order, res.Peak, res.ArenaSize
 //
+// # Pipeline, strategies, observability
+//
+// The pipeline is composable: Pipeline wires a Searcher (the per-segment
+// scheduling strategy), an Allocator (the arena planning strategy), and an
+// optional Observer (per-stage and per-segment events) around the graph
+// stages. Three searchers ship built in:
+//
+//   - ExactDP — the paper's exact search; optimal or an error (default)
+//   - GreedyMemory — the linear-time heuristic, for graphs beyond DP reach
+//   - BestEffort — exact under the deadline, degrading to the heuristic
+//     instead of failing, with each segment tagged Optimal or Heuristic
+//
+// Schedule and ScheduleContext remain as thin wrappers over Pipeline;
+// Options.Strategy selects the searcher without touching the Pipeline API:
+//
+//	opts := serenity.DefaultOptions()
+//	opts.Strategy = serenity.StrategyBestEffort
+//	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+//	defer cancel()
+//	res, err := serenity.ScheduleContext(ctx, g, opts)
+//	// err == nil even if the DP could not finish; res.Quality says which
+//	// path produced the schedule, res.Fallbacks how many segments degraded.
+//
 // Divide-and-conquer makes the partition segments independent sub-problems,
-// so ScheduleContext can solve them concurrently: set Options.Parallelism
-// to fan the per-segment DP out over a bounded worker pool. Parallelism
+// so the pipeline can solve them concurrently: set Options.Parallelism
+// to fan the per-segment search out over a bounded worker pool. Parallelism
 // changes wall-clock time, not results (see Options.Parallelism for the
 // wall-clock caveat Algorithm 2 carries with or without the pool).
-// ScheduleContext also threads context.Context cancellation into the
-// DP search loops, so deadlines and client disconnects abort a compilation
-// mid-search:
-//
-//	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-//	defer cancel()
-//	opts := serenity.DefaultOptions()
-//	opts.Parallelism = runtime.GOMAXPROCS(0)
-//	res, err := serenity.ScheduleContext(ctx, g, opts)
+// Cancellation is threaded into the search loops, so deadlines and client
+// disconnects abort (or, under BestEffort, degrade) a compilation
+// mid-search.
 //
 // For serving schedule requests over HTTP (with an LRU schedule cache keyed
-// by Graph.Fingerprint), see cmd/serenityd.
+// by Graph.Fingerprint and per-request strategy selection), see
+// cmd/serenityd.
 package serenity
 
 import (
 	"context"
-	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 	"time"
 
-	"github.com/serenity-ml/serenity/internal/alloc"
-	"github.com/serenity-ml/serenity/internal/dp"
 	"github.com/serenity-ml/serenity/internal/graph"
-	"github.com/serenity-ml/serenity/internal/partition"
-	"github.com/serenity-ml/serenity/internal/rewrite"
 	"github.com/serenity-ml/serenity/internal/sched"
 )
 
@@ -95,12 +106,20 @@ type Options struct {
 	ExtendedRewrite bool
 	// Partition enables divide-and-conquer (Section 3.2).
 	Partition bool
-	// AdaptiveBudget enables adaptive soft budgeting (Section 3.2). When
-	// false the DP runs unbudgeted, which is exact but may be intractable
-	// for graphs beyond ~30 nodes per partition.
+	// Strategy selects the per-segment search strategy: StrategyExact (the
+	// default; the empty string means exact), StrategyGreedy, or
+	// StrategyBestEffort. See the Searcher implementations for semantics.
+	Strategy Strategy
+	// AdaptiveBudget enables adaptive soft budgeting (Section 3.2) for the
+	// exact strategy. When false the DP runs unbudgeted, which is exact but
+	// may be intractable for graphs beyond ~30 nodes per partition.
 	AdaptiveBudget bool
 	// StepTimeout is the per-search-step limit T of Algorithm 2.
-	// Defaults to 1s when zero and AdaptiveBudget is on.
+	// Defaults to 1s when zero and AdaptiveBudget is on. Under
+	// StrategyExact it requires AdaptiveBudget (Validate rejects a
+	// StepTimeout the unbudgeted DP would silently ignore); under
+	// StrategyBestEffort it bounds the exact attempt's steps; under
+	// StrategyGreedy it is ignored.
 	StepTimeout time.Duration
 	// MemoryBudget, when positive, makes Schedule fail with
 	// ErrBudgetExceeded if even the optimal schedule's arena exceeds it
@@ -110,8 +129,9 @@ type Options struct {
 	// the adaptive default.
 	MaxStates int
 	// Parallelism bounds the worker pool scheduling partition segments
-	// concurrently. Values <= 1 mean sequential. Segments are independent
-	// sub-problems (Section 3.2) and each segment's DP is deterministic, so
+	// concurrently. Values of 0 or 1 mean sequential; negative values are
+	// rejected by Validate. Segments are independent sub-problems
+	// (Section 3.2) and each segment's DP is deterministic, so
 	// parallelism introduces no nondeterminism of its own: given the same
 	// per-segment budget-probe outcomes, the combined schedule is
 	// bit-identical to the sequential path. The one caveat is inherited
@@ -135,6 +155,53 @@ func DefaultOptions() Options {
 	}
 }
 
+// Validate rejects option combinations that would otherwise surface as
+// confusing deep-pipeline errors or silently do nothing: negative
+// Parallelism, a StepTimeout the unbudgeted exact DP would ignore, negative
+// MaxStates or MemoryBudget, and unknown strategies. ScheduleContext and
+// NewPipeline call it; servers should call it at request-decoding time so
+// bad requests fail fast with a clear message.
+func (o Options) Validate() error {
+	if o.Parallelism < 0 {
+		return fmt.Errorf("serenity: negative Parallelism %d (0 or 1 means sequential)", o.Parallelism)
+	}
+	if o.StepTimeout < 0 {
+		return fmt.Errorf("serenity: negative StepTimeout %s", o.StepTimeout)
+	}
+	if o.MaxStates < 0 {
+		return fmt.Errorf("serenity: negative MaxStates %d (zero means the adaptive default)", o.MaxStates)
+	}
+	if o.MemoryBudget < 0 {
+		return fmt.Errorf("serenity: negative MemoryBudget %d", o.MemoryBudget)
+	}
+	strategy, err := ParseStrategy(string(o.Strategy))
+	if err != nil {
+		return err
+	}
+	if strategy == StrategyExact && o.StepTimeout > 0 && !o.AdaptiveBudget {
+		return fmt.Errorf("serenity: StepTimeout %s requires AdaptiveBudget under the exact strategy (the unbudgeted DP has no search steps to time out)", o.StepTimeout)
+	}
+	return nil
+}
+
+// searcher derives the Searcher opts.Strategy selects. Callers must have
+// validated opts first.
+func (o Options) searcher() Searcher {
+	exact := ExactDP{
+		AdaptiveBudget: o.AdaptiveBudget,
+		StepTimeout:    o.StepTimeout,
+		MaxStates:      o.MaxStates,
+	}
+	switch o.Strategy {
+	case StrategyGreedy:
+		return GreedyMemory{}
+	case StrategyBestEffort:
+		exact.AdaptiveBudget = true
+		return BestEffort{Exact: exact}
+	}
+	return exact
+}
+
 // ErrBudgetExceeded is returned when the optimal schedule still exceeds
 // Options.MemoryBudget.
 type ErrBudgetExceeded struct {
@@ -152,7 +219,8 @@ type Result struct {
 	// Graph is the graph the schedule indexes: the rewritten graph when
 	// rewriting applied, otherwise the input graph.
 	Graph *Graph
-	// Order is the memory-optimal execution order over Graph.
+	// Order is the execution order over Graph; memory-optimal when Quality
+	// is QualityOptimal.
 	Order Order
 	// Peak is the ideal peak footprint (sum of live tensor bytes).
 	Peak int64
@@ -171,248 +239,43 @@ type Result struct {
 	RewriteCount int
 	// PartitionSizes lists the divide-and-conquer segment node counts.
 	PartitionSizes []int
+	// Quality is QualityOptimal iff every segment's search was exact;
+	// SegmentQuality reports each segment (parallel to PartitionSizes).
+	Quality        Quality
+	SegmentQuality []Quality
+	// Fallbacks counts segments where a degradable searcher abandoned the
+	// exact search for its heuristic fallback.
+	Fallbacks int
+	// Stages breaks the compile time down per pipeline stage.
+	Stages StageTimings
 	// SchedulingTime is the end-to-end compile time.
 	SchedulingTime time.Duration
-	// StatesExplored counts DP memo entries across all segments.
+	// StatesExplored counts partial schedules considered across all
+	// segments (DP memo entries; greedy candidate evaluations).
 	StatesExplored int64
 }
 
-// Schedule runs the SERENITY pipeline (Figure 4) on g.
+// Schedule runs the SERENITY pipeline (Figure 4) on g. It is a thin wrapper
+// over Pipeline: NewPipeline(opts) followed by Run.
 func Schedule(g *Graph, opts Options) (*Result, error) {
 	return ScheduleContext(context.Background(), g, opts)
 }
 
 // ScheduleContext runs the SERENITY pipeline (Figure 4) on g under ctx.
 //
-// Cancellation is threaded down into the DP search loops: when ctx is done
-// the search aborts promptly (within one polling interval of ~64 states) and
-// ctx.Err() is returned. With opts.Parallelism > 1 the per-segment DP runs
-// on a bounded worker pool; see Options.Parallelism for the determinism
+// Cancellation is threaded down into the search loops: when ctx is done the
+// search aborts promptly (within one polling interval of ~64 states) and
+// ctx.Err() is returned — except under StrategyBestEffort, where a deadline
+// degrades the affected segments to the greedy heuristic instead (see
+// BestEffort). With opts.Parallelism > 1 the per-segment search runs on a
+// bounded worker pool; see Options.Parallelism for the determinism
 // guarantee.
 func ScheduleContext(ctx context.Context, g *Graph, opts Options) (*Result, error) {
-	start := time.Now()
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	if err := g.Validate(); err != nil {
-		return nil, err
-	}
-	res := &Result{Graph: g}
-
-	// Baseline / hard budget from Kahn's algorithm.
-	kahn, err := sched.KahnFIFO(g)
+	p, err := NewPipeline(opts)
 	if err != nil {
 		return nil, err
 	}
-	baseModel := sched.NewMemModel(g)
-	res.BaselinePeak, err = baseModel.Peak(kahn)
-	if err != nil {
-		return nil, err
-	}
-
-	// Stage 1: identity graph rewriting.
-	work := g
-	if opts.Rewrite || opts.ExtendedRewrite {
-		rules := rewrite.DefaultRules()
-		if opts.ExtendedRewrite {
-			rules = rewrite.ExtendedRules()
-		}
-		rw, apps, err := rewrite.RewriteAll(g, rules, 0)
-		if err != nil {
-			return nil, err
-		}
-		if len(apps) > 0 {
-			work = rw
-			res.Rewritten = true
-			for _, a := range apps {
-				res.RewriteCount += a.Sites
-			}
-			res.Graph = rw
-		}
-	}
-	model := sched.NewMemModel(work)
-
-	// Stage 2: divide-and-conquer.
-	var segments []*partition.Segment
-	var part *partition.Partition
-	if opts.Partition {
-		part, err = partition.Split(work)
-		if err != nil {
-			return nil, err
-		}
-		segments = part.Segments
-		res.PartitionSizes = part.Sizes()
-	} else {
-		res.PartitionSizes = []int{work.NumNodes()}
-	}
-
-	// Stage 3: dynamic programming with adaptive soft budgeting. Each
-	// segment is an independent sub-problem; scheduleOne is pure (no shared
-	// state), so segments may run concurrently.
-	scheduleOne := func(ctx context.Context, m *sched.MemModel) (sched.Schedule, int64, error) {
-		if opts.AdaptiveBudget {
-			ar, err := dp.AdaptiveScheduleCtx(ctx, m, dp.AdaptiveOptions{
-				StepTimeout: opts.StepTimeout,
-				MaxStates:   opts.MaxStates,
-			})
-			if err != nil {
-				return nil, 0, err
-			}
-			if ar.Flag != dp.FlagSolution {
-				return nil, 0, fmt.Errorf("serenity: adaptive scheduling ended with %v", ar.Flag)
-			}
-			return ar.Order, ar.StatesExplored, nil
-		}
-		r := dp.ScheduleCtx(ctx, m, dp.Options{MaxStates: opts.MaxStates})
-		if r.Flag == dp.FlagCanceled {
-			return nil, 0, ctx.Err()
-		}
-		if r.Flag != dp.FlagSolution {
-			return nil, 0, fmt.Errorf("serenity: dynamic programming ended with %v", r.Flag)
-		}
-		return r.Order, r.StatesExplored, nil
-	}
-
-	var order sched.Schedule
-	if part != nil {
-		orders, states, err := scheduleSegments(ctx, segments, opts.Parallelism, scheduleOne)
-		if err != nil {
-			return nil, err
-		}
-		res.StatesExplored += states
-		order, err = part.Combine(orders)
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		var states int64
-		order, states, err = scheduleOne(ctx, model)
-		if err != nil {
-			return nil, err
-		}
-		res.StatesExplored += states
-	}
-
-	// Verify and measure the combined schedule end to end.
-	sim, err := model.Simulate(order)
-	if err != nil {
-		return nil, fmt.Errorf("serenity: combined schedule invalid: %w", err)
-	}
-	res.Order = order
-	res.Peak = sim.Peak
-
-	// Stage 4: arena allocation (TF-Lite simple memory arena).
-	asn, err := alloc.Plan(model, order)
-	if err != nil {
-		return nil, err
-	}
-	res.ArenaSize = asn.ArenaSize
-	res.Offsets = asn.Offsets
-	res.SchedulingTime = time.Since(start)
-
-	if opts.MemoryBudget > 0 && res.ArenaSize > opts.MemoryBudget {
-		return res, &ErrBudgetExceeded{Required: res.ArenaSize, Budget: opts.MemoryBudget}
-	}
-	return res, nil
-}
-
-// scheduleSegments solves every partition segment, sequentially or on a
-// bounded worker pool of min(parallelism, len(segments)) goroutines. Results
-// are collected by segment index and state counts summed in segment order,
-// so on success the outcome is identical regardless of parallelism or
-// goroutine interleaving. On the first failure the remaining segments are
-// canceled for a prompt abort; the reported segment index may then differ
-// from the sequential path's (the failure itself is the same kind), which is
-// the one deliberate concession to the worker pool.
-func scheduleSegments(ctx context.Context, segments []*partition.Segment, parallelism int,
-	scheduleOne func(context.Context, *sched.MemModel) (sched.Schedule, int64, error)) ([]sched.Schedule, int64, error) {
-
-	orders := make([]sched.Schedule, len(segments))
-	states := make([]int64, len(segments))
-	errs := make([]error, len(segments))
-
-	workers := parallelism
-	if workers > len(segments) {
-		workers = len(segments)
-	}
-	// The per-segment DP is pure CPU work: workers beyond GOMAXPROCS cannot
-	// run and only multiply live memo tables, so cap the pool there.
-	if mp := runtime.GOMAXPROCS(0); workers > mp {
-		workers = mp
-	}
-	if workers <= 1 {
-		for i, seg := range segments {
-			o, s, err := scheduleOne(ctx, sched.NewMemModel(seg.G))
-			if err != nil {
-				if ctxErr := ctx.Err(); ctxErr != nil {
-					return nil, 0, ctxErr
-				}
-				return nil, 0, fmt.Errorf("segment %d: %w", i, err)
-			}
-			orders[i], states[i] = o, s
-		}
-	} else {
-		segCtx, cancel := context.WithCancel(ctx)
-		defer cancel()
-		jobs := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range jobs {
-					o, s, err := scheduleOne(segCtx, sched.NewMemModel(segments[i].G))
-					if err != nil {
-						errs[i] = err
-						cancel() // abort the remaining segments
-						continue
-					}
-					orders[i], states[i] = o, s
-				}
-			}()
-		}
-		for i := range segments {
-			jobs <- i
-		}
-		close(jobs)
-		wg.Wait()
-		if ctxErr := ctx.Err(); ctxErr != nil {
-			// The caller's own cancellation outranks any per-segment error.
-			return nil, 0, ctxErr
-		}
-		// A genuine failure cancels its siblings, so skip induced
-		// context.Canceled errors and report the lowest-index real one.
-		var firstErr error
-		firstIdx := -1
-		for i, err := range errs {
-			if err == nil || errors.Is(err, context.Canceled) {
-				continue
-			}
-			firstErr, firstIdx = err, i
-			break
-		}
-		if firstErr == nil {
-			// Unreachable under the invariant that a Canceled entry implies
-			// some worker recorded a genuine failure first (only failures
-			// call cancel, and the caller's own cancellation returned
-			// above); kept so a broken invariant surfaces as an error
-			// rather than as missing segment orders.
-			for i, err := range errs {
-				if err != nil {
-					firstErr, firstIdx = err, i
-					break
-				}
-			}
-		}
-		if firstErr != nil {
-			return nil, 0, fmt.Errorf("segment %d: %w", firstIdx, firstErr)
-		}
-	}
-	var total int64
-	for _, s := range states {
-		total += s
-	}
-	return orders, total, nil
+	return p.Run(ctx, g)
 }
 
 // PeakOf evaluates the peak footprint of an arbitrary schedule on g;

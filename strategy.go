@@ -1,0 +1,221 @@
+package serenity
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/serenity-ml/serenity/internal/dp"
+	"github.com/serenity-ml/serenity/internal/sched"
+)
+
+// MemModel is the activation-memory model a Searcher schedules against; it
+// is the per-segment view of the (possibly rewritten) graph. Re-exported
+// from internal/sched so external packages can implement Searcher.
+type MemModel = sched.MemModel
+
+// NewMemModel builds the memory model for g. g must be a valid DAG.
+func NewMemModel(g *Graph) *MemModel { return sched.NewMemModel(g) }
+
+// Strategy selects the search strategy a Pipeline uses per segment.
+type Strategy string
+
+// Built-in strategies.
+const (
+	// StrategyExact is the paper's exact DP (with adaptive soft budgeting
+	// when Options.AdaptiveBudget is set). The empty string means exact.
+	StrategyExact Strategy = "exact"
+	// StrategyGreedy schedules with the one-step-lookahead greedy heuristic:
+	// linear-ish time, valid but possibly suboptimal peaks. For graphs
+	// beyond the DP's reach.
+	StrategyGreedy Strategy = "greedy"
+	// StrategyBestEffort runs the exact DP under the caller's deadline and
+	// falls back to the greedy heuristic instead of erroring when the DP
+	// cannot finish, tagging each segment's Quality accordingly.
+	StrategyBestEffort Strategy = "best-effort"
+)
+
+// ParseStrategy converts a wire/flag string into a Strategy.
+func ParseStrategy(s string) (Strategy, error) {
+	switch Strategy(s) {
+	case "", StrategyExact:
+		return StrategyExact, nil
+	case StrategyGreedy:
+		return StrategyGreedy, nil
+	case StrategyBestEffort:
+		return StrategyBestEffort, nil
+	}
+	return "", fmt.Errorf("serenity: unknown strategy %q (want exact, greedy, or best-effort)", s)
+}
+
+// Quality tags how a segment's schedule was obtained.
+type Quality string
+
+// Schedule qualities.
+const (
+	// QualityOptimal: the exact DP proved the segment's peak minimal.
+	QualityOptimal Quality = "optimal"
+	// QualityHeuristic: a heuristic produced the segment's order; the
+	// schedule is valid but its peak carries no optimality guarantee.
+	QualityHeuristic Quality = "heuristic"
+)
+
+// SearchResult is one segment's outcome from a Searcher.
+type SearchResult struct {
+	// Order is a valid execution order over the segment's graph.
+	Order Order
+	// StatesExplored counts partial schedules considered; exact and
+	// heuristic searchers report comparable numbers (DP memo entries vs.
+	// greedy candidate evaluations).
+	StatesExplored int64
+	// Quality reports whether Order is provably optimal for the segment.
+	Quality Quality
+	// FellBack is set when a degradable searcher abandoned its primary
+	// (exact) search and Order came from its fallback; FallbackReason
+	// records why the primary search gave up.
+	FellBack       bool
+	FallbackReason error
+}
+
+// Searcher is a per-segment scheduling strategy. Implementations must be
+// safe for concurrent use: with Options.Parallelism > 1 the Pipeline calls
+// Search from multiple goroutines, one segment each.
+type Searcher interface {
+	// Name identifies the strategy in logs, metrics, and responses.
+	Name() string
+	// Search returns an execution order for the segment modeled by m,
+	// honoring ctx for cancellation and deadlines.
+	Search(ctx context.Context, m *MemModel) (SearchResult, error)
+}
+
+// ExactDP is the paper's exact search: Algorithm 1's dynamic programming,
+// optionally wrapped in Algorithm 2's adaptive soft budgeting. It either
+// returns a provably peak-optimal order or an error — a timeout or state-cap
+// blowup is a hard failure. This is the default Searcher and reproduces the
+// pre-Pipeline Schedule behavior bit for bit.
+type ExactDP struct {
+	// AdaptiveBudget wraps the DP in the adaptive soft budgeting
+	// meta-search; off means one unbudgeted exact run.
+	AdaptiveBudget bool
+	// StepTimeout is Algorithm 2's per-search-step limit T (adaptive only).
+	StepTimeout time.Duration
+	// MaxStates caps the DP frontier as a memory-safety valve; zero means
+	// the adaptive default (unlimited when AdaptiveBudget is off).
+	MaxStates int
+}
+
+// Name implements Searcher.
+func (e ExactDP) Name() string { return "exact" }
+
+// Search implements Searcher.
+func (e ExactDP) Search(ctx context.Context, m *MemModel) (SearchResult, error) {
+	if e.AdaptiveBudget {
+		ar, err := dp.AdaptiveScheduleCtx(ctx, m, dp.AdaptiveOptions{
+			StepTimeout: e.StepTimeout,
+			MaxStates:   e.MaxStates,
+		})
+		if err != nil {
+			return SearchResult{}, err
+		}
+		if ar.Flag != dp.FlagSolution {
+			return SearchResult{}, fmt.Errorf("serenity: adaptive scheduling ended with %v", ar.Flag)
+		}
+		return SearchResult{Order: ar.Order, StatesExplored: ar.StatesExplored, Quality: QualityOptimal}, nil
+	}
+	r := dp.ScheduleCtx(ctx, m, dp.Options{MaxStates: e.MaxStates})
+	if r.Flag == dp.FlagCanceled {
+		return SearchResult{}, ctx.Err()
+	}
+	if r.Flag != dp.FlagSolution {
+		return SearchResult{}, fmt.Errorf("serenity: dynamic programming ended with %v", r.Flag)
+	}
+	return SearchResult{Order: r.Order, StatesExplored: r.StatesExplored, Quality: QualityOptimal}, nil
+}
+
+// GreedyMemory is the one-step-lookahead greedy heuristic as a first-class
+// strategy: at every step it schedules the ready node minimizing the
+// resulting footprint. Deterministic, linear-ish time, never errors on a
+// valid DAG — the strategy of last resort for graphs beyond the DP's reach,
+// and BestEffort's fallback.
+type GreedyMemory struct{}
+
+// Name implements Searcher.
+func (GreedyMemory) Name() string { return "greedy" }
+
+// Search implements Searcher. The scan honors ctx: linear-ish is still
+// minutes on a dense many-thousand-node graph, and a disconnected caller
+// should not pin a CPU for it.
+func (GreedyMemory) Search(ctx context.Context, m *MemModel) (SearchResult, error) {
+	r, err := sched.GreedyMemoryRunCtx(ctx, m)
+	if err != nil {
+		return SearchResult{}, err
+	}
+	return SearchResult{Order: r.Order, StatesExplored: r.StatesExplored, Quality: QualityHeuristic}, nil
+}
+
+// BestEffort turns "exact or error" into "exact, else valid": it runs the
+// exact DP (adaptive soft budgeting with the liveness growth loop disabled,
+// so a hopeless instance gives up instead of retrying forever) under ctx's
+// deadline, and on timeout, state-cap blowup, or deadline expiry degrades to
+// the greedy heuristic rather than failing. The segment's Quality reports
+// which path produced the order.
+//
+// Cancellation semantics: a context *deadline* triggers the fallback (the
+// caller wants an answer by then), while an explicit cancellation aborts
+// with ctx.Err() (the caller is gone; nobody wants the answer).
+type BestEffort struct {
+	// Exact configures the primary search. AdaptiveBudget is implied: the
+	// exact attempt always runs under adaptive soft budgeting, the only
+	// deadline-aware exact configuration.
+	Exact ExactDP
+}
+
+// Name implements Searcher.
+func (b BestEffort) Name() string { return "best-effort" }
+
+// Search implements Searcher.
+func (b BestEffort) Search(ctx context.Context, m *MemModel) (SearchResult, error) {
+	ar, err := dp.AdaptiveScheduleCtx(ctx, m, dp.AdaptiveOptions{
+		StepTimeout:   b.Exact.StepTimeout,
+		MaxStates:     b.Exact.MaxStates,
+		DisableGrowth: true,
+	})
+	var reason error
+	var dpStates int64
+	switch {
+	case err == nil && ar.Flag == dp.FlagSolution:
+		return SearchResult{Order: ar.Order, StatesExplored: ar.StatesExplored, Quality: QualityOptimal}, nil
+	case err == nil:
+		// The meta-search surrendered (every probe timed out or the budget
+		// interval collapsed); the probes' work still counts.
+		reason = fmt.Errorf("serenity: adaptive scheduling ended with %v", ar.Flag)
+	case errors.Is(err, context.DeadlineExceeded):
+		reason = err
+	default:
+		// Explicit cancellation or an invalid graph: not degradable.
+		return SearchResult{}, err
+	}
+	if ar != nil {
+		// Both abandoned-DP paths report the work burned before giving up.
+		for _, p := range ar.Probes {
+			dpStates += p.States
+		}
+	}
+
+	// The fallback deliberately runs without ctx: the deadline has already
+	// expired, and the contract is that the caller is owed a valid answer
+	// anyway (explicit cancellation was handled above, before the DP work
+	// was abandoned).
+	gr, err := sched.GreedyMemoryRun(m)
+	if err != nil {
+		return SearchResult{}, err
+	}
+	return SearchResult{
+		Order:          gr.Order,
+		StatesExplored: dpStates + gr.StatesExplored,
+		Quality:        QualityHeuristic,
+		FellBack:       true,
+		FallbackReason: reason,
+	}, nil
+}
