@@ -9,6 +9,7 @@
 package serenity
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -254,6 +255,69 @@ func BenchmarkScheduleParallelism(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSegmentMemo measures the cross-request segment memo on the
+// repeated-cell shape it exists for: a stack of six structurally identical
+// WS cells (five of which share one segment fingerprint). "cold" compiles
+// with no memo at all — every segment pays its own DP. "warm" compiles
+// against a memo pre-populated by one untimed run, so every segment is a
+// hit and the pipeline spends its time on rewrite/partition/alloc only.
+// Compare ns/op:
+//
+//	go test -bench BenchmarkSegmentMemo -benchtime 3x
+//
+// The warm path is expected to be orders of magnitude faster (≥5x is the
+// acceptance floor; in practice the DP dominates so thoroughly that the
+// ratio is in the hundreds). Results are bit-identical either way, asserted
+// against the cold peak.
+func BenchmarkSegmentMemo(b *testing.B) {
+	g := models.StackedUniformRandWire("bench-memo", 6, models.WSConfig{
+		Nodes: 40, K: 6, P: 0.9, Seed: 5, HW: 16, Channel: 8,
+	})
+	opts := DefaultOptions()
+	opts.StepTimeout = time.Minute
+	run := func(b *testing.B, memo *SegmentMemo) *Result {
+		b.Helper()
+		p, err := NewPipeline(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.SegmentMemo = memo
+		res, err := p.Run(context.Background(), g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	var wantPeak int64
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res := run(b, nil)
+			if wantPeak == 0 {
+				wantPeak = res.Peak
+			} else if res.Peak != wantPeak {
+				b.Fatalf("peak %d diverged from %d", res.Peak, wantPeak)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		memo := NewSegmentMemo(1024)
+		pre := run(b, memo) // populate, untimed
+		if wantPeak != 0 && pre.Peak != wantPeak {
+			b.Fatalf("memo-populating peak %d diverged from cold %d", pre.Peak, wantPeak)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res := run(b, memo)
+			if res.SegmentMemoHits != len(res.SegmentQuality) {
+				b.Fatalf("warm run hit %d of %d segments", res.SegmentMemoHits, len(res.SegmentQuality))
+			}
+			if res.Peak != pre.Peak {
+				b.Fatalf("warm peak %d diverged from %d", res.Peak, pre.Peak)
+			}
+		}
+	})
 }
 
 func ln(x float64) float64  { return math.Log(x) }

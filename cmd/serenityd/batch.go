@@ -1,0 +1,193 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	serenity "github.com/serenity-ml/serenity"
+)
+
+// maxBatchItems bounds one /v1/schedule/batch request. Large model zoos
+// should paginate; the bound keeps a single request from monopolizing the
+// worker pool (and the response from growing without limit).
+const maxBatchItems = 256
+
+// batchRequest is the wire format of POST /v1/schedule/batch: a list of
+// graphs in the same JSON IR the single endpoint accepts. Items are decoded
+// lazily so one malformed graph fails its item, not the batch.
+type batchRequest struct {
+	Items []json.RawMessage `json:"items"`
+}
+
+// batchItemResult is one item's outcome. Status carries the HTTP status the
+// single endpoint would have answered with (200, 400, 413, 422, 500, 503);
+// exactly one of Schedule and Error is set.
+type batchItemResult struct {
+	Index    int               `json:"index"`
+	Status   int               `json:"status"`
+	Error    string            `json:"error,omitempty"`
+	Schedule *scheduleResponse `json:"schedule,omitempty"`
+}
+
+// batchResponse is the wire format of a /v1/schedule/batch reply. The
+// enclosing HTTP status is 200 whenever the batch itself was processable;
+// per-item failures are reported per item.
+type batchResponse struct {
+	Items     []batchItemResult `json:"items"`
+	Scheduled int               `json:"scheduled"`
+	Failed    int               `json:"failed"`
+}
+
+// handleScheduleBatch compiles many graphs in one request. Query parameters
+// (strategy, deadline_ms, parallelism, budget, rewrite, partition) apply to
+// every item; deadline_ms and the server compute timeout are per item, not
+// per batch. Items fan out over a worker pool and Parallelism is ONE budget
+// for the whole request: the item workers take what they need and each
+// item's per-segment fan-out divides the remainder, so total concurrency
+// stays ~Parallelism instead of multiplying across the two levels. Each
+// item passes through the same schedule cache, request coalescing, and
+// segment memo as the single endpoint, so a batch of cell-sharing models
+// amortizes their common DP work within the batch itself.
+func (s *server) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.batches.Add(1)
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+
+	opts, deadline, err := s.requestOptions(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	var req batchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("parsing batch: %w (want {\"items\": [<graph>, ...]})", err))
+		return
+	}
+	if len(req.Items) == 0 {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("empty batch: items is required and must not be empty"))
+		return
+	}
+	if len(req.Items) > maxBatchItems {
+		s.fail(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("batch has %d items, server accepts at most %d", len(req.Items), maxBatchItems))
+		return
+	}
+	s.batchItem.Add(int64(len(req.Items)))
+
+	results := make([]batchItemResult, len(req.Items))
+	workers := opts.Parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(req.Items) {
+		workers = len(req.Items)
+	}
+	// Compilation is pure CPU work; workers beyond GOMAXPROCS cannot run.
+	if mp := runtime.GOMAXPROCS(0); workers > mp {
+		workers = mp
+	}
+	// Split the request's parallelism budget between the two fan-out levels.
+	itemOpts := opts
+	if workers > 1 {
+		itemOpts.Parallelism = opts.Parallelism / workers
+		if itemOpts.Parallelism < 1 {
+			itemOpts.Parallelism = 1
+		}
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				results[idx] = s.runBatchItem(r.Context(), idx, req.Items[idx], itemOpts, deadline)
+			}
+		}()
+	}
+	for i := range req.Items {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	if r.Context().Err() != nil {
+		// The client is gone; the batch's work is moot (it still warmed the
+		// cache and memo for everyone else).
+		s.canceled.Add(1)
+		return
+	}
+	resp := batchResponse{Items: results}
+	for i := range results {
+		if results[i].Status == http.StatusOK {
+			resp.Scheduled++
+		} else {
+			resp.Failed++
+			s.errored.Add(1)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// runBatchItem runs one batch item through the same path as the single
+// endpoint: parse, size gate, per-item timeouts, cache/flight/memo, and the
+// single endpoint's status mapping. Unlike the single endpoint, the item
+// runs on a worker goroutine net/http does not guard, so a panicking
+// compilation is converted into that item's 500 instead of killing the
+// process (and every other in-flight request with it).
+func (s *server) runBatchItem(parent context.Context, idx int, raw json.RawMessage, opts serenity.Options, deadline time.Duration) (result batchItemResult) {
+	fail := func(status int, err error) batchItemResult {
+		return batchItemResult{Index: idx, Status: status, Error: err.Error()}
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			result = fail(http.StatusInternalServerError, fmt.Errorf("internal panic compiling item %d: %v", idx, p))
+		}
+	}()
+	g, err := serenity.ReadGraphJSON(bytes.NewReader(raw))
+	if err != nil {
+		return fail(http.StatusBadRequest, fmt.Errorf("parsing graph: %w", err))
+	}
+	if s.maxNodes > 0 && g.NumNodes() > s.maxNodes {
+		return fail(http.StatusRequestEntityTooLarge,
+			fmt.Errorf("graph has %d nodes, server accepts at most %d", g.NumNodes(), s.maxNodes))
+	}
+	ctx := parent
+	if s.computeTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.computeTimeout)
+		defer cancel()
+	}
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+	fp := g.Fingerprint()
+	resp, cached, err := s.schedule(ctx, g, opts, fp, scheduleKey(fp, opts, deadline))
+	if err != nil {
+		if isContextErr(err) && parent.Err() != nil {
+			// The whole batch's client hung up; the caller discards results.
+			return fail(http.StatusServiceUnavailable, parent.Err())
+		}
+		return fail(s.scheduleErrorStatus(err, opts.Strategy, deadline))
+	}
+	return batchItemResult{Index: idx, Status: http.StatusOK, Schedule: respForClient(resp, cached, g.Name)}
+}

@@ -15,13 +15,32 @@
 //	                    the search to the greedy heuristic instead of
 //	                    failing the request
 //	                    response: order, peak, arena_size, quality,
-//	                    segment_quality, fallbacks, stage_ms, ...; when
-//	                    rewriting changed the graph, rewritten_graph carries
-//	                    the IR the order indexes
+//	                    segment_quality, fallbacks, stage_ms,
+//	                    segment_memo_hits, ...; when rewriting changed the
+//	                    graph, rewritten_graph carries the IR the order
+//	                    indexes
+//	POST /v1/schedule/batch
+//	                    body: {"items": [<graph>, ...]} (same IR, up to 256
+//	                    graphs); same query parameters, applied to every
+//	                    item. Items fan out over a worker pool bounded by
+//	                    parallelism and are answered per item: the response
+//	                    is {"items": [{index, status, schedule|error},...],
+//	                    "scheduled": N, "failed": M} with per-item statuses
+//	                    matching the single endpoint (one bad graph fails
+//	                    its item, not the batch)
 //	GET  /healthz       liveness probe
 //	GET  /metrics       Prometheus-style counters (cache hits, in-flight
 //	                    requests, states explored, fallbacks, per-stage
-//	                    compile seconds, ...)
+//	                    compile seconds, segment memo hits/misses, ...)
+//
+// Beyond the whole-graph schedule cache, the server keeps a cross-request
+// *segment* memo (-segment-memo-size, 0 disables): per-segment DP results
+// keyed by the segment's structural fingerprint plus the strategy, shared
+// across all requests. Different models that stack the same cell — the
+// repeated-cell shape of NAS-style irregularly wired networks — pay for that
+// cell's DP once, ever; concurrent requests for the same segment coalesce
+// into one search. Degraded (deadline-fallback) segment results are never
+// memoized, so one overloaded moment cannot pin heuristic schedules.
 //
 // Example:
 //
@@ -53,6 +72,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":7433", "listen address")
 	cacheSize := flag.Int("cache", 256, "schedule cache capacity (entries)")
+	segMemoSize := flag.Int("segment-memo-size", 4096, "cross-request segment memo capacity (segment results; 0 disables)")
 	parallelism := flag.Int("parallelism", runtime.GOMAXPROCS(0), "per-request segment scheduling parallelism")
 	strategy := flag.String("strategy", "exact", "default search strategy (exact|greedy|best-effort); requests override with ?strategy=")
 	stepTimeout := flag.Duration("timeout", time.Second, "adaptive soft budgeting step timeout T")
@@ -82,6 +102,9 @@ func main() {
 	}
 
 	s := newServer(opts, *cacheSize)
+	if *segMemoSize > 0 {
+		s.segMemo = serenity.NewSegmentMemo(*segMemoSize)
+	}
 	s.maxNodes = *maxNodes
 	s.computeTimeout = *computeTimeout
 	if *loadgen {

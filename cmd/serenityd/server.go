@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -47,9 +46,14 @@ type scheduleResponse struct {
 	SegmentQuality []serenity.Quality `json:"segment_quality,omitempty"`
 	Fallbacks      int                `json:"fallbacks,omitempty"`
 	StatesExplored int64              `json:"states_explored"`
-	SchedulingMS   float64            `json:"scheduling_ms"`
-	StageMS        stageMS            `json:"stage_ms"`
-	Cached         bool               `json:"cached"`
+	// SegmentMemoHits reports how many of this compilation's segments were
+	// served from the server's cross-request segment memo instead of a fresh
+	// search. On a cached response it describes the compilation that built
+	// the entry.
+	SegmentMemoHits int     `json:"segment_memo_hits,omitempty"`
+	SchedulingMS    float64 `json:"scheduling_ms"`
+	StageMS         stageMS `json:"stage_ms"`
+	Cached          bool    `json:"cached"`
 	// RewrittenGraph is set when identity graph rewriting changed the graph:
 	// Order indexes ITS nodes, not the submitted graph's, so clients need it
 	// to interpret or execute the schedule.
@@ -60,30 +64,31 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// flight is one in-progress compilation; concurrent requests for the same
-// key wait on done instead of recomputing.
-type flight struct {
-	done chan struct{}
-	resp *scheduleResponse
-	err  error
-}
-
 // server is the serenityd compile service: a schedule cache keyed by the
 // graph's structural fingerprint plus the effective options, fronted by
 // HTTP handlers with Prometheus-style counters.
 type server struct {
 	opts  serenity.Options
 	cache *cache.Cache[*scheduleResponse]
+	// segMemo, when non-nil, is the process-wide segment-level schedule
+	// memo: per-segment search results shared across ALL requests (single
+	// and batch, all graphs), so two different models stacking the same
+	// cell pay for its DP once. See serenity.SegmentMemo and the
+	// -segment-memo-size flag.
+	segMemo *serenity.SegmentMemo
 	// maxNodes rejects graphs above this node count (0 = unlimited);
 	// computeTimeout bounds one compilation server-side so a patient client
 	// cannot pin a CPU indefinitely (0 = unlimited).
 	maxNodes       int
 	computeTimeout time.Duration
 
-	mu      sync.Mutex
-	flights map[string]*flight
+	// flights coalesces concurrent compilations of the same key into one
+	// (singleflight); followers of a canceled leader retry on their own.
+	flights cache.Group[*scheduleResponse]
 
-	requests  atomic.Int64 // /v1/schedule requests received, including rejected ones
+	requests  atomic.Int64 // schedule requests received (batch counts once), including rejected ones
+	batches   atomic.Int64 // /v1/schedule/batch requests received
+	batchItem atomic.Int64 // graphs submitted across all batch requests
 	inFlight  atomic.Int64 // currently executing schedule requests
 	coalesced atomic.Int64 // requests served by joining another's flight
 	states    atomic.Int64 // DP states explored by non-cached compilations
@@ -116,7 +121,6 @@ func newServer(opts serenity.Options, cacheSize int) *server {
 	return &server{
 		opts:    opts,
 		cache:   cache.New[*scheduleResponse](cacheSize),
-		flights: make(map[string]*flight),
 		started: time.Now(),
 	}
 }
@@ -125,6 +129,7 @@ func newServer(opts serenity.Options, cacheSize int) *server {
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/schedule", s.handleSchedule)
+	mux.HandleFunc("/v1/schedule/batch", s.handleScheduleBatch)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
@@ -169,114 +174,113 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 	fp := g.Fingerprint()
-	key := fp + "|" + optionsKey(opts)
-	if opts.Strategy == serenity.StrategyBestEffort {
-		// Only best-effort results depend on the deadline (it decides which
-		// segments degrade); exact and greedy results are deadline-invariant,
-		// so keying them by deadline would only fragment the cache.
-		key += deadlineKey(deadline)
-	}
-	resp, cached, err := s.schedule(ctx, g, opts, fp, key)
-	switch {
-	case err == nil:
-	case errors.As(err, new(*serenity.ErrBudgetExceeded)):
-		s.fail(w, http.StatusUnprocessableEntity, err)
-		return
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		if r.Context().Err() == nil {
-			// A server-side deadline fired, not the client's disconnect:
-			// tell the client which budget ran out.
-			if deadline > 0 && (s.computeTimeout <= 0 || deadline <= s.computeTimeout) {
-				if opts.Strategy == serenity.StrategyBestEffort {
-					// The deadline expired before the search stage could
-					// intercept it and degrade (e.g. during parsing or
-					// graph validation): no schedule exists to serve.
-					s.fail(w, http.StatusServiceUnavailable,
-						fmt.Errorf("the requested %s deadline expired before the search could degrade; raise deadline_ms", deadline))
-					return
-				}
-				s.fail(w, http.StatusServiceUnavailable,
-					fmt.Errorf("compilation exceeded the requested %s deadline (use strategy=best-effort to degrade instead)", deadline))
-				return
-			}
-			s.fail(w, http.StatusServiceUnavailable,
-				fmt.Errorf("compilation exceeded the server's %s compute budget", s.computeTimeout))
+	resp, cached, err := s.schedule(ctx, g, opts, fp, scheduleKey(fp, opts, deadline))
+	if err != nil {
+		if isContextErr(err) && r.Context().Err() != nil {
+			// The client is gone; nothing useful to write, and it is not a
+			// served error — it gets its own counter.
+			s.canceled.Add(1)
 			return
 		}
-		// The client is gone; nothing useful to write, and it is not a
-		// served error — it gets its own counter.
-		s.canceled.Add(1)
-		return
-	default:
-		s.fail(w, http.StatusInternalServerError, err)
+		code, werr := s.scheduleErrorStatus(err, opts.Strategy, deadline)
+		s.fail(w, code, werr)
 		return
 	}
+	writeJSON(w, http.StatusOK, respForClient(resp, cached, g.Name))
+}
 
-	if cached {
-		// The cached entry was built for the first submitter of this
-		// structure; echo the current client's graph name on the copy (the
-		// fingerprint deliberately ignores names, the response should not).
-		// A coalesced follower of a degraded compute is NOT labeled cached:
-		// fallback responses are never stored, and clients rely on
-		// cached=true implying a repeatable (exact-quality) entry.
-		c := *resp
-		c.Cached = resp.Fallbacks == 0
-		c.Graph = g.Name
-		resp = &c
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// scheduleErrorStatus maps a failed compilation to the HTTP status and
+// client-facing error both the single and batch endpoints answer with.
+// Callers handle client disconnects beforehand; by the time this runs, a
+// context error means a server-side budget fired, and the message tells the
+// client which one ran out.
+func (s *server) scheduleErrorStatus(err error, strategy serenity.Strategy, deadline time.Duration) (int, error) {
+	switch {
+	case errors.As(err, new(*serenity.ErrBudgetExceeded)):
+		return http.StatusUnprocessableEntity, err
+	case isContextErr(err):
+		if deadline > 0 && (s.computeTimeout <= 0 || deadline <= s.computeTimeout) {
+			if strategy == serenity.StrategyBestEffort {
+				// The deadline expired before the search stage could
+				// intercept it and degrade (e.g. during parsing or graph
+				// validation): no schedule exists to serve.
+				return http.StatusServiceUnavailable,
+					fmt.Errorf("the requested %s deadline expired before the search could degrade; raise deadline_ms", deadline)
+			}
+			return http.StatusServiceUnavailable,
+				fmt.Errorf("compilation exceeded the requested %s deadline (use strategy=best-effort to degrade instead)", deadline)
+		}
+		return http.StatusServiceUnavailable,
+			fmt.Errorf("compilation exceeded the server's %s compute budget", s.computeTimeout)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return http.StatusInternalServerError, err
+}
+
+// respForClient prepares a schedule response for one client. Cache (or
+// coalesced-flight) hits get a shallow copy echoing the requester's graph
+// name — the entry was built for the first submitter of this structure, and
+// while the fingerprint deliberately ignores names, the response should not.
+// A coalesced follower of a degraded compute is NOT labeled cached: fallback
+// responses are never stored, and clients rely on cached=true implying a
+// repeatable (exact-quality) entry.
+func respForClient(resp *scheduleResponse, cached bool, graphName string) *scheduleResponse {
+	if !cached {
+		return resp
+	}
+	c := *resp
+	c.Cached = resp.Fallbacks == 0
+	c.Graph = graphName
+	return &c
+}
+
+// scheduleKey builds the cache/flight key for one compilation: structural
+// fingerprint plus every result-affecting option. Only best-effort results
+// depend on the deadline (it decides which segments degrade); exact and
+// greedy results are deadline-invariant, so keying them by deadline would
+// only fragment the cache.
+func scheduleKey(fp string, opts serenity.Options, deadline time.Duration) string {
+	key := fp + "|" + optionsKey(opts)
+	if opts.Strategy == serenity.StrategyBestEffort {
+		key += deadlineKey(deadline)
+	}
+	return key
 }
 
 // schedule returns the response for key, serving from the cache when
-// possible, otherwise computing it at most once across concurrent requests:
-// later arrivals join the first request's flight. A follower whose leader
-// failed with a context error (the leader's client hung up mid-compile)
-// retries with its own context rather than inheriting the failure.
+// possible, otherwise computing it at most once across concurrent requests
+// via the singleflight group: later arrivals join the first request's
+// flight, a follower whose leader failed with a context error (the leader's
+// client hung up mid-compile) retries with its own context, and a panicking
+// compute surfaces as an error to followers instead of a nil response (all
+// cache.Group's contract). Successful non-degraded responses enter the
+// cache inside the flight, before followers are released.
 func (s *server) schedule(ctx context.Context, g *serenity.Graph, opts serenity.Options, fingerprint, key string) (*scheduleResponse, bool, error) {
-	for {
-		if resp, ok := s.cache.Get(key); ok {
-			return resp, true, nil
-		}
-		s.mu.Lock()
-		if f, ok := s.flights[key]; ok {
-			s.mu.Unlock()
-			select {
-			case <-ctx.Done():
-				return nil, false, ctx.Err()
-			case <-f.done:
-			}
-			if f.err == nil {
-				s.coalesced.Add(1)
-				return f.resp, true, nil
-			}
-			if errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded) {
-				continue // leader was canceled, not the computation's fault
-			}
-			return nil, false, f.err
-		}
-		f := &flight{done: make(chan struct{})}
-		s.flights[key] = f
-		s.mu.Unlock()
-
-		// Deferred so a panic inside compute (recovered per-connection by
-		// net/http) cannot leak the flight and wedge every later request
-		// for this key on an f.done that never closes.
-		defer func() {
-			s.mu.Lock()
-			delete(s.flights, key)
-			s.mu.Unlock()
-			close(f.done)
-		}()
-		f.resp, f.err = s.compute(ctx, g, opts, fingerprint)
-		if f.err == nil && f.resp.Fallbacks == 0 {
+	if resp, ok := s.cache.Get(key); ok {
+		return resp, true, nil
+	}
+	resp, shared, err := s.flights.Do(ctx, key, func() (*scheduleResponse, error) {
+		r, err := s.compute(ctx, g, opts, fingerprint)
+		if err == nil && r.Fallbacks == 0 {
 			// Degraded (fallback) schedules are served but not cached: the
 			// degradation reflects this moment's load, and pinning it would
 			// deny every later identical request the exact answer a quieter
 			// server could produce.
-			s.cache.Put(key, f.resp)
+			s.cache.Put(key, r)
 		}
-		return f.resp, false, f.err
+		return r, err
+	})
+	if err != nil {
+		return nil, false, err
 	}
+	if shared {
+		s.coalesced.Add(1)
+		return resp, true, nil
+	}
+	return resp, false, nil
 }
 
 func (s *server) compute(ctx context.Context, g *serenity.Graph, opts serenity.Options, fingerprint string) (*scheduleResponse, error) {
@@ -284,6 +288,10 @@ func (s *server) compute(ctx context.Context, g *serenity.Graph, opts serenity.O
 	if err != nil {
 		return nil, err
 	}
+	// One process-wide memo across every request: per-segment results are
+	// interchangeable wherever the segment fingerprint and strategy match,
+	// whatever graph they arrived in.
+	p.SegmentMemo = s.segMemo
 	// The Observer feeds the /metrics stage and fallback counters as the
 	// compilation runs, so a long compile is visible before it finishes.
 	p.Observer = serenity.ObserverFunc(func(e serenity.Event) {
@@ -299,8 +307,9 @@ func (s *server) compute(ctx context.Context, g *serenity.Graph, opts serenity.O
 	res, err := p.Run(ctx, g)
 	if res != nil {
 		// Over-budget compilations (ErrBudgetExceeded) still ran the full
-		// DP; their states count.
-		s.states.Add(res.StatesExplored)
+		// DP; their states count. Segment-memo hits do not: they replay a
+		// stored count into StatesExplored without exploring anything.
+		s.states.Add(res.FreshStatesExplored)
 	}
 	if err != nil {
 		return nil, err
@@ -309,21 +318,22 @@ func (s *server) compute(ctx context.Context, g *serenity.Graph, opts serenity.O
 		s.heuristic.Add(1)
 	}
 	resp := &scheduleResponse{
-		Graph:          g.Name,
-		Nodes:          res.Graph.NumNodes(),
-		Fingerprint:    fingerprint,
-		Order:          res.Order,
-		Peak:           res.Peak,
-		ArenaSize:      res.ArenaSize,
-		BaselinePeak:   res.BaselinePeak,
-		Rewrites:       res.RewriteCount,
-		PartitionSizes: res.PartitionSizes,
-		Strategy:       p.Searcher.Name(),
-		Quality:        res.Quality,
-		SegmentQuality: res.SegmentQuality,
-		Fallbacks:      res.Fallbacks,
-		StatesExplored: res.StatesExplored,
-		SchedulingMS:   float64(res.SchedulingTime.Microseconds()) / 1000,
+		Graph:           g.Name,
+		Nodes:           res.Graph.NumNodes(),
+		Fingerprint:     fingerprint,
+		Order:           res.Order,
+		Peak:            res.Peak,
+		ArenaSize:       res.ArenaSize,
+		BaselinePeak:    res.BaselinePeak,
+		Rewrites:        res.RewriteCount,
+		PartitionSizes:  res.PartitionSizes,
+		Strategy:        p.Searcher.Name(),
+		Quality:         res.Quality,
+		SegmentQuality:  res.SegmentQuality,
+		Fallbacks:       res.Fallbacks,
+		StatesExplored:  res.StatesExplored,
+		SegmentMemoHits: res.SegmentMemoHits,
+		SchedulingMS:    float64(res.SchedulingTime.Microseconds()) / 1000,
 		StageMS: stageMS{
 			Rewrite:   float64(res.Stages.Rewrite.Microseconds()) / 1000,
 			Partition: float64(res.Stages.Partition.Microseconds()) / 1000,
@@ -464,6 +474,25 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for i, st := range pipelineStages {
 		fmt.Fprintf(w, "serenityd_stage_seconds_total{stage=%q} %.6f\n", st, float64(s.stageNS[i].Load())/1e9)
 	}
+	var ms serenity.SegmentMemoStats
+	if s.segMemo != nil {
+		ms = s.segMemo.Stats()
+	}
+	fmt.Fprintf(w, "# HELP serenityd_segment_memo_hits_total Segment searches served from the cross-request segment memo.\n")
+	fmt.Fprintf(w, "# TYPE serenityd_segment_memo_hits_total counter\n")
+	fmt.Fprintf(w, "serenityd_segment_memo_hits_total %d\n", ms.Hits)
+	fmt.Fprintf(w, "# HELP serenityd_segment_memo_misses_total Segment searches that ran because the memo had no entry.\n")
+	fmt.Fprintf(w, "# TYPE serenityd_segment_memo_misses_total counter\n")
+	fmt.Fprintf(w, "serenityd_segment_memo_misses_total %d\n", ms.Misses)
+	fmt.Fprintf(w, "# HELP serenityd_segment_memo_entries Segment memo current size.\n")
+	fmt.Fprintf(w, "# TYPE serenityd_segment_memo_entries gauge\n")
+	fmt.Fprintf(w, "serenityd_segment_memo_entries %d\n", ms.Entries)
+	fmt.Fprintf(w, "# HELP serenityd_batch_requests_total Batch schedule requests received.\n")
+	fmt.Fprintf(w, "# TYPE serenityd_batch_requests_total counter\n")
+	fmt.Fprintf(w, "serenityd_batch_requests_total %d\n", s.batches.Load())
+	fmt.Fprintf(w, "# HELP serenityd_batch_items_total Graphs submitted across all batch requests.\n")
+	fmt.Fprintf(w, "# TYPE serenityd_batch_items_total counter\n")
+	fmt.Fprintf(w, "serenityd_batch_items_total %d\n", s.batchItem.Load())
 }
 
 func (s *server) fail(w http.ResponseWriter, code int, err error) {

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	serenity "github.com/serenity-ml/serenity"
+	"github.com/serenity-ml/serenity/internal/models"
 )
 
 func testServer(t *testing.T) (*server, *httptest.Server) {
@@ -22,6 +23,7 @@ func testServer(t *testing.T) (*server, *httptest.Server) {
 	opts.StepTimeout = 500 * time.Millisecond
 	opts.Parallelism = 4
 	s := newServer(opts, 64)
+	s.segMemo = serenity.NewSegmentMemo(1024)
 	ts := httptest.NewServer(s.handler())
 	t.Cleanup(ts.Close)
 	return s, ts
@@ -507,6 +509,212 @@ func TestBudgetExceededResponse(t *testing.T) {
 	if !strings.Contains(e.Error, "exceeds device budget") {
 		t.Errorf("error %q does not explain the budget overflow", e.Error)
 	}
+}
+
+// TestScheduleBatchEndpoint is the batch acceptance scenario: mixed
+// valid/invalid items answered per item (200s alongside 400s in one 200
+// response), with the cross-request segment memo shared across items — the
+// two stacks reuse each other's cell DP — and the memo metrics moving.
+func TestScheduleBatchEndpoint(t *testing.T) {
+	s, ts := testServer(t)
+	stacked := func(cells int) *serenity.Graph {
+		return models.StackedUniformRandWire(fmt.Sprintf("batch-%d", cells), cells, models.WSConfig{
+			Nodes: 12, K: 4, P: 0.75, Seed: 9, HW: 8, Channel: 4,
+		})
+	}
+	items := []json.RawMessage{
+		graphBody(t, stacked(2)),
+		[]byte(`{"nodes": "not-a-graph"}`),
+		graphBody(t, stacked(3)),
+		graphBody(t, smallCell(7)),
+	}
+	body, err := json.Marshal(batchRequest{Items: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, data := postBatch(t, ts, "", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var got batchResponse
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Items) != len(items) {
+		t.Fatalf("batch answered %d of %d items", len(got.Items), len(items))
+	}
+	if got.Scheduled != 3 || got.Failed != 1 {
+		t.Errorf("scheduled=%d failed=%d, want 3/1", got.Scheduled, got.Failed)
+	}
+	for i, item := range got.Items {
+		if item.Index != i {
+			t.Errorf("item %d carries index %d", i, item.Index)
+		}
+		if i == 1 {
+			if item.Status != http.StatusBadRequest || item.Error == "" || item.Schedule != nil {
+				t.Errorf("invalid item: status=%d error=%q schedule=%v, want a 400 with an error body", item.Status, item.Error, item.Schedule)
+			}
+			continue
+		}
+		if item.Status != http.StatusOK || item.Schedule == nil {
+			t.Fatalf("item %d: status=%d error=%q, want 200 with a schedule", i, item.Status, item.Error)
+		}
+		if len(item.Schedule.Order) != item.Schedule.Nodes || item.Schedule.Peak <= 0 {
+			t.Errorf("item %d: not a valid schedule (%d/%d nodes, peak %d)", i, len(item.Schedule.Order), item.Schedule.Nodes, item.Schedule.Peak)
+		}
+	}
+
+	// The uniform stacks repeat one cell within and across items: the memo
+	// must have both hits and misses, and hold entries.
+	st := s.segMemo.Stats()
+	if st.Hits < 1 || st.Misses < 1 || st.Entries < 1 {
+		t.Errorf("segment memo did not move: %+v", st)
+	}
+	mresp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		fmt.Sprintf("serenityd_segment_memo_hits_total %d", st.Hits),
+		fmt.Sprintf("serenityd_segment_memo_misses_total %d", st.Misses),
+		fmt.Sprintf("serenityd_segment_memo_entries %d", st.Entries),
+		"serenityd_batch_requests_total 1",
+		fmt.Sprintf("serenityd_batch_items_total %d", len(items)),
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// The same batch again: every valid item is a whole-graph cache hit.
+	resp, data = postBatch(t, ts, "", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat status %d: %s", resp.StatusCode, data)
+	}
+	var again batchResponse
+	if err := json.Unmarshal(data, &again); err != nil {
+		t.Fatal(err)
+	}
+	for i, item := range again.Items {
+		if i == 1 {
+			continue
+		}
+		if item.Schedule == nil || !item.Schedule.Cached {
+			t.Errorf("repeat item %d not served from the schedule cache", i)
+		}
+	}
+	if st2 := s.segMemo.Stats(); st2.Misses != st.Misses {
+		t.Errorf("cached batch re-ran segment searches: misses %d -> %d", st.Misses, st2.Misses)
+	}
+}
+
+// TestScheduleBatchErrors: the batch envelope itself fails fast — bad
+// method, malformed body, empty and oversized batches, bad query options.
+func TestScheduleBatchErrors(t *testing.T) {
+	_, ts := testServer(t)
+	if resp, data := postBatch(t, ts, "", []byte(`{not json`)); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d, want 400 (%s)", resp.StatusCode, data)
+	}
+	if resp, data := postBatch(t, ts, "", []byte(`{"items": []}`)); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d, want 400 (%s)", resp.StatusCode, data)
+	}
+	if resp, data := postBatch(t, ts, "?strategy=quantum", []byte(`{"items": [0]}`)); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad strategy: status %d, want 400 (%s)", resp.StatusCode, data)
+	}
+	over := batchRequest{Items: make([]json.RawMessage, maxBatchItems+1)}
+	for i := range over.Items {
+		over.Items[i] = json.RawMessage("0")
+	}
+	body, err := json.Marshal(over)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, data := postBatch(t, ts, "", body); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized batch: status %d, want 413 (%s)", resp.StatusCode, data)
+	}
+	resp, err := ts.Client().Get(ts.URL + "/v1/schedule/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestScheduleBatchPerItemBudget: a budget only some items can meet fails
+// exactly the over-budget items with the single endpoint's 422, leaving the
+// rest scheduled.
+func TestScheduleBatchPerItemBudget(t *testing.T) {
+	_, ts := testServer(t)
+	items := []json.RawMessage{
+		graphBody(t, smallCell(1)),
+		// Same wiring at double resolution and channels: 4x the tensor
+		// bytes, so a budget between the two arenas always exists.
+		graphBody(t, serenity.RandWireCell("big-cell", 12, 4, 0.75, 1, 16, 8)),
+	}
+	body, err := json.Marshal(batchRequest{Items: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First find a budget between the two arenas: schedule both unbudgeted.
+	resp, data := postBatch(t, ts, "", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("probe status %d: %s", resp.StatusCode, data)
+	}
+	var probe batchResponse
+	if err := json.Unmarshal(data, &probe); err != nil {
+		t.Fatal(err)
+	}
+	if probe.Scheduled != 2 {
+		t.Fatalf("probe scheduled %d of 2", probe.Scheduled)
+	}
+	lo, hi := probe.Items[0].Schedule.ArenaSize, probe.Items[1].Schedule.ArenaSize
+	if lo == hi {
+		t.Skip("cells landed on equal arenas; no budget separates them")
+	}
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	resp, data = postBatch(t, ts, fmt.Sprintf("?budget=%d", lo), body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("budget batch status %d: %s", resp.StatusCode, data)
+	}
+	var got batchResponse
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Scheduled != 1 || got.Failed != 1 {
+		t.Fatalf("scheduled=%d failed=%d, want exactly the affordable item to pass", got.Scheduled, got.Failed)
+	}
+	for _, item := range got.Items {
+		if item.Schedule != nil && item.Schedule.ArenaSize > lo {
+			t.Errorf("item %d scheduled over budget", item.Index)
+		}
+		if item.Status != http.StatusOK && item.Status != http.StatusUnprocessableEntity {
+			t.Errorf("item %d: status %d, want 200 or 422", item.Index, item.Status)
+		}
+		if item.Status == http.StatusUnprocessableEntity && !strings.Contains(item.Error, "exceeds device budget") {
+			t.Errorf("over-budget item error %q does not explain the overflow", item.Error)
+		}
+	}
+}
+
+func postBatch(t *testing.T, ts *httptest.Server, query string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+"/v1/schedule/batch"+query, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
 }
 
 func TestLoadgenSmoke(t *testing.T) {

@@ -87,6 +87,45 @@ func TestExactDPMatchesPreRedesignSchedule(t *testing.T) {
 	}
 }
 
+// TestSegmentMemoDifferentialNineCells is the differential harness over the
+// paper's nine-cell suite: scheduling each cell cold (empty memo) and warm
+// (memo pre-populated by the cold run) must be bit-identical — and both must
+// still match the pre-redesign goldens, so memoization provably changes
+// nothing but the work done.
+func TestSegmentMemoDifferentialNineCells(t *testing.T) {
+	cells := models.BenchmarkCells()
+	for _, tc := range compatGolden {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			memo := NewSegmentMemo(512)
+			newPipe := func() *Pipeline {
+				p, err := NewPipeline(compatOptions())
+				if err != nil {
+					t.Fatal(err)
+				}
+				p.SegmentMemo = memo
+				return p
+			}
+			cold, err := newPipe().Run(context.Background(), cells[tc.cell].Build())
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkCompat(t, "cold+memo", cold, tc.peak, tc.arenaSize, tc.order)
+
+			warm, err := newPipe().Run(context.Background(), cells[tc.cell].Build())
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkCompat(t, "warm", warm, tc.peak, tc.arenaSize, tc.order)
+			if warm.SegmentMemoHits != len(warm.SegmentQuality) {
+				t.Errorf("warm run hit %d of %d segments", warm.SegmentMemoHits, len(warm.SegmentQuality))
+			}
+			assertSameResult(t, tc.name, cold, warm)
+		})
+	}
+}
+
 func checkCompat(t *testing.T, via string, res *Result, peak, arena int64, order []int) {
 	t.Helper()
 	if res.Peak != peak {

@@ -1,6 +1,7 @@
 package serenity
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"time"
@@ -63,6 +64,45 @@ func TestSchedulePropertiesOnRandomDAGs(t *testing.T) {
 	}
 }
 
+// TestSegmentMemoDifferentialRandomDAGs extends the differential harness to
+// 200 random DAGs: schedule each cold (empty memo) and warm (memo
+// pre-populated by the cold run) and assert bit-identical results. The warm
+// run never searches — every segment must come from the memo.
+func TestSegmentMemoDifferentialRandomDAGs(t *testing.T) {
+	iters := 200
+	if testing.Short() {
+		iters = 40
+	}
+	rng := rand.New(rand.NewSource(20260728))
+	for i := 0; i < iters; i++ {
+		cfg := graph.RandomDAGConfig{
+			Nodes:    4 + rng.Intn(14),
+			EdgeProb: 0.15 + rng.Float64()*0.6,
+			MaxFanIn: 1 + rng.Intn(4),
+		}
+		g := graph.RandomDAG(rng, cfg)
+		opts := DefaultOptions()
+		opts.StepTimeout = time.Minute // no probe timeouts: fully deterministic
+		opts.Parallelism = i % 3
+
+		memo := NewSegmentMemo(256)
+		cold, err := memoPipeline(t, opts, memo).Run(t.Context(), g)
+		if err != nil {
+			t.Fatalf("iter %d cfg %+v: cold: %v", i, cfg, err)
+		}
+		warm, err := memoPipeline(t, opts, memo).Run(t.Context(), g)
+		if err != nil {
+			t.Fatalf("iter %d cfg %+v: warm: %v", i, cfg, err)
+		}
+		if warm.SegmentMemoHits != len(warm.SegmentQuality) {
+			t.Fatalf("iter %d: warm run hit %d of %d segments", i, warm.SegmentMemoHits, len(warm.SegmentQuality))
+		}
+		assertSameResult(t, fmt.Sprintf("iter %d", i), cold, warm)
+		checkScheduleInvariants(t, cold)
+		checkScheduleInvariants(t, warm)
+	}
+}
+
 // TestScheduleMatchesBruteForceOracle cross-checks DP optimality against
 // exhaustive search on small random graphs (rewriting off so the graphs
 // stay comparable).
@@ -116,11 +156,31 @@ func FuzzScheduleRandomDAG(f *testing.F) {
 		opts := DefaultOptions()
 		opts.StepTimeout = 100 * time.Millisecond
 		opts.Parallelism = int(seed&3) + 1
-		res, err := Schedule(g, opts)
+		// The cold run doubles as the plain-pipeline fuzz (an empty memo
+		// changes nothing but the bookkeeping, which the nine-cell and
+		// random-DAG differentials assert separately); keeping it to one
+		// expensive compilation stays inside the fuzz engine's per-input
+		// hang budget on dense corpus entries.
+		memo := NewSegmentMemo(64)
+		cold, err := memoPipeline(t, opts, memo).Run(t.Context(), g)
 		if err != nil {
 			t.Fatalf("schedule: %v", err)
 		}
-		checkScheduleInvariants(t, res)
+		checkScheduleInvariants(t, cold)
+
+		// Warm memo differential: a second run serves every segment from the
+		// memo and must be bit-identical to the run that populated it (the
+		// warm side replays stored results, so this holds even when adaptive
+		// probes are timing-sensitive).
+		warm, err := memoPipeline(t, opts, memo).Run(t.Context(), g)
+		if err != nil {
+			t.Fatalf("warm memo schedule: %v", err)
+		}
+		if warm.SegmentMemoHits != len(warm.SegmentQuality) {
+			t.Fatalf("warm run hit %d of %d segments", warm.SegmentMemoHits, len(warm.SegmentQuality))
+		}
+		assertSameResult(t, "fuzz cold/warm", cold, warm)
+		checkScheduleInvariants(t, warm)
 	})
 }
 

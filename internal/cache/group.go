@@ -1,0 +1,98 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrPanicked is the error followers of a flight observe when the leader's
+// compute function panicked instead of returning. The panic itself still
+// propagates on the leader's goroutine; followers must not mistake the
+// flight's zero value for a successful result.
+var ErrPanicked = errors.New("cache: singleflight leader panicked before completing")
+
+// Group coalesces concurrent computations by key (singleflight): while one
+// caller — the leader — runs the compute function for a key, every other
+// caller for the same key blocks on the leader's outcome instead of
+// recomputing it. The zero value is ready to use.
+//
+// Group deliberately does not store results beyond the flight: pair it with a
+// Cache when completed results should outlive the computation.
+type Group[V any] struct {
+	mu      sync.Mutex
+	flights map[string]*flight[V]
+}
+
+// flight is one in-progress computation.
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Do returns the result of fn for key, running fn at most once across
+// concurrent callers. The second return reports whether the result was shared
+// from another caller's flight (true) or computed by this call (false).
+//
+// Waiting honors ctx: a follower whose own context ends returns ctx.Err()
+// without waiting further. A follower whose *leader* failed with a context
+// error retries — the leader's caller went away, which says nothing about the
+// computation — and may become the new leader. Any other leader error is
+// shared with every follower of that flight.
+//
+// fn runs on the leader's goroutine with the leader's context captured in its
+// closure. If fn panics, the panic propagates to the leader's caller, the
+// flight is still cleaned up, and followers receive ErrPanicked rather than
+// a zero value masquerading as success.
+func (g *Group[V]) Do(ctx context.Context, key string, fn func() (V, error)) (V, bool, error) {
+	for {
+		g.mu.Lock()
+		if g.flights == nil {
+			g.flights = make(map[string]*flight[V])
+		}
+		if f, ok := g.flights[key]; ok {
+			g.mu.Unlock()
+			select {
+			case <-ctx.Done():
+				var zero V
+				return zero, false, ctx.Err()
+			case <-f.done:
+			}
+			if f.err == nil {
+				return f.val, true, nil
+			}
+			if errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded) {
+				continue // the leader was canceled, not the computation's fault
+			}
+			var zero V
+			return zero, true, f.err
+		}
+		f := &flight[V]{done: make(chan struct{})}
+		g.flights[key] = f
+		g.mu.Unlock()
+
+		func() {
+			completed := false
+			defer func() {
+				if !completed {
+					f.err = ErrPanicked
+				}
+				g.mu.Lock()
+				delete(g.flights, key)
+				g.mu.Unlock()
+				close(f.done)
+			}()
+			f.val, f.err = fn()
+			completed = true
+		}()
+		return f.val, false, f.err
+	}
+}
+
+// Inflight returns the number of keys currently being computed.
+func (g *Group[V]) Inflight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.flights)
+}

@@ -1,0 +1,217 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestGroupCoalesces: concurrent Do calls for one key run the function once;
+// exactly one caller reports shared=false.
+func TestGroupCoalesces(t *testing.T) {
+	var g Group[int]
+	var computes atomic.Int64
+	gate := make(chan struct{})
+
+	const callers = 8
+	results := make([]int, callers)
+	shareds := make([]bool, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], shareds[i], errs[i] = g.Do(context.Background(), "k", func() (int, error) {
+				<-gate // hold the flight open until every caller has arrived
+				computes.Add(1)
+				return 42, nil
+			})
+		}(i)
+	}
+	// Wait for the leader to open the flight, then let everyone pile on.
+	for g.Inflight() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("computed %d times, want 1", got)
+	}
+	leaders := 0
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil || results[i] != 42 {
+			t.Fatalf("caller %d: got %d, %v", i, results[i], errs[i])
+		}
+		if !shareds[i] {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Errorf("%d callers report shared=false, want exactly 1", leaders)
+	}
+	if g.Inflight() != 0 {
+		t.Errorf("flights leaked: %d", g.Inflight())
+	}
+}
+
+// TestGroupSequentialRunsEachTime: without overlap there is nothing to
+// coalesce — every call computes.
+func TestGroupSequentialRunsEachTime(t *testing.T) {
+	var g Group[int]
+	var computes int
+	for i := 0; i < 3; i++ {
+		v, shared, err := g.Do(context.Background(), "k", func() (int, error) {
+			computes++
+			return computes, nil
+		})
+		if err != nil || shared || v != i+1 {
+			t.Fatalf("call %d: v=%d shared=%t err=%v", i, v, shared, err)
+		}
+	}
+}
+
+// TestGroupSharesErrors: a genuine leader error reaches the followers; a
+// context error makes followers retry on their own.
+func TestGroupSharesErrors(t *testing.T) {
+	var g Group[int]
+	boom := errors.New("boom")
+	gate := make(chan struct{})
+
+	var followerErr, leaderErr error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, _, leaderErr = g.Do(context.Background(), "k", func() (int, error) {
+			<-gate
+			return 0, boom
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		for g.Inflight() == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		_, _, followerErr = g.Do(context.Background(), "k", func() (int, error) {
+			t.Error("follower recomputed a genuinely failed flight")
+			return 0, nil
+		})
+	}()
+	for g.Inflight() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(5 * time.Millisecond) // let the follower reach the flight wait
+	close(gate)
+	wg.Wait()
+	if !errors.Is(leaderErr, boom) || !errors.Is(followerErr, boom) {
+		t.Fatalf("leader %v / follower %v, want the leader's error on both", leaderErr, followerErr)
+	}
+
+	// Leader canceled: the follower must retry with its own context and
+	// succeed.
+	gate2 := make(chan struct{})
+	var v int
+	var err error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		g.Do(context.Background(), "k2", func() (int, error) {
+			<-gate2
+			return 0, context.Canceled
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		for g.Inflight() == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		v, _, err = g.Do(context.Background(), "k2", func() (int, error) {
+			return 7, nil
+		})
+	}()
+	for g.Inflight() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(5 * time.Millisecond)
+	close(gate2)
+	wg.Wait()
+	if err != nil || v != 7 {
+		t.Fatalf("follower after canceled leader: v=%d err=%v, want a fresh computation", v, err)
+	}
+}
+
+// TestGroupLeaderPanic: a panicking leader must not hand followers a zero
+// value with a nil error — they get ErrPanicked, and the panic still
+// propagates on the leader's goroutine.
+func TestGroupLeaderPanic(t *testing.T) {
+	var g Group[int]
+	gate := make(chan struct{})
+	var leaderPanic any
+	var followerErr error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		defer func() { leaderPanic = recover() }()
+		g.Do(context.Background(), "k", func() (int, error) {
+			<-gate
+			panic("boom")
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		for g.Inflight() == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		_, _, followerErr = g.Do(context.Background(), "k", func() (int, error) {
+			return 5, nil
+		})
+	}()
+	for g.Inflight() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(5 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	if leaderPanic == nil {
+		t.Fatal("leader's panic did not propagate")
+	}
+	if !errors.Is(followerErr, ErrPanicked) {
+		t.Fatalf("follower got %v, want ErrPanicked", followerErr)
+	}
+	if g.Inflight() != 0 {
+		t.Errorf("flights leaked after panic: %d", g.Inflight())
+	}
+}
+
+// TestGroupFollowerContext: a follower whose own context ends stops waiting.
+func TestGroupFollowerContext(t *testing.T) {
+	var g Group[int]
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		g.Do(context.Background(), "k", func() (int, error) {
+			<-gate
+			return 1, nil
+		})
+	}()
+	for g.Inflight() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := g.Do(ctx, "k", func() (int, error) { return 2, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	close(gate)
+	wg.Wait()
+}

@@ -14,8 +14,26 @@ import (
 // problem linearly while divide-and-conquer keeps each sub-problem
 // cell-sized; the scalability benchmark relies on this.
 func StackedRandWire(name string, cells int, cfg WSConfig) *graph.Graph {
+	return stackCells(name, cells, cfg, func(c int) int64 {
+		return cfg.Seed + int64(c)*7919
+	})
+}
+
+// StackedUniformRandWire chains `cells` copies of ONE WS cell wiring — the
+// same cfg.Seed for every cell — so all interior partition segments are
+// structurally identical. This is the repeated-cell shape NAS-style networks
+// actually ship (one searched cell, stacked), and therefore the best case for
+// cross-request segment memoization: after the first cell's DP, every further
+// copy is a memo hit.
+func StackedUniformRandWire(name string, cells int, cfg WSConfig) *graph.Graph {
+	return stackCells(name, cells, cfg, func(int) int64 { return cfg.Seed })
+}
+
+// stackCells builds the stacked network, drawing cell c's wiring seed from
+// seedFor(c).
+func stackCells(name string, cells int, cfg WSConfig, seedFor func(c int) int64) *graph.Graph {
 	if cells < 1 {
-		panic("models: StackedRandWire needs at least one cell")
+		panic("models: stacked RandWire needs at least one cell")
 	}
 	b := graph.NewBuilder(name)
 	shape := graph.Shape{1, cfg.HW, cfg.HW, cfg.Channel}
@@ -23,7 +41,7 @@ func StackedRandWire(name string, cells int, cfg WSConfig) *graph.Graph {
 
 	for c := 0; c < cells; c++ {
 		cellCfg := cfg
-		cellCfg.Seed = cfg.Seed + int64(c)*7919
+		cellCfg.Seed = seedFor(c)
 		edges := wsEdges(cellCfg)
 		preds := make([][]int, cellCfg.Nodes)
 		for _, e := range edges {

@@ -17,6 +17,9 @@
 package partition
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 
 	"github.com/serenity-ml/serenity/internal/graph"
@@ -32,6 +35,24 @@ type Segment struct {
 	// flagged in VirtualInput.
 	ToOriginal   []int
 	VirtualInput int // segment node ID of the boundary input, or -1
+}
+
+// Fingerprint returns a canonical hash of the segment as a scheduling
+// sub-problem: the segment graph's structural fingerprint (operation, dtype,
+// shape, wiring, and scheduling-relevant attributes of every node, in ID
+// order — names excluded, exactly as graph.Fingerprint) extended with the
+// boundary liveness signature: which node, if any, is the virtual input
+// standing for the previous cut's live output tensor. Two segments with equal
+// fingerprints pose identical search problems, so a schedule computed for one
+// is valid — order, peak, and optimality proof included — for the other. This
+// is the key of the cross-request segment memo (serenity.SegmentMemo).
+func (s *Segment) Fingerprint() string {
+	h := sha256.New()
+	h.Write([]byte(s.G.Fingerprint()))
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(int64(s.VirtualInput)))
+	h.Write(buf[:])
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Partition is the result of Split.

@@ -222,6 +222,71 @@ func TestSegmentBoundaryAccounting(t *testing.T) {
 	}
 }
 
+// TestSegmentFingerprintIdentifiesRepeatedCells: in an hourglass of
+// identical cells, every interior segment (same wiring, same virtual
+// boundary input) must hash identically — the property the cross-request
+// segment memo keys on — while the entry segment (real input, no boundary)
+// must not collide with them.
+func TestSegmentFingerprintIdentifiesRepeatedCells(t *testing.T) {
+	p, err := Split(hourglass(4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Segments) < 4 {
+		t.Fatalf("got %d segments, want >= 4", len(p.Segments))
+	}
+	interior := p.Segments[1].Fingerprint()
+	for i := 2; i < len(p.Segments); i++ {
+		if got := p.Segments[i].Fingerprint(); got != interior {
+			t.Errorf("segment %d fingerprint %s != segment 1's %s; identical cells must share a memo key", i, got, interior)
+		}
+	}
+	if first := p.Segments[0].Fingerprint(); first == interior {
+		t.Error("entry segment (no virtual input) collides with interior segments")
+	}
+}
+
+// TestSegmentFingerprintBoundarySignature: two segments with byte-identical
+// graphs but different boundary liveness (virtual input vs. none) must hash
+// differently, and the boundary signature must be the ONLY thing separating
+// them from the plain graph fingerprint.
+func TestSegmentFingerprintBoundarySignature(t *testing.T) {
+	g := graph.New("seg")
+	a := g.AddNode(graph.OpInput, "a", bytesShape(16))
+	g.AddNode(graph.OpReLU, "b", bytesShape(16), a)
+
+	noBoundary := &Segment{G: g, VirtualInput: -1}
+	boundary := &Segment{G: g, VirtualInput: 0}
+	if noBoundary.Fingerprint() == boundary.Fingerprint() {
+		t.Error("boundary liveness signature not part of the fingerprint")
+	}
+	if noBoundary.Fingerprint() != (&Segment{G: g, VirtualInput: -1}).Fingerprint() {
+		t.Error("fingerprint not deterministic")
+	}
+}
+
+// TestSegmentFingerprintIgnoresNames mirrors graph.Fingerprint's contract:
+// node names cannot affect any schedule, so they must not fragment the memo.
+func TestSegmentFingerprintIgnoresNames(t *testing.T) {
+	build := func(name string) *graph.Graph {
+		g := graph.New("n")
+		a := g.AddNode(graph.OpInput, name, bytesShape(16))
+		g.AddNode(graph.OpReLU, name+"2", bytesShape(16), a)
+		return g
+	}
+	s1 := &Segment{G: build("x"), VirtualInput: 0}
+	s2 := &Segment{G: build("totally-different"), VirtualInput: 0}
+	if s1.Fingerprint() != s2.Fingerprint() {
+		t.Error("renamed segment changed fingerprint")
+	}
+	g3 := build("x")
+	g3.Nodes[1].Op = graph.OpAdd
+	s3 := &Segment{G: g3, VirtualInput: 0}
+	if s1.Fingerprint() == s3.Fingerprint() {
+		t.Error("structural change did not change fingerprint")
+	}
+}
+
 func TestSplitPreservesRandomHourglasses(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
 	for trial := 0; trial < 10; trial++ {

@@ -5,8 +5,11 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
+
+	"github.com/serenity-ml/serenity/internal/partition"
 )
 
 // TestGoldenJSONRoundTrip locks the JSON IR wire format to the committed
@@ -88,6 +91,72 @@ func TestGoldenFingerprints(t *testing.T) {
 	}
 	if checked < 4 {
 		t.Errorf("manifest covers %d graphs, want at least 4", checked)
+	}
+}
+
+// TestGoldenSegmentFingerprints locks the segment fingerprint — the key
+// format of the cross-request segment memo (SegmentMemo, serenityd's
+// -segment-memo-size). Drift here silently invalidates every deployed memo;
+// an accidental collision would be far worse, aliasing different
+// sub-problems to one stored schedule. Regenerate deliberately with
+// `go run testdata/golden/gen.go`.
+func TestGoldenSegmentFingerprints(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "golden", "segment_fingerprints.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	graphs := map[string]*partition.Partition{}
+	perGraph := map[string]int{}
+	checked := 0
+	scanner := bufio.NewScanner(f)
+	for scanner.Scan() {
+		fields := strings.Fields(scanner.Text())
+		if len(fields) != 3 {
+			t.Fatalf("malformed manifest line %q", scanner.Text())
+		}
+		name, want := fields[0], fields[2]
+		idx, err := strconv.Atoi(fields[1])
+		if err != nil {
+			t.Fatalf("malformed segment index in %q", scanner.Text())
+		}
+		p, ok := graphs[name]
+		if !ok {
+			data, err := os.ReadFile(filepath.Join("testdata", "golden", name+".json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := ReadGraphJSON(bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p, err = partition.Split(g); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			graphs[name] = p
+		}
+		if idx >= len(p.Segments) {
+			t.Fatalf("%s: manifest names segment %d, graph splits into %d", name, idx, len(p.Segments))
+		}
+		if got := p.Segments[idx].Fingerprint(); got != want {
+			t.Errorf("%s segment %d: fingerprint %s, want %s (deployed segment memos would be invalidated)", name, idx, got, want)
+		}
+		perGraph[name]++
+		checked++
+	}
+	if err := scanner.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if checked < 4 {
+		t.Errorf("manifest covers %d segments, want at least 4", checked)
+	}
+	// Every segment of every golden graph must be covered — a manifest that
+	// silently shrinks is as bad as one that drifts.
+	for name, p := range graphs {
+		if perGraph[name] != len(p.Segments) {
+			t.Errorf("%s: manifest covers %d of %d segments", name, perGraph[name], len(p.Segments))
+		}
 	}
 }
 

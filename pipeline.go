@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/serenity-ml/serenity/internal/partition"
@@ -40,6 +41,14 @@ type Pipeline struct {
 	// Observer, when non-nil, receives per-stage and per-segment events.
 	// Calls are serialized; see Observer.
 	Observer Observer
+	// SegmentMemo, when non-nil, shares per-segment search results across
+	// runs (and across Pipelines holding the same memo): before searching a
+	// partition segment the pipeline consults the memo under the segment's
+	// Fingerprint plus the Searcher's MemoKey, and concurrent searches of
+	// the same segment coalesce into one. Only consulted when Partition is
+	// enabled and the Searcher implements MemoKeyer; degraded (fallback)
+	// results are never stored. See SegmentMemo.
+	SegmentMemo *SegmentMemo
 
 	// Rewrite / ExtendedRewrite / Partition toggle the graph stages, with
 	// the same semantics as the corresponding Options fields.
@@ -57,7 +66,8 @@ type Pipeline struct {
 // NewPipeline builds a Pipeline from opts: the Searcher is derived from
 // opts.Strategy (and the exact-search knobs), the Allocator is the default
 // best-fit planner, and the stage toggles are copied over. Returns an error
-// if opts fails Validate.
+// if opts fails Validate. No SegmentMemo is installed — assign one afterwards
+// to share per-segment search results across runs.
 func NewPipeline(opts Options) (*Pipeline, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
@@ -153,19 +163,64 @@ func (p *Pipeline) Run(ctx context.Context, g *Graph) (*Result, error) {
 
 	// Stage 3: per-segment search. Each segment is an independent
 	// sub-problem; the Searcher is required to be pure across segments, so
-	// segments may run concurrently.
+	// segments may run concurrently — and, when a SegmentMemo is installed,
+	// structurally identical segments share one search across runs.
 	obs.stageStart(StageSearch)
 	searchStart := time.Now()
+
+	// memoKeys[i] is segment i's memo key; nil disables memoization (no
+	// memo installed, partitioning off, or a Searcher that does not expose
+	// a MemoKey). Keys are computed up front so the per-segment workers do
+	// no fingerprinting of their own.
+	var memoKeys []string
+	var memoHits, freshStates atomic.Int64
+	if p.SegmentMemo != nil && part != nil {
+		if mk, ok := p.Searcher.(MemoKeyer); ok {
+			if disc := mk.MemoKey(); disc != "" {
+				memoKeys = make([]string, len(segments))
+				for i, seg := range segments {
+					memoKeys[i] = seg.Fingerprint() + "|" + disc
+				}
+			}
+		}
+	}
+
 	searchOne := func(ctx context.Context, idx int, m *sched.MemModel) (SearchResult, error) {
 		segStart := time.Now()
 		nodes := m.G.NumNodes()
 		obs.segmentStart(idx, nodes)
-		sr, err := p.Searcher.Search(ctx, m)
+		// Validation happens inside compute so the memo can never store a
+		// malformed result; a hit is a result that already passed it (equal
+		// fingerprints imply equal node counts).
+		compute := func() (SearchResult, error) {
+			sr, err := p.Searcher.Search(ctx, m)
+			if err != nil {
+				return sr, err
+			}
+			if len(sr.Order) != nodes {
+				return sr, fmt.Errorf("serenity: searcher %s returned %d of %d nodes", p.Searcher.Name(), len(sr.Order), nodes)
+			}
+			return sr, nil
+		}
+		var sr SearchResult
+		var err error
+		var hit bool
+		if memoKeys != nil {
+			sr, hit, err = p.SegmentMemo.do(ctx, memoKeys[idx], compute)
+			if hit {
+				memoHits.Add(1)
+			}
+		} else {
+			sr, err = compute()
+		}
 		if err != nil {
 			return sr, err
 		}
-		if len(sr.Order) != nodes {
-			return sr, fmt.Errorf("serenity: searcher %s returned %d of %d nodes", p.Searcher.Name(), len(sr.Order), nodes)
+		if !hit {
+			// Memo hits replay their stored StatesExplored into the Result
+			// (warm runs reconcile bit for bit with cold ones), but only a
+			// search actually run here counts as fresh work.
+			freshStates.Add(sr.StatesExplored)
 		}
 		if sr.FellBack {
 			obs.fallback(idx, sr.FallbackReason)
@@ -207,6 +262,8 @@ func (p *Pipeline) Run(ctx context.Context, g *Graph) (*Result, error) {
 			res.Fallbacks++
 		}
 	}
+	res.SegmentMemoHits = int(memoHits.Load())
+	res.FreshStatesExplored = freshStates.Load()
 	res.Stages.Search = time.Since(searchStart)
 	obs.stageDone(StageSearch, res.Stages.Search)
 

@@ -1,0 +1,111 @@
+package serenity
+
+import (
+	"context"
+	"sync/atomic"
+
+	"github.com/serenity-ml/serenity/internal/cache"
+)
+
+// MemoKeyer is implemented by Searchers whose per-segment results may be
+// shared through a SegmentMemo. MemoKey returns a discriminator covering
+// every searcher option that can change a result; two searchers with equal
+// MemoKeys must produce interchangeable results for structurally identical
+// segments. The built-in strategies (ExactDP, GreedyMemory, BestEffort) all
+// implement it. A Searcher that does not — or whose MemoKey returns "" —
+// opts out: the Pipeline bypasses the memo entirely for it, which is the
+// safe default for stateful or nondeterministic custom searchers.
+type MemoKeyer interface {
+	MemoKey() string
+}
+
+// SegmentMemo is a cross-request, segment-level schedule memo: a bounded LRU
+// from partition.Segment.Fingerprint()+"|"+Searcher.MemoKey() to the
+// SearchResult of that sub-problem, with singleflight coalescing so
+// concurrent compilations of the same segment share one search instead of
+// racing duplicate DP runs.
+//
+// The divide-and-conquer stage (Section 3.2) makes segments independent
+// sub-problems, so a result computed inside one graph is valid verbatim
+// inside any other graph containing a structurally identical segment — the
+// common case for NAS-style networks that stack a repeated cell. Install one
+// memo on every Pipeline that should share work (serenityd holds a single
+// process-wide memo across all requests; see -segment-memo-size).
+//
+// Two rules keep sharing sound:
+//
+//   - Degraded results are never stored. A SearchResult with FellBack set
+//     reflects this moment's deadline pressure, not the sub-problem; caching
+//     it would deny every later compilation the exact answer a quieter run
+//     could produce (the same policy serenityd applies to whole responses).
+//     Degraded results ARE still shared with concurrent waiters of the same
+//     in-flight search, which is honest: they asked while the pressure was on.
+//   - Results are immutable. Hits return the stored SearchResult unchanged
+//     (StatesExplored included, so a warm Result reconciles bit for bit with
+//     the cold run that populated the memo); callers must not mutate Order.
+//
+// A SegmentMemo is safe for concurrent use by any number of Pipelines.
+type SegmentMemo struct {
+	store *cache.Cache[SearchResult]
+	group cache.Group[SearchResult]
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewSegmentMemo returns a memo holding at most capacity segment results;
+// capacity < 1 is raised to 1.
+func NewSegmentMemo(capacity int) *SegmentMemo {
+	return &SegmentMemo{store: cache.New[SearchResult](capacity)}
+}
+
+// SegmentMemoStats is a snapshot of a memo's counters. Every memoized segment
+// search resolves as exactly one Hit (served from the store, or shared from a
+// concurrent in-flight search) or one Miss (this caller ran the searcher), so
+// Hits+Misses equals the total memoized segment searches across all Pipelines
+// sharing the memo.
+type SegmentMemoStats struct {
+	Hits    int64
+	Misses  int64
+	Entries int
+}
+
+// Stats returns a snapshot of the memo's counters.
+func (m *SegmentMemo) Stats() SegmentMemoStats {
+	return SegmentMemoStats{
+		Hits:    m.hits.Load(),
+		Misses:  m.misses.Load(),
+		Entries: m.store.Len(),
+	}
+}
+
+// do returns the result for key, consulting the store, then any in-flight
+// computation, then running compute. The boolean reports a hit: the result
+// arrived without this caller running compute. Errors are never stored;
+// context errors follow cache.Group's retry contract. Storable results enter
+// the store inside the flight — before followers are released and before the
+// flight is torn down — so a caller arriving as the leader finishes can
+// never slip between the closed flight and the not-yet-written store and
+// redo the search.
+func (m *SegmentMemo) do(ctx context.Context, key string, compute func() (SearchResult, error)) (SearchResult, bool, error) {
+	if sr, ok := m.store.Get(key); ok {
+		m.hits.Add(1)
+		return sr, true, nil
+	}
+	sr, shared, err := m.group.Do(ctx, key, func() (SearchResult, error) {
+		sr, err := compute()
+		if err == nil && !sr.FellBack {
+			m.store.Put(key, sr)
+		}
+		return sr, err
+	})
+	if err != nil {
+		return SearchResult{}, false, err
+	}
+	if shared {
+		m.hits.Add(1)
+		return sr, true, nil
+	}
+	m.misses.Add(1)
+	return sr, false, nil
+}

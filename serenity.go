@@ -50,9 +50,14 @@
 // disconnects abort (or, under BestEffort, degrade) a compilation
 // mid-search.
 //
+// Because segments are independent sub-problems, their solutions are also
+// reusable: install a SegmentMemo on a Pipeline to share per-segment search
+// results across runs (and across Pipelines holding the same memo), so
+// networks stacking a repeated cell pay for its DP once. See SegmentMemo.
+//
 // For serving schedule requests over HTTP (with an LRU schedule cache keyed
-// by Graph.Fingerprint and per-request strategy selection), see
-// cmd/serenityd.
+// by Graph.Fingerprint, a process-wide SegmentMemo, batch compilation, and
+// per-request strategy selection), see cmd/serenityd.
 package serenity
 
 import (
@@ -246,13 +251,25 @@ type Result struct {
 	// Fallbacks counts segments where a degradable searcher abandoned the
 	// exact search for its heuristic fallback.
 	Fallbacks int
+	// SegmentMemoHits counts segments whose search result came from the
+	// Pipeline's SegmentMemo (stored from an earlier run, or shared with a
+	// concurrent search of the same segment) instead of a fresh search.
+	// Always zero without an installed memo.
+	SegmentMemoHits int
 	// Stages breaks the compile time down per pipeline stage.
 	Stages StageTimings
 	// SchedulingTime is the end-to-end compile time.
 	SchedulingTime time.Duration
 	// StatesExplored counts partial schedules considered across all
-	// segments (DP memo entries; greedy candidate evaluations).
+	// segments (DP memo entries; greedy candidate evaluations). Segment
+	// memo hits replay the stored search's count, so warm runs reconcile
+	// bit for bit with the cold runs that populated the memo.
 	StatesExplored int64
+	// FreshStatesExplored counts only states explored by searches actually
+	// run in this compilation: memo hits contribute nothing. Equal to
+	// StatesExplored when no memo is installed (or nothing hit); the honest
+	// measure of search work done for metering and capacity accounting.
+	FreshStatesExplored int64
 }
 
 // Schedule runs the SERENITY pipeline (Figure 4) on g. It is a thin wrapper

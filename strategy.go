@@ -108,6 +108,13 @@ type ExactDP struct {
 // Name implements Searcher.
 func (e ExactDP) Name() string { return "exact" }
 
+// MemoKey implements MemoKeyer: every ExactDP field can change the resulting
+// order (never the peak, which is provably minimal either way), so all three
+// discriminate the memo key.
+func (e ExactDP) MemoKey() string {
+	return fmt.Sprintf("exact|a=%t|t=%d|s=%d", e.AdaptiveBudget, e.StepTimeout, e.MaxStates)
+}
+
 // Search implements Searcher.
 func (e ExactDP) Search(ctx context.Context, m *MemModel) (SearchResult, error) {
 	if e.AdaptiveBudget {
@@ -143,6 +150,12 @@ type GreedyMemory struct{}
 // Name implements Searcher.
 func (GreedyMemory) Name() string { return "greedy" }
 
+// MemoKey implements MemoKeyer. The greedy heuristic is deterministic and
+// configuration-free, so the strategy name alone discriminates; its results
+// are heuristic-quality but not degraded (FellBack is never set), so they are
+// memoizable under their own key.
+func (GreedyMemory) MemoKey() string { return "greedy" }
+
 // Search implements Searcher. The scan honors ctx: linear-ish is still
 // minutes on a dense many-thousand-node graph, and a disconnected caller
 // should not pin a CPU for it.
@@ -173,6 +186,17 @@ type BestEffort struct {
 
 // Name implements Searcher.
 func (b BestEffort) Name() string { return "best-effort" }
+
+// MemoKey implements MemoKeyer. The caller's deadline is deliberately NOT
+// part of the key: only non-degraded (optimal) results are ever stored in a
+// SegmentMemo, and an optimal segment order is valid under any deadline. Two
+// best-effort runs at different deadlines may therefore share stored optimal
+// segments — the same interchangeability Algorithm 2 already grants runs that
+// converge through different budgets. Degraded results never enter the memo
+// (see SegmentMemo), so deadline pressure cannot leak across requests.
+func (b BestEffort) MemoKey() string {
+	return fmt.Sprintf("best-effort|t=%d|s=%d", b.Exact.StepTimeout, b.Exact.MaxStates)
+}
 
 // Search implements Searcher.
 func (b BestEffort) Search(ctx context.Context, m *MemModel) (SearchResult, error) {

@@ -19,6 +19,7 @@ import (
 
 	serenity "github.com/serenity-ml/serenity"
 	"github.com/serenity-ml/serenity/internal/graph"
+	"github.com/serenity-ml/serenity/internal/partition"
 	"github.com/serenity-ml/serenity/internal/rewrite"
 )
 
@@ -43,6 +44,14 @@ func main() {
 	}
 	defer manifest.Close()
 	names := []string{"random_dag", "randwire_small", "swiftnet_cell_a", "swiftnet_cell_a_rewritten"}
+	// Segment fingerprints are the memo key format of serenity.SegmentMemo:
+	// a silent change invalidates (or worse, aliases) every deployed memo,
+	// so the manifest pins each golden graph's per-segment hashes.
+	segManifest, err := os.Create(filepath.Join(dir, "segment_fingerprints.txt"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer segManifest.Close()
 	for _, name := range names {
 		g := graphs[name]
 		f, err := os.Create(filepath.Join(dir, name+".json"))
@@ -54,6 +63,13 @@ func main() {
 		}
 		f.Close()
 		fmt.Fprintf(manifest, "%s %s\n", name, g.Fingerprint())
+		p, err := partition.Split(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, seg := range p.Segments {
+			fmt.Fprintf(segManifest, "%s %d %s\n", name, i, seg.Fingerprint())
+		}
 	}
 	fmt.Println("golden fixtures regenerated")
 }
