@@ -53,6 +53,7 @@ func BenchmarkFig3bCDF(b *testing.B) {
 // reduction of SERENITY over the memory-oblivious baseline on all nine
 // cells (geomean reported).
 func BenchmarkFig10PeakReduction(b *testing.B) {
+	b.ReportAllocs()
 	var geoDP, geoGR float64
 	for i := 0; i < b.N; i++ {
 		cells, err := bench.MeasureAllCells(500 * time.Millisecond)
@@ -116,6 +117,7 @@ func BenchmarkFig12Profile(b *testing.B) {
 // BenchmarkFig13SchedulingTime regenerates Figure 13: SERENITY's compile
 // (scheduling) time averaged over the nine cells.
 func BenchmarkFig13SchedulingTime(b *testing.B) {
+	b.ReportAllocs()
 	var meanMS float64
 	for i := 0; i < b.N; i++ {
 		cells, err := bench.MeasureAllCells(500 * time.Millisecond)
@@ -152,6 +154,7 @@ func BenchmarkFig15RawPeak(b *testing.B) {
 // BenchmarkTable2Ablation regenerates Table 2: scheduling time by algorithm
 // combination on SwiftNet.
 func BenchmarkTable2Ablation(b *testing.B) {
+	b.ReportAllocs()
 	var fullMS float64
 	for i := 0; i < b.N; i++ {
 		rows, err := bench.Table2(bench.Table2Options{
@@ -176,6 +179,7 @@ func BenchmarkTable2Ablation(b *testing.B) {
 func BenchmarkDPSchedulerMicro(b *testing.B) {
 	g := models.SwiftNetCellC()
 	m := sched.NewMemModel(g)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r := dp.Optimal(m)
@@ -191,6 +195,7 @@ func BenchmarkAdaptiveVsUnbudgeted(b *testing.B) {
 	g := models.SwiftNetCellA()
 	m := sched.NewMemModel(g)
 	var plain, adaptive int64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pr := dp.Optimal(m)
@@ -239,6 +244,7 @@ func BenchmarkScheduleParallelism(b *testing.B) {
 	var wantPeak int64
 	for _, p := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("parallelism=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
 			opts := DefaultOptions()
 			opts.StepTimeout = time.Minute
 			opts.Parallelism = p
@@ -251,6 +257,34 @@ func BenchmarkScheduleParallelism(b *testing.B) {
 					wantPeak = res.Peak
 				} else if res.Peak != wantPeak {
 					b.Fatalf("peak %d diverged from %d", res.Peak, wantPeak)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDPIntraLevelParallel measures the sharded intra-level expansion
+// on a single dense cell — the single-segment shape the segment pool cannot
+// help with. Results are bit-identical across sub-benchmarks (asserted);
+// only wall-clock changes, and only with GOMAXPROCS > 1.
+func BenchmarkDPIntraLevelParallel(b *testing.B) {
+	g := models.RandWireCell("bench-intra", models.WSConfig{
+		Nodes: 44, K: 6, P: 0.9, Seed: 11, HW: 16, Channel: 8,
+	})
+	m := sched.NewMemModel(g)
+	var wantPeak int64
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallelism=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r := dp.Schedule(m, dp.Options{Parallelism: p})
+				if r.Flag != dp.FlagSolution {
+					b.Fatal("DP failed")
+				}
+				if wantPeak == 0 {
+					wantPeak = r.Peak
+				} else if r.Peak != wantPeak {
+					b.Fatalf("peak %d diverged from %d", r.Peak, wantPeak)
 				}
 			}
 		})
@@ -292,6 +326,7 @@ func BenchmarkSegmentMemo(b *testing.B) {
 	}
 	var wantPeak int64
 	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			res := run(b, nil)
 			if wantPeak == 0 {
@@ -302,6 +337,7 @@ func BenchmarkSegmentMemo(b *testing.B) {
 		}
 	})
 	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
 		memo := NewSegmentMemo(1024)
 		pre := run(b, memo) // populate, untimed
 		if wantPeak != 0 && pre.Peak != wantPeak {

@@ -1,0 +1,156 @@
+package main
+
+// The dpbench artifact: a machine-readable benchmark of the core DP
+// scheduler across the nine evaluation cells, emitted as BENCH_dp.json so CI
+// can archive the perf trajectory run over run. Unlike the paper figures
+// (which measure the whole pipeline), dpbench isolates dp.Schedule itself —
+// ns/op, allocs/op, and states/second — the numbers the allocation-free
+// frontier work moves.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/serenity-ml/serenity/internal/dp"
+	"github.com/serenity-ml/serenity/internal/models"
+	"github.com/serenity-ml/serenity/internal/partition"
+	"github.com/serenity-ml/serenity/internal/sched"
+)
+
+// dpBenchModel is one cell's measurement in BENCH_dp.json.
+type dpBenchModel struct {
+	Network string `json:"network"`
+	Cell    string `json:"cell"`
+	Nodes   int    `json:"nodes"`
+	// Segments is how many divide-and-conquer segments the cell splits
+	// into; the benchmark schedules each segment exactly, like the pipeline.
+	Segments int `json:"segments"`
+	// Iters is how many full (all-segment) scheduling rounds were timed.
+	Iters          int     `json:"iters"`
+	NsPerOp        int64   `json:"ns_per_op"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+	BytesPerOp     int64   `json:"bytes_per_op"`
+	StatesPerOp    int64   `json:"states_per_op"`
+	StatesPerSec   float64 `json:"states_per_sec"`
+	MaxFrontier    int     `json:"max_frontier"`
+	SchedulePeakKB float64 `json:"schedule_peak_kb"`
+}
+
+// dpBenchReport is the BENCH_dp.json envelope.
+type dpBenchReport struct {
+	GoOS       string         `json:"goos"`
+	GoArch     string         `json:"goarch"`
+	GoMaxProcs int            `json:"gomaxprocs"`
+	BenchTime  string         `json:"bench_time_per_model"`
+	Models     []dpBenchModel `json:"models"`
+}
+
+// dpBench measures dp scheduling per cell for at least benchTime (and at
+// least two iterations) and writes the JSON report to outPath, with a
+// human-readable summary on w.
+func dpBench(w io.Writer, outPath string, benchTime time.Duration) error {
+	report := dpBenchReport{
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		BenchTime:  benchTime.String(),
+	}
+	for _, cell := range models.BenchmarkCells() {
+		g := cell.Build()
+		part, err := partition.Split(g)
+		if err != nil {
+			return fmt.Errorf("dpbench %s %s: %w", cell.Network, cell.Cell, err)
+		}
+		segs := make([]*sched.MemModel, len(part.Segments))
+		for i, seg := range part.Segments {
+			segs[i] = sched.NewMemModel(seg.G)
+		}
+		// The per-segment soft budget keeps dense cells tractable without
+		// wall-clock probes: one exact, deterministic run per segment, like
+		// a warmed Algorithm 2 would converge to.
+		budgets := make([]int64, len(segs))
+		var peak int64
+		for i, m := range segs {
+			kahn, err := sched.KahnFIFO(m.G)
+			if err != nil {
+				return err
+			}
+			if budgets[i], err = m.Peak(kahn); err != nil {
+				return err
+			}
+		}
+
+		run := func() (states int64, frontier int, segPeak int64, err error) {
+			for i, m := range segs {
+				r := dp.Schedule(m, dp.Options{Budget: budgets[i], MaxStates: 1 << 20})
+				if r.Flag != dp.FlagSolution {
+					return 0, 0, 0, fmt.Errorf("dpbench %s %s seg%d: %v", cell.Network, cell.Cell, i, r.Flag)
+				}
+				states += r.StatesExplored
+				if r.MaxFrontier > frontier {
+					frontier = r.MaxFrontier
+				}
+				if r.Peak > segPeak {
+					segPeak = r.Peak
+				}
+			}
+			return states, frontier, segPeak, nil
+		}
+		if _, _, _, err := run(); err != nil { // warm-up, untimed
+			return err
+		}
+
+		var ms0, ms1 runtime.MemStats
+		var states int64
+		var frontier int
+		iters := 0
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		for time.Since(start) < benchTime || iters < 2 {
+			s, f, p, err := run()
+			if err != nil {
+				return err
+			}
+			states, frontier, peak = s, f, p
+			iters++
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+
+		nsPerOp := elapsed.Nanoseconds() / int64(iters)
+		model := dpBenchModel{
+			Network:        cell.Network,
+			Cell:           cell.Cell,
+			Nodes:          g.NumNodes(),
+			Segments:       len(segs),
+			Iters:          iters,
+			NsPerOp:        nsPerOp,
+			AllocsPerOp:    int64(ms1.Mallocs-ms0.Mallocs) / int64(iters),
+			BytesPerOp:     int64(ms1.TotalAlloc-ms0.TotalAlloc) / int64(iters),
+			StatesPerOp:    states,
+			MaxFrontier:    frontier,
+			SchedulePeakKB: float64(peak) / 1024,
+		}
+		if elapsed > 0 {
+			model.StatesPerSec = float64(states) * float64(iters) / elapsed.Seconds()
+		}
+		report.Models = append(report.Models, model)
+		fmt.Fprintf(w, "%-12s %-8s %3d nodes  %9d ns/op  %6d allocs/op  %11.0f states/s  frontier %d\n",
+			cell.Network, cell.Cell, model.Nodes, model.NsPerOp, model.AllocsPerOp, model.StatesPerSec, model.MaxFrontier)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", outPath)
+	return nil
+}

@@ -50,10 +50,14 @@ type scheduleResponse struct {
 	// served from the server's cross-request segment memo instead of a fresh
 	// search. On a cached response it describes the compilation that built
 	// the entry.
-	SegmentMemoHits int     `json:"segment_memo_hits,omitempty"`
-	SchedulingMS    float64 `json:"scheduling_ms"`
-	StageMS         stageMS `json:"stage_ms"`
-	Cached          bool    `json:"cached"`
+	SegmentMemoHits int `json:"segment_memo_hits,omitempty"`
+	// MaxFrontier is the largest number of coexisting DP signatures any
+	// segment's search held — how close the compilation came to the
+	// server's state-cap valve.
+	MaxFrontier  int     `json:"max_frontier,omitempty"`
+	SchedulingMS float64 `json:"scheduling_ms"`
+	StageMS      stageMS `json:"stage_ms"`
+	Cached       bool    `json:"cached"`
 	// RewrittenGraph is set when identity graph rewriting changed the graph:
 	// Order indexes ITS nodes, not the submitted graph's, so clients need it
 	// to interpret or execute the schedule.
@@ -96,6 +100,10 @@ type server struct {
 	canceled  atomic.Int64 // requests abandoned by the client mid-compile
 	fallbacks atomic.Int64 // segments degraded from exact to heuristic search
 	heuristic atomic.Int64 // non-cached compilations answered with a heuristic schedule
+	// frontierHigh is the largest DP frontier (coexisting signatures) any
+	// compilation's search has held since startup — the scheduler's memory
+	// high-water mark, fed from Result.MaxFrontier.
+	frontierHigh atomic.Int64
 	// Cumulative per-stage pipeline time in nanoseconds, fed by the
 	// Pipeline's Observer hook on every non-cached compilation.
 	stageNS [4]atomic.Int64 // indexed by stageIdx order: rewrite, partition, search, alloc
@@ -310,6 +318,12 @@ func (s *server) compute(ctx context.Context, g *serenity.Graph, opts serenity.O
 		// DP; their states count. Segment-memo hits do not: they replay a
 		// stored count into StatesExplored without exploring anything.
 		s.states.Add(res.FreshStatesExplored)
+		for {
+			cur := s.frontierHigh.Load()
+			if int64(res.MaxFrontier) <= cur || s.frontierHigh.CompareAndSwap(cur, int64(res.MaxFrontier)) {
+				break
+			}
+		}
 	}
 	if err != nil {
 		return nil, err
@@ -333,6 +347,7 @@ func (s *server) compute(ctx context.Context, g *serenity.Graph, opts serenity.O
 		Fallbacks:       res.Fallbacks,
 		StatesExplored:  res.StatesExplored,
 		SegmentMemoHits: res.SegmentMemoHits,
+		MaxFrontier:     res.MaxFrontier,
 		SchedulingMS:    float64(res.SchedulingTime.Microseconds()) / 1000,
 		StageMS: stageMS{
 			Rewrite:   float64(res.Stages.Rewrite.Microseconds()) / 1000,
@@ -474,6 +489,21 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for i, st := range pipelineStages {
 		fmt.Fprintf(w, "serenityd_stage_seconds_total{stage=%q} %.6f\n", st, float64(s.stageNS[i].Load())/1e9)
 	}
+	// DP core throughput: fresh states over cumulative search-stage time.
+	// Cache hits skip the pipeline entirely; segment-memo hits add zero
+	// states and only microseconds of lookup time to the denominator, so
+	// the gauge tracks the core's crunch rate to within the memo's lookup
+	// overhead (a slight under-read under heavily warmed traffic).
+	var statesPerSec float64
+	if searchSec := float64(s.stageNS[stageIdx(serenity.StageSearch)].Load()) / 1e9; searchSec > 0 {
+		statesPerSec = float64(s.states.Load()) / searchSec
+	}
+	fmt.Fprintf(w, "# HELP serenityd_dp_states_per_second Fresh DP states explored per second of cumulative search-stage time.\n")
+	fmt.Fprintf(w, "# TYPE serenityd_dp_states_per_second gauge\n")
+	fmt.Fprintf(w, "serenityd_dp_states_per_second %.1f\n", statesPerSec)
+	fmt.Fprintf(w, "# HELP serenityd_dp_frontier_high_water Largest DP frontier (coexisting signatures) any compilation has held.\n")
+	fmt.Fprintf(w, "# TYPE serenityd_dp_frontier_high_water gauge\n")
+	fmt.Fprintf(w, "serenityd_dp_frontier_high_water %d\n", s.frontierHigh.Load())
 	var ms serenity.SegmentMemoStats
 	if s.segMemo != nil {
 		ms = s.segMemo.Stats()

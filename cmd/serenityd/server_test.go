@@ -275,6 +275,8 @@ func TestMetricsAndHealthz(t *testing.T) {
 		"serenityd_in_flight_requests 0",
 		"serenityd_states_explored_total",
 		"serenityd_errors_total 0",
+		"serenityd_dp_states_per_second",
+		"serenityd_dp_frontier_high_water",
 	} {
 		if !strings.Contains(string(metrics), want) {
 			t.Errorf("metrics missing %q:\n%s", want, metrics)
@@ -282,6 +284,12 @@ func TestMetricsAndHealthz(t *testing.T) {
 	}
 	if s.states.Load() <= 0 {
 		t.Error("states-explored counter never incremented")
+	}
+	if s.frontierHigh.Load() <= 0 {
+		t.Error("frontier high-water gauge never rose above zero")
+	}
+	if strings.Contains(string(metrics), "serenityd_dp_states_per_second 0.0\n") {
+		t.Error("states-per-second gauge is zero after a fresh compilation")
 	}
 }
 

@@ -24,6 +24,10 @@ type AdaptiveOptions struct {
 	// paper leaves implicit (τ = τmax always succeeds given enough time).
 	// Defaults to true; set DisableGrowth to turn off.
 	DisableGrowth bool
+	// Parallelism is forwarded to every DP probe: wide levels fan their
+	// expansion across up to this many worker shards. See
+	// Options.Parallelism for the bit-identity contract.
+	Parallelism int
 }
 
 // BudgetProbe records one iteration of the meta-search, for the
@@ -89,7 +93,7 @@ func AdaptiveScheduleCtx(ctx context.Context, m *sched.MemModel, opts AdaptiveOp
 		tauOld, tauNew := hardBudget, hardBudget
 		var best *Result
 		for iter := 0; iter < opts.MaxIters; iter++ {
-			r := ScheduleCtx(ctx, m, Options{Budget: tauNew, StepTimeout: timeout, MaxStates: opts.MaxStates})
+			r := ScheduleCtx(ctx, m, Options{Budget: tauNew, StepTimeout: timeout, MaxStates: opts.MaxStates, Parallelism: opts.Parallelism})
 			if r.Flag == FlagCanceled {
 				// Return the probe record alongside the error: the states
 				// explored before cancellation are real work callers may

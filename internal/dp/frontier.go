@@ -1,0 +1,206 @@
+package dp
+
+// Allocation-free frontier machinery for the DP scheduler.
+//
+// The original implementation kept each DP level as a []state of heap
+// bitsets indexed by a map[string]int32, which allocated on every
+// transition: a string key plus two bitset clones even when the child was a
+// duplicate that got discarded immediately. This file replaces that with
+// three allocation-free structures:
+//
+//   - level: a flat slab arena. Every state at a level uses exactly
+//     2W words (W = ⌈n/64⌉): its scheduled set followed by its ready set,
+//     at offset 2·i·W in one shared []uint64. A level grows by appending to
+//     the slab (amortized, no per-state allocations) and is recycled
+//     wholesale for a later level once retired.
+//
+//   - ftable: an open-addressed, linear-probing index from signature hash to
+//     state index. Signatures are 64-bit Zobrist hashes (MemModel.Zobrist),
+//     so a transition's hash is parent.hash ^ zobrist[u] — known before the
+//     child bitset exists. Collisions are disambiguated by equalPlusBit,
+//     which compares the stored child against "parent ∪ {u}" word by word,
+//     again without materializing anything. A duplicate transition therefore
+//     costs zero allocations: probe, compare, update peak/parent/via.
+//
+//   - appendChild: the only path that materializes a state, writing the
+//     child's words straight into the slab and computing its footprint via a
+//     reusable attached Bitset view.
+
+import (
+	"github.com/serenity-ml/serenity/internal/graph"
+	"github.com/serenity-ml/serenity/internal/sched"
+)
+
+// stNode is one frontier entry's metadata. Its bitsets live in the owning
+// level's slab at offset 2·i·W, not here, so retiring a level can drop all
+// bitsets in one slice swap. peak/parent/via are updated in place when a
+// duplicate transition reaches the same signature with a lower peak.
+type stNode struct {
+	hash   uint64 // Zobrist hash of the scheduled set
+	mu     int64  // running footprint after this state's deallocations
+	peak   int64  // best (minimum) peak over all partial schedules reaching it
+	parent int32  // index into the previous level; -1 at level 0
+	via    int32  // node scheduled to reach this state; -1 at level 0
+}
+
+// pv is the two-field residue of a retired level: everything schedule
+// reconstruction needs. Completed levels are compacted from stNode+slab
+// (~2W words + 32 bytes per state) down to 8 bytes per state.
+type pv struct{ parent, via int32 }
+
+// level is one DP level's frontier: state metadata plus the slab arena
+// backing every state's scheduled and ready words.
+type level struct {
+	states []stNode
+	slab   []uint64 // 2W words per state: scheduled then ready
+}
+
+// reset empties the level for reuse, keeping capacity.
+func (l *level) reset() {
+	l.states = l.states[:0]
+	l.slab = l.slab[:0]
+}
+
+// sched returns state i's scheduled words.
+func (l *level) sched(i, w int) []uint64 {
+	off := 2 * i * w
+	return l.slab[off : off+w]
+}
+
+// ready returns state i's ready (zero-indegree) words.
+func (l *level) ready(i, w int) []uint64 {
+	off := 2*i*w + w
+	return l.slab[off : off+w]
+}
+
+// appendChild materializes the transition (parent state with words
+// psched/pready, node u) as a new state: the child's words are appended to
+// the slab (amortized, allocation-free at steady state), newly ready
+// successors are computed in place, and mu is evaluated through the caller's
+// reusable scratch view instead of a heap bitset. h, muHigh, and peak are the
+// precomputed signature hash and footprint of the transition.
+func (l *level) appendChild(m *sched.MemModel, scratch *graph.Bitset, psched, pready []uint64, si, u, w int, h uint64, muHigh, peak int64) {
+	base := len(l.slab)
+	l.slab = append(l.slab, psched...)
+	l.slab = append(l.slab, pready...)
+	csched := l.slab[base : base+w]
+	cready := l.slab[base+w : base+2*w]
+	csched[u>>6] |= 1 << uint(u&63)
+	cready[u>>6] &^= 1 << uint(u&63)
+	g := m.G
+	for _, sc := range g.Nodes[u].Succs {
+		if csched[sc>>6]&(1<<uint(sc&63)) != 0 {
+			continue
+		}
+		ready := true
+		for _, p := range g.Nodes[sc].Preds {
+			if csched[p>>6]&(1<<uint(p&63)) == 0 {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			cready[sc>>6] |= 1 << uint(sc&63)
+		}
+	}
+	scratch.Attach(csched, g.NumNodes())
+	mu := muHigh - m.StepDealloc(scratch, u)
+	l.states = append(l.states, stNode{hash: h, mu: mu, peak: peak, parent: int32(si), via: int32(u)})
+}
+
+// equalPlusBit reports whether child equals parent with bit (uw, ubit) set:
+// the word-level comparison of an existing state's scheduled set against the
+// speculative transition's, without materializing the latter.
+func equalPlusBit(child, parent []uint64, uw int, ubit uint64) bool {
+	for i, cw := range child {
+		pw := parent[i]
+		if i == uw {
+			pw |= ubit
+		}
+		if cw != pw {
+			return false
+		}
+	}
+	return true
+}
+
+// minTableSize is the smallest slot count an ftable uses; always a power of
+// two so probing can mask instead of mod.
+const minTableSize = 64
+
+// ftable is the open-addressed frontier index: slots hold state indices into
+// the level under construction (-1 = empty), probed linearly from the
+// signature hash. Load factor stays under 3/4 (grow re-probes every state,
+// whose hashes live in stNode). The table persists across levels and runs in
+// its owner, so steady-state lookups and inserts allocate nothing.
+type ftable struct {
+	slots []int32
+	mask  uint64
+	used  int
+}
+
+// reset prepares the table for a new level expected to index about hint
+// states: it clears the slots in place, shrinking first when a previous wide
+// level left the table grossly oversized for the coming one.
+func (t *ftable) reset(hint int) {
+	want := minTableSize
+	for want < 4*hint && want < 1<<30 {
+		want <<= 1
+	}
+	if t.slots == nil || len(t.slots) > 8*want {
+		t.slots = make([]int32, want)
+		t.mask = uint64(want - 1)
+	}
+	for i := range t.slots {
+		t.slots[i] = -1
+	}
+	t.used = 0
+}
+
+// grow doubles the table when one more insertion could push the load factor
+// past 3/4, re-probing every state already in lvl. Callers invoke it before
+// probe so the returned insertion slot stays valid for place.
+func (t *ftable) grow(lvl *level) {
+	if (t.used+1)*4 <= len(t.slots)*3 {
+		return
+	}
+	ns := make([]int32, 2*len(t.slots))
+	for i := range ns {
+		ns[i] = -1
+	}
+	mask := uint64(len(ns) - 1)
+	for idx := range lvl.states {
+		pos := lvl.states[idx].hash & mask
+		for ns[pos] >= 0 {
+			pos = (pos + 1) & mask
+		}
+		ns[pos] = int32(idx)
+	}
+	t.slots, t.mask = ns, mask
+}
+
+// probe looks up the child signature "parent ∪ {u}" by its hash h. On a hit
+// it returns the existing state's index; on a miss it returns -1 plus the
+// empty slot where place must insert the new state.
+func (t *ftable) probe(h uint64, lvl *level, w int, psched []uint64, uw int, ubit uint64) (int32, uint64) {
+	pos := h & t.mask
+	for {
+		si := t.slots[pos]
+		if si < 0 {
+			return -1, pos
+		}
+		if lvl.states[si].hash == h {
+			off := 2 * int(si) * w
+			if equalPlusBit(lvl.slab[off:off+w], psched, uw, ubit) {
+				return si, pos
+			}
+		}
+		pos = (pos + 1) & t.mask
+	}
+}
+
+// place records a newly appended state's index in the slot probe returned.
+func (t *ftable) place(pos uint64, idx int32) {
+	t.slots[pos] = idx
+	t.used++
+}

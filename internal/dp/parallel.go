@@ -1,0 +1,235 @@
+package dp
+
+// Intra-level parallel expansion: when one level's frontier is wide enough
+// (Options.ParallelThreshold) and Options.Parallelism allows it, the level's
+// transitions are sharded across workers by signature hash. Every worker
+// scans the whole parent frontier in discovery order but owns only the
+// transitions whose child hash maps to its shard — ownership is a pure
+// function of the signature, so all duplicates of a signature are resolved
+// inside one shard, with the same first-discovery/lowest-peak tie-break the
+// sequential path applies. Non-owned transitions cost a hash XOR and a
+// modulo; the expensive work (footprint evaluation, probing, slab writes) is
+// done once, by the owner.
+//
+// Each shard records its states' discovery keys (parent index, node), which
+// are strictly increasing within a shard because workers scan in order. The
+// sequential path's frontier ordering is exactly the ascending merge of
+// those key streams, so mergeShards' k-way merge reproduces it bit for bit —
+// parent indices, duplicate winners, StatesExplored, StatesPruned,
+// MaxFrontier, and the reconstructed schedule are all identical to a
+// sequential run on the solution path. Abort paths (cancellation, timeouts,
+// the MaxStates valve) keep the identical Flag but may report different
+// partial counts; see Options.Parallelism.
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/serenity-ml/serenity/internal/graph"
+)
+
+const (
+	// defaultParallelThreshold is the frontier width below which sharding
+	// overhead (goroutine fan-out plus every worker scanning the level)
+	// outweighs the parallel win.
+	defaultParallelThreshold = 256
+	// maxShards caps the fan-out; beyond this the per-worker full-frontier
+	// scan dominates.
+	maxShards = 16
+	// shardPollInterval is how many scanned transitions a worker goes
+	// between ctx/deadline/stop polls. Power of two (it is used as a mask).
+	shardPollInterval = 2048
+)
+
+// Abort reasons published by the first worker that trips one; cancellation
+// and the two timeout flavors map onto the sequential path's Flag priority.
+const (
+	abortNone int32 = iota
+	abortCanceled
+	abortTimeout
+)
+
+// shardWorker is one expansion shard's private working set, reused across
+// every sharded level of a run so steady-state expansion allocates nothing.
+type shardWorker struct {
+	lvl      level
+	tbl      ftable
+	keys     []uint64 // discovery key (si<<32 | u) per state, ascending
+	scratch  graph.Bitset
+	explored int64
+	pruned   int64
+}
+
+// expandParallel expands the current level across shardCount() workers and
+// merges the per-shard frontiers back into s.next in sequential discovery
+// order. Counters are folded into s.res only after all workers join, so the
+// workers share nothing mutable but the atomics below.
+func (s *search) expandParallel() expandOutcome {
+	shards := s.shardCount()
+	if s.px == nil {
+		s.px = &parallelExpander{}
+	}
+	for len(s.px.workers) < shards {
+		s.px.workers = append(s.px.workers, &shardWorker{})
+	}
+	ws := s.px.workers[:shards]
+
+	var created atomic.Int64
+	var reason atomic.Int32
+	var wg sync.WaitGroup
+	for i := 1; i < shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s.runShard(ws[i], i, shards, &created, &reason)
+		}(i)
+	}
+	s.runShard(ws[0], 0, shards, &created, &reason)
+	wg.Wait()
+
+	for _, w := range ws {
+		s.res.StatesExplored += w.explored
+		s.res.StatesPruned += w.pruned
+	}
+	switch reason.Load() {
+	case abortCanceled:
+		return expandCanceled
+	case abortTimeout:
+		return expandTimeout
+	}
+	total := int(created.Load())
+	if s.opts.MaxStates > 0 && total > s.opts.MaxStates {
+		// Deterministic valve: the level's full frontier exceeds the cap, so
+		// the sequential path would have aborted mid-level with the same
+		// Flag. (ctx may have fired between the workers' last poll and here;
+		// cancellation still wins, as it would at the next sequential poll.)
+		if canceled(s.done) {
+			return expandCanceled
+		}
+		return expandTimeout
+	}
+	s.mergeShards(ws, total)
+	return expandOK
+}
+
+// parallelExpander owns the lazily grown worker set of a search.
+type parallelExpander struct {
+	workers []*shardWorker
+}
+
+// runShard is one worker's pass over the whole parent frontier. It mirrors
+// expandSequential transition for transition, except that it skips
+// transitions owned by other shards after the (cheap) hash computation and
+// stops early when any worker publishes an abort reason.
+func (s *search) runShard(wk *shardWorker, id, shards int, created *atomic.Int64, reason *atomic.Int32) {
+	var (
+		w      = s.w
+		zob    = s.m.Zobrist
+		alloc  = s.m.Alloc
+		budget = s.opts.Budget
+		me     = uint64(id)
+		nsh    = uint64(shards)
+	)
+	wk.lvl.reset()
+	wk.keys = wk.keys[:0]
+	wk.tbl.reset(len(s.cur.states)/shards + 1)
+	wk.explored, wk.pruned = 0, 0
+
+	scan := 0
+	for si := range s.cur.states {
+		st := &s.cur.states[si]
+		psched := s.cur.sched(si, w)
+		pready := s.cur.ready(si, w)
+		for wi := 0; wi < w; wi++ {
+			word := pready[wi]
+			for word != 0 {
+				u := wi<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				scan++
+				if scan&(shardPollInterval-1) == 0 {
+					if reason.Load() != abortNone {
+						return
+					}
+					if canceled(s.done) {
+						reason.CompareAndSwap(abortNone, abortCanceled)
+						return
+					}
+					if s.opts.StepTimeout > 0 && time.Since(s.stepStart) > s.opts.StepTimeout {
+						reason.CompareAndSwap(abortNone, abortTimeout)
+						return
+					}
+					if s.opts.MaxStates > 0 && created.Load() > int64(s.opts.MaxStates) {
+						reason.CompareAndSwap(abortNone, abortTimeout)
+						return
+					}
+				}
+				h := st.hash ^ zob[u]
+				if h%nsh != me {
+					continue
+				}
+				muHigh := st.mu + alloc[u]
+				peak := st.peak
+				if muHigh > peak {
+					peak = muHigh
+				}
+				if budget > 0 && peak > budget {
+					wk.pruned++
+					continue
+				}
+				uw, ubit := u>>6, uint64(1)<<uint(u&63)
+				wk.tbl.grow(&wk.lvl)
+				idx, slot := wk.tbl.probe(h, &wk.lvl, w, psched, uw, ubit)
+				if idx >= 0 {
+					ns := &wk.lvl.states[idx]
+					if peak < ns.peak {
+						ns.peak = peak
+						ns.parent = int32(si)
+						ns.via = int32(u)
+					}
+					continue
+				}
+				wk.lvl.appendChild(s.m, &wk.scratch, psched, pready, si, u, w, h, muHigh, peak)
+				wk.tbl.place(slot, int32(len(wk.lvl.states)-1))
+				wk.keys = append(wk.keys, uint64(si)<<32|uint64(u))
+				wk.explored++
+				created.Add(1)
+			}
+		}
+	}
+}
+
+// mergeShards concatenates the per-shard frontiers into s.next in ascending
+// discovery-key order — a k-way merge of already sorted streams, so the
+// result is exactly the frontier a sequential expansion would have built.
+func (s *search) mergeShards(ws []*shardWorker, total int) {
+	w := s.w
+	next := s.next
+	if cap(next.states) < total {
+		next.states = make([]stNode, 0, total)
+	}
+	if need := total * 2 * w; cap(next.slab) < need {
+		next.slab = make([]uint64, 0, need)
+	}
+	var at [maxShards]int
+	for k := 0; k < total; k++ {
+		best := -1
+		var bk uint64
+		for i := range ws {
+			j := at[i]
+			if j >= len(ws[i].keys) {
+				continue
+			}
+			if best < 0 || ws[i].keys[j] < bk {
+				best, bk = i, ws[i].keys[j]
+			}
+		}
+		wk := ws[best]
+		j := at[best]
+		at[best]++
+		next.states = append(next.states, wk.lvl.states[j])
+		off := 2 * j * w
+		next.slab = append(next.slab, wk.lvl.slab[off:off+2*w]...)
+	}
+}

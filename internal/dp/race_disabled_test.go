@@ -1,0 +1,6 @@
+//go:build !race
+
+package dp_test
+
+// raceEnabled mirrors race_enabled_test.go; see the build-tagged twin.
+const raceEnabled = false

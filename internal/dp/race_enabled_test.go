@@ -1,0 +1,10 @@
+//go:build race
+
+package dp_test
+
+// raceEnabled trims the differential sweeps when the race detector is on:
+// the map-based reference oracle runs ~8x slower under race and contributes
+// nothing to race coverage (it is single-threaded by construction). The
+// sharded expander keeps full race coverage via TestParallelExpansionRace
+// and TestParallelMatchesSequentialWideFrontiers.
+const raceEnabled = true

@@ -14,11 +14,25 @@
 // function of the scheduled set (it is the sum of live tensor sizes, and
 // liveness depends only on which nodes have executed), so two partial
 // schedules reaching the same signature differ only in µpeak.
+//
+// # Implementation
+//
+// The frontier is allocation-free on its hot path: states are keyed by an
+// incrementally maintained 64-bit Zobrist hash (MemModel.Zobrist), indexed
+// by an open-addressed table probed *before* any child state is
+// materialized, and backed by per-level slab arenas — see frontier.go.
+// Duplicate transitions (the bulk of a dense level) cost zero allocations;
+// only genuinely new signatures write to the slab. Completed levels are
+// compacted down to the (parent, via) pairs schedule reconstruction needs.
+// Wide levels can additionally fan expansion across worker shards — see
+// parallel.go and Options.Parallelism.
 package dp
 
 import (
 	"context"
 	"fmt"
+	"math/bits"
+	"runtime"
 	"time"
 
 	"github.com/serenity-ml/serenity/internal/graph"
@@ -66,6 +80,24 @@ type Options struct {
 	// memory-safety valve for graphs the paper would call intractable
 	// without divide-and-conquer.
 	MaxStates int
+	// Parallelism fans a single level's expansion across up to this many
+	// worker shards once the frontier is at least ParallelThreshold wide.
+	// Transitions are sharded by signature hash (all duplicates of a
+	// signature land in one shard) and the per-shard frontiers are merged
+	// back in the sequential path's exact discovery order, so on the
+	// solution path every Result field is bit-identical to a sequential run.
+	// The one concession, mirroring the segment pool's: when a run aborts
+	// (timeout, cancellation, MaxStates), the partial StatesExplored and
+	// StatesPruned counts may differ from the sequential path's — the Flag
+	// itself is still identical for the deterministic MaxStates valve.
+	// Values <= 1 mean sequential; the shard count is also capped by
+	// GOMAXPROCS.
+	Parallelism int
+	// ParallelThreshold is the minimum frontier width (states in the level
+	// being expanded) before Parallelism engages; below it sharding overhead
+	// outweighs the win and expansion stays sequential. Zero means the
+	// default (256).
+	ParallelThreshold int
 }
 
 // Result reports a scheduling attempt.
@@ -79,18 +111,6 @@ type Result struct {
 	Elapsed        time.Duration
 }
 
-// state is one memo entry: a downward-closed scheduled set together with the
-// best (minimum) peak over all partial schedules reaching it. ready caches
-// the zero-indegree set so transitions cost O(deg) instead of O(V+E).
-type state struct {
-	scheduled *graph.Bitset
-	ready     *graph.Bitset
-	mu        int64
-	peak      int64
-	parent    int32 // index into the previous level's slice; -1 at level 0
-	via       int32 // node scheduled to reach this state
-}
-
 // Schedule runs Algorithm 1 over the memory model m. It is exact: with an
 // unlimited budget it returns a schedule with the minimum possible peak
 // activation footprint (Theorem 1 of the paper's supplementary material).
@@ -98,172 +118,241 @@ func Schedule(m *sched.MemModel, opts Options) *Result {
 	return ScheduleCtx(context.Background(), m, opts)
 }
 
+// expandOutcome is one level expansion's verdict.
+type expandOutcome int
+
+const (
+	expandOK       expandOutcome = iota
+	expandCanceled               // ctx fired mid-level
+	expandTimeout                // StepTimeout or MaxStates fired mid-level
+)
+
+// search carries one ScheduleCtx run's working set: the current and
+// under-construction levels (ping-ponged so slabs and state slices are
+// recycled every level), the frontier index, the reusable scratch view for
+// footprint evaluation, and the compacted (parent, via) history.
+type search struct {
+	m    *sched.MemModel
+	opts Options
+	res  *Result
+	n, w int // nodes; words per bitset
+
+	cur, next *level
+	tbl       ftable
+	scratch   graph.Bitset
+	pvs       [][]pv
+
+	done      <-chan struct{}
+	trans     int // transitions since the run began; poll clock
+	stepStart time.Time
+
+	px *parallelExpander // lazily built on the first sharded level
+}
+
 // ScheduleCtx is Schedule with cooperative cancellation: the search loop
-// polls ctx at every level of the recursion tree and every 64 states within
-// a level, returning FlagCanceled as soon as ctx is done. The partial memo
-// tables are discarded; a canceled run does no further work.
+// polls ctx at every level of the recursion tree and every 64 transitions
+// within a level — transition-count based, so a single huge-fanout state
+// cannot delay the poll the way the old per-64-states check could —
+// returning FlagCanceled as soon as ctx is done. The partial frontier is
+// discarded; a canceled run does no further work.
 func ScheduleCtx(ctx context.Context, m *sched.MemModel, opts Options) *Result {
 	start := time.Now()
+	res := &Result{Flag: FlagNoSolution}
+	defer func() { res.Elapsed = time.Since(start) }()
+
 	g := m.G
 	n := g.NumNodes()
-	res := &Result{Flag: FlagNoSolution}
 	if n == 0 {
 		res.Flag = FlagSolution
 		res.Order = sched.Schedule{}
-		res.Elapsed = time.Since(start)
 		return res
 	}
 
-	// Level 0: empty schedule (s0=[], µ0=0, µpeak,0=0; M0[z0] per Algorithm 1).
-	empty := graph.NewBitset(n)
-	init := state{
-		scheduled: empty,
-		ready:     g.ZeroIndegree(empty),
-		parent:    -1,
-		via:       -1,
-	}
-	levels := make([][]state, n+1)
-	levels[0] = []state{init}
-
-	indegOK := func(s *graph.Bitset, v int) bool {
-		for _, p := range g.Nodes[v].Preds {
-			if !s.Has(p) {
-				return false
-			}
-		}
-		return true
+	s := &search{
+		m:    m,
+		opts: opts,
+		res:  res,
+		n:    n,
+		w:    (n + 63) / 64,
+		cur:  &level{},
+		next: &level{},
+		done: ctx.Done(),
+		pvs:  make([][]pv, n+1),
 	}
 
-	done := ctx.Done()
-	canceled := func() bool {
-		select {
-		case <-done:
-			return true
-		default:
-			return false
-		}
-	}
+	// Level 0: empty schedule (s0=[], µ0=0, µpeak,0=0; M0[z0] per
+	// Algorithm 1). hash(∅) = 0 by the Zobrist XOR construction.
+	s.cur.states = append(s.cur.states, stNode{parent: -1, via: -1})
+	s.cur.slab = make([]uint64, 2*s.w)
+	copy(s.cur.slab[s.w:], g.ZeroIndegree(graph.NewBitset(n)).Words())
+	s.pvs[0] = []pv{{parent: -1, via: -1}}
 
 	for i := 0; i < n; i++ {
-		if canceled() {
+		if canceled(s.done) {
 			res.Flag = FlagCanceled
-			res.Elapsed = time.Since(start)
 			return res
 		}
-		stepStart := time.Now()
-		cur := levels[i]
-		nextIdx := make(map[string]int32, len(cur)*2)
-		var next []state
+		s.stepStart = time.Now()
+		s.next.reset()
 
-		for si := range cur {
-			st := &cur[si]
-			// Iterate ui ∈ zi (Algorithm 1 line 10).
-			budgetPruned := false
-			st.ready.ForEach(func(u int) {
-				// Allocate u (line 11-14).
-				muHigh := st.mu + m.Alloc[u]
-				peak := st.peak
-				if muHigh > peak {
-					peak = muHigh
-				}
-				if opts.Budget > 0 && peak > opts.Budget {
-					res.StatesPruned++
-					budgetPruned = true
-					return
-				}
-				newScheduled := st.scheduled.Clone()
-				newScheduled.Set(u)
-				// Deallocate exhausted predecessors (lines 15-19).
-				mu := muHigh - m.StepDealloc(newScheduled, u)
-
-				key := newScheduled.Key()
-				if idx, ok := nextIdx[key]; ok {
-					// Memoize the schedule with the least peak (lines 21-22).
-					if peak < next[idx].peak {
-						next[idx].peak = peak
-						next[idx].parent = int32(si)
-						next[idx].via = int32(u)
-					}
-					return
-				}
-				newReady := st.ready.Clone()
-				newReady.Clear(u)
-				for _, s := range g.Nodes[u].Succs {
-					if !newScheduled.Has(s) && indegOK(newScheduled, s) {
-						newReady.Set(s)
-					}
-				}
-				nextIdx[key] = int32(len(next))
-				next = append(next, state{
-					scheduled: newScheduled,
-					ready:     newReady,
-					mu:        mu,
-					peak:      peak,
-					parent:    int32(si),
-					via:       int32(u),
-				})
-				res.StatesExplored++
-			})
-			_ = budgetPruned
-
-			if si%64 == 63 {
-				if canceled() {
-					res.Flag = FlagCanceled
-					res.Elapsed = time.Since(start)
-					return res
-				}
-				if opts.StepTimeout > 0 && time.Since(stepStart) > opts.StepTimeout {
-					res.Flag = FlagTimeout
-					res.Elapsed = time.Since(start)
-					return res
-				}
-			}
-			if opts.MaxStates > 0 && len(next) > opts.MaxStates {
-				res.Flag = FlagTimeout
-				res.Elapsed = time.Since(start)
-				return res
-			}
+		var out expandOutcome
+		if s.shardCount() > 1 {
+			out = s.expandParallel()
+		} else {
+			out = s.expandSequential()
 		}
-
-		if opts.StepTimeout > 0 && time.Since(stepStart) > opts.StepTimeout {
+		switch out {
+		case expandCanceled:
+			res.Flag = FlagCanceled
+			return res
+		case expandTimeout:
 			res.Flag = FlagTimeout
-			res.Elapsed = time.Since(start)
 			return res
 		}
-		if len(next) == 0 {
+		if opts.StepTimeout > 0 && time.Since(s.stepStart) > opts.StepTimeout {
+			res.Flag = FlagTimeout
+			return res
+		}
+		if len(s.next.states) == 0 {
 			// Every transition exceeded the budget: τ < τ*.
 			res.Flag = FlagNoSolution
-			res.Elapsed = time.Since(start)
 			return res
 		}
-		if len(next) > res.MaxFrontier {
-			res.MaxFrontier = len(next)
+		if len(s.next.states) > res.MaxFrontier {
+			res.MaxFrontier = len(s.next.states)
 		}
-		levels[i+1] = next
-		// The previous level's bitsets are no longer needed for transitions,
-		// but are kept for parent-pointer reconstruction; drop the ready sets
-		// to halve retained memory.
-		for si := range cur {
-			cur[si].ready = nil
+		// The finished level's (parent, via) pairs are final; compact them
+		// for reconstruction and retire the expanded level entirely — its
+		// slab and state slice are recycled for level i+2.
+		pairs := make([]pv, len(s.next.states))
+		for j := range s.next.states {
+			pairs[j] = pv{s.next.states[j].parent, s.next.states[j].via}
 		}
+		s.pvs[i+1] = pairs
+		s.cur, s.next = s.next, s.cur
 	}
 
-	// Unique final entry Mn (line 27).
-	final := levels[n][0]
+	// Unique final entry Mn (line 27): walk the (parent, via) chain back.
+	final := s.cur.states[0]
 	order := make(sched.Schedule, n)
+	parent, via := final.parent, final.via
 	lvl := n
-	cur := &final
-	for cur.via >= 0 {
-		order[lvl-1] = int(cur.via)
-		parent := cur.parent
+	for via >= 0 {
+		order[lvl-1] = int(via)
 		lvl--
-		cur = &levels[lvl][parent]
+		e := s.pvs[lvl][parent]
+		parent, via = e.parent, e.via
 	}
 	res.Flag = FlagSolution
 	res.Order = order
 	res.Peak = final.peak
-	res.Elapsed = time.Since(start)
 	return res
+}
+
+// expandSequential runs one level of Algorithm 1's recursion in discovery
+// order: for each parent state, for each ready node u (line 10), the child
+// signature's hash is computed incrementally and probed before anything is
+// allocated. Duplicates only compete on peak (lines 21-22); new signatures
+// are appended to the slab. Mirrors the original map-based loop transition
+// for transition, so Result accounting is bit-identical.
+func (s *search) expandSequential() expandOutcome {
+	var (
+		w      = s.w
+		zob    = s.m.Zobrist
+		alloc  = s.m.Alloc
+		budget = s.opts.Budget
+		next   = s.next
+	)
+	s.tbl.reset(len(s.cur.states))
+	for si := range s.cur.states {
+		st := &s.cur.states[si]
+		psched := s.cur.sched(si, w)
+		pready := s.cur.ready(si, w)
+		for wi := 0; wi < w; wi++ {
+			word := pready[wi]
+			for word != 0 {
+				u := wi<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				s.trans++
+				if s.trans&63 == 0 {
+					if canceled(s.done) {
+						return expandCanceled
+					}
+					if s.opts.StepTimeout > 0 && time.Since(s.stepStart) > s.opts.StepTimeout {
+						return expandTimeout
+					}
+				}
+				// Allocate u (lines 11-14).
+				muHigh := st.mu + alloc[u]
+				peak := st.peak
+				if muHigh > peak {
+					peak = muHigh
+				}
+				if budget > 0 && peak > budget {
+					s.res.StatesPruned++
+					continue
+				}
+				h := st.hash ^ zob[u]
+				uw, ubit := u>>6, uint64(1)<<uint(u&63)
+				s.tbl.grow(next)
+				idx, slot := s.tbl.probe(h, next, w, psched, uw, ubit)
+				if idx >= 0 {
+					// Memoize the schedule with the least peak (lines 21-22).
+					ns := &next.states[idx]
+					if peak < ns.peak {
+						ns.peak = peak
+						ns.parent = int32(si)
+						ns.via = int32(u)
+					}
+					continue
+				}
+				next.appendChild(s.m, &s.scratch, psched, pready, si, u, w, h, muHigh, peak)
+				s.tbl.place(slot, int32(len(next.states)-1))
+				s.res.StatesExplored++
+			}
+		}
+		if s.opts.MaxStates > 0 && len(next.states) > s.opts.MaxStates {
+			return expandTimeout
+		}
+	}
+	return expandOK
+}
+
+// shardCount returns how many expansion shards the coming level would use:
+// 1 (sequential) unless Parallelism allows more, the frontier is at least
+// ParallelThreshold wide, and the machine has the cores to run them.
+func (s *search) shardCount() int {
+	if s.opts.Parallelism <= 1 {
+		return 1
+	}
+	thr := s.opts.ParallelThreshold
+	if thr <= 0 {
+		thr = defaultParallelThreshold
+	}
+	if len(s.cur.states) < thr {
+		return 1
+	}
+	shards := s.opts.Parallelism
+	if mp := runtime.GOMAXPROCS(0); shards > mp {
+		shards = mp
+	}
+	if shards > maxShards {
+		shards = maxShards
+	}
+	return shards
+}
+
+// canceled reports whether the context's done channel has fired.
+func canceled(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
 }
 
 // Optimal runs the DP with no budget, no timeout, and no state cap,

@@ -453,3 +453,20 @@ func TestRandomDAGConnectivityAndValidity(t *testing.T) {
 		}
 	}
 }
+
+// TestUnmarshalRejectsBadPreds pins the decode-time bounds check: a pred
+// referencing a missing or later node must be a clean error, never the
+// index-out-of-range panic AddNode would otherwise hit mid-decode (found by
+// probing serenityd with a malformed graph; also fuzz-reachable).
+func TestUnmarshalRejectsBadPreds(t *testing.T) {
+	for _, bad := range []string{
+		`{"name":"bad","nodes":[{"id":0,"name":"x","op":"ReLU","shape":[1],"preds":[5]}]}`,
+		`{"name":"bad","nodes":[{"id":0,"name":"x","op":"ReLU","shape":[1],"preds":[0]}]}`,
+		`{"name":"bad","nodes":[{"id":0,"name":"x","op":"ReLU","shape":[1],"preds":[-1]}]}`,
+	} {
+		g := New("")
+		if err := g.UnmarshalJSON([]byte(bad)); err == nil {
+			t.Errorf("decoder accepted %s", bad)
+		}
+	}
+}

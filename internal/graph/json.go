@@ -79,6 +79,14 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 		if err != nil {
 			return err
 		}
+		// Preds must reference already-decoded nodes (the format is dense
+		// and topologically ordered); AddNode would index out of range on a
+		// forward or out-of-range reference, so reject it as a decode error.
+		for _, p := range jn.Preds {
+			if p < 0 || p >= i {
+				return fmt.Errorf("graph: node %d references predecessor %d; preds must name earlier node IDs", i, p)
+			}
+		}
 		id := out.AddNode(op, jn.Name, Shape(jn.Shape), jn.Preds...)
 		n := out.Nodes[id]
 		if jn.DType != "" {

@@ -30,6 +30,13 @@ type MemModel struct {
 	RootSize  []int64 // bytes of the physical tensor rooted at i (0 if i is not a root)
 	Consumers [][]int // consumers[r]: node IDs consuming physical tensor r (r = root only)
 	PredRoots [][]int // predRoots[i]: distinct physical roots among node i's preds
+
+	// Zobrist assigns node i a fixed pseudo-random word so the DP scheduler
+	// can hash scheduled-set signatures incrementally: hash(S ∪ {u}) =
+	// hash(S) ^ Zobrist[u], computable before the child set is materialized.
+	// Drawn from a fixed seed (see graph.ZobristTable), so hashes — and with
+	// them the scheduler's behavior — are deterministic across processes.
+	Zobrist []uint64
 }
 
 // NewMemModel builds the memory model for g. g must be a valid DAG.
@@ -42,6 +49,7 @@ func NewMemModel(g *graph.Graph) *MemModel {
 		RootSize:  make([]int64, n),
 		Consumers: make([][]int, n),
 		PredRoots: make([][]int, n),
+		Zobrist:   graph.ZobristTable(n),
 	}
 	for _, node := range g.Nodes {
 		m.Alloc[node.ID] = node.OutBytes()

@@ -102,8 +102,10 @@ func TestScheduleContextPreCanceled(t *testing.T) {
 // search loop: an unbudgeted exact DP on a large cell would run far beyond
 // the deadline, but must return promptly with the context's error.
 func TestScheduleContextDeadline(t *testing.T) {
+	// Sized so the unbudgeted exact DP runs ~1.3s on the allocation-free
+	// core — the 50ms deadline still lands mid-search with wide margin.
 	g := models.StackedRandWire("cancel", 2, models.WSConfig{
-		Nodes: 32, K: 4, P: 0.75, Seed: 9, HW: 16, Channel: 8,
+		Nodes: 44, K: 4, P: 0.75, Seed: 9, HW: 16, Channel: 8,
 	})
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()

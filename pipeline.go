@@ -168,6 +168,29 @@ func (p *Pipeline) Run(ctx context.Context, g *Graph) (*Result, error) {
 	obs.stageStart(StageSearch)
 	searchStart := time.Now()
 
+	// One Parallelism budget, two fan-outs: the segment pool takes w
+	// workers, and a scope-aware searcher spreads the remainder across each
+	// segment's own wide DP levels — so a single-segment graph (where the
+	// pool is useless) finally spends the whole budget inside its search.
+	searcher := p.Searcher
+	if ps, ok := searcher.(parallelScoper); ok && p.Parallelism > 1 {
+		perSegment := p.Parallelism
+		if w := segmentWorkers(p.Parallelism, len(segments)); w > 1 {
+			// The pool already occupies w cores, so each segment's DP gets
+			// the smaller of its share of the stated budget and its share of
+			// the machine — pool workers × per-segment shards never
+			// oversubscribe GOMAXPROCS.
+			perSegment = p.Parallelism / w
+			if mp := runtime.GOMAXPROCS(0) / w; perSegment > mp {
+				perSegment = mp
+			}
+			if perSegment < 1 {
+				perSegment = 1
+			}
+		}
+		searcher = ps.scopeParallelism(perSegment)
+	}
+
 	// memoKeys[i] is segment i's memo key; nil disables memoization (no
 	// memo installed, partitioning off, or a Searcher that does not expose
 	// a MemoKey). Keys are computed up front so the per-segment workers do
@@ -193,12 +216,12 @@ func (p *Pipeline) Run(ctx context.Context, g *Graph) (*Result, error) {
 		// malformed result; a hit is a result that already passed it (equal
 		// fingerprints imply equal node counts).
 		compute := func() (SearchResult, error) {
-			sr, err := p.Searcher.Search(ctx, m)
+			sr, err := searcher.Search(ctx, m)
 			if err != nil {
 				return sr, err
 			}
 			if len(sr.Order) != nodes {
-				return sr, fmt.Errorf("serenity: searcher %s returned %d of %d nodes", p.Searcher.Name(), len(sr.Order), nodes)
+				return sr, fmt.Errorf("serenity: searcher %s returned %d of %d nodes", searcher.Name(), len(sr.Order), nodes)
 			}
 			return sr, nil
 		}
@@ -254,6 +277,9 @@ func (p *Pipeline) Run(ctx context.Context, g *Graph) (*Result, error) {
 	}
 	for _, sr := range results {
 		res.StatesExplored += sr.StatesExplored
+		if sr.MaxFrontier > res.MaxFrontier {
+			res.MaxFrontier = sr.MaxFrontier
+		}
 		res.SegmentQuality = append(res.SegmentQuality, sr.Quality)
 		if sr.Quality != QualityOptimal {
 			res.Quality = QualityHeuristic
@@ -294,8 +320,27 @@ func (p *Pipeline) Run(ctx context.Context, g *Graph) (*Result, error) {
 	return res, nil
 }
 
+// segmentWorkers returns the segment-pool size searchSegments uses for a
+// given budget: min(parallelism, segments, GOMAXPROCS), at least 1. The
+// per-segment search is pure CPU work — workers beyond GOMAXPROCS cannot run
+// and only multiply live frontier tables. Run consults the same function to
+// decide how much of the budget remains for intra-segment sharding.
+func segmentWorkers(parallelism, segments int) int {
+	w := parallelism
+	if w > segments {
+		w = segments
+	}
+	if mp := runtime.GOMAXPROCS(0); w > mp {
+		w = mp
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // searchSegments solves every partition segment, sequentially or on a
-// bounded worker pool of min(parallelism, len(segments)) goroutines. Results
+// bounded worker pool of segmentWorkers(parallelism, len(segments)) goroutines. Results
 // are collected by segment index, so on success the outcome is identical
 // regardless of parallelism or goroutine interleaving. On the first failure
 // the remaining segments are canceled for a prompt abort; the reported
@@ -308,15 +353,7 @@ func searchSegments(ctx context.Context, segments []*partition.Segment, parallel
 	results := make([]SearchResult, len(segments))
 	errs := make([]error, len(segments))
 
-	workers := parallelism
-	if workers > len(segments) {
-		workers = len(segments)
-	}
-	// The per-segment search is pure CPU work: workers beyond GOMAXPROCS
-	// cannot run and only multiply live memo tables, so cap the pool there.
-	if mp := runtime.GOMAXPROCS(0); workers > mp {
-		workers = mp
-	}
+	workers := segmentWorkers(parallelism, len(segments))
 	if workers <= 1 {
 		for i, seg := range segments {
 			sr, err := searchOne(ctx, i, sched.NewMemModel(seg.G))

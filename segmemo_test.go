@@ -56,6 +56,9 @@ func assertSameResult(t *testing.T, label string, cold, warm *Result) {
 	if cold.StatesExplored != warm.StatesExplored {
 		t.Errorf("%s: states %d (cold) != %d (warm); memo hits must replay the stored accounting", label, cold.StatesExplored, warm.StatesExplored)
 	}
+	if cold.MaxFrontier != warm.MaxFrontier {
+		t.Errorf("%s: max frontier %d (cold) != %d (warm); memo hits must replay the stored accounting", label, cold.MaxFrontier, warm.MaxFrontier)
+	}
 	if cold.Graph.Fingerprint() != warm.Graph.Fingerprint() {
 		t.Errorf("%s: scheduled graph fingerprints diverged", label)
 	}
@@ -175,9 +178,10 @@ func TestSegmentMemoPerStrategyKeys(t *testing.T) {
 // single overloaded moment would pin heuristic schedules for every future
 // compilation of that cell.)
 func TestBestEffortFallbackDoesNotPoisonMemo(t *testing.T) {
-	// Exact DP on this stack needs seconds (≈0.9s per 68-node segment); the
-	// 150ms deadline reliably lands mid-search, while the uniform cells keep
-	// the later exact run to one big DP plus memo hits.
+	// Exact DP on this stack needs hundreds of milliseconds (≈0.3s for a
+	// 68-node segment on the allocation-free core); the 25ms deadline
+	// reliably lands mid-search, while the uniform cells keep the later
+	// exact run to one big DP plus memo hits.
 	g := models.StackedUniformRandWire("memo-poison", 4, models.WSConfig{
 		Nodes: 40, K: 6, P: 0.9, Seed: 5, HW: 16, Channel: 8,
 	})
@@ -185,14 +189,14 @@ func TestBestEffortFallbackDoesNotPoisonMemo(t *testing.T) {
 	opts.Strategy = StrategyBestEffort
 	memo := NewSegmentMemo(256)
 
-	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
 	defer cancel()
 	rushed, err := memoPipeline(t, opts, memo).Run(ctx, g)
 	if err != nil {
 		t.Fatalf("best-effort errored under deadline: %v", err)
 	}
 	if rushed.Fallbacks == 0 {
-		t.Fatal("expected fallbacks under the 150ms deadline; the poison scenario never happened")
+		t.Fatal("expected fallbacks under the 25ms deadline; the poison scenario never happened")
 	}
 	if err := sched.NewMemModel(rushed.Graph).CheckValid(rushed.Order); err != nil {
 		t.Fatalf("degraded schedule invalid: %v", err)

@@ -133,20 +133,24 @@ type Options struct {
 	// MaxStates caps the DP frontier as a memory-safety valve; zero means
 	// the adaptive default.
 	MaxStates int
-	// Parallelism bounds the worker pool scheduling partition segments
-	// concurrently. Values of 0 or 1 mean sequential; negative values are
-	// rejected by Validate. Segments are independent sub-problems
-	// (Section 3.2) and each segment's DP is deterministic, so
-	// parallelism introduces no nondeterminism of its own: given the same
-	// per-segment budget-probe outcomes, the combined schedule is
-	// bit-identical to the sequential path. The one caveat is inherited
-	// from Algorithm 2, not from the pool: with AdaptiveBudget on, probe
-	// outcomes depend on wall-clock StepTimeout, so under CPU contention
-	// any two runs — sequential or parallel — can converge through
-	// different budgets (Order and StatesExplored may vary; the peak stays
-	// optimal). Whenever no probe times out, the whole pipeline is
-	// deterministic at every Parallelism. Has no effect unless Partition is
-	// enabled and the graph actually splits into multiple segments.
+	// Parallelism is the compilation's CPU budget, spent on two fan-outs
+	// that share it: the worker pool scheduling partition segments
+	// concurrently, and — for the built-in exact searchers — intra-level
+	// sharded expansion inside each segment's DP, so even a single-segment
+	// graph benefits (see ExactDP.Parallelism and dp.Options.Parallelism).
+	// Values of 0 or 1 mean sequential; negative values are rejected by
+	// Validate. Segments are independent sub-problems (Section 3.2), each
+	// segment's DP is deterministic, and sharded expansion merges shard
+	// frontiers back in sequential discovery order, so parallelism
+	// introduces no nondeterminism of its own: given the same per-segment
+	// budget-probe outcomes, the combined schedule is bit-identical to the
+	// sequential path. The one caveat is inherited from Algorithm 2, not
+	// from the fan-outs: with AdaptiveBudget on, probe outcomes depend on
+	// wall-clock StepTimeout, so under CPU contention any two runs —
+	// sequential or parallel — can converge through different budgets
+	// (Order and StatesExplored may vary; the peak stays optimal). Whenever
+	// no probe times out, the whole pipeline is deterministic at every
+	// Parallelism.
 	Parallelism int
 }
 
@@ -196,6 +200,7 @@ func (o Options) searcher() Searcher {
 		AdaptiveBudget: o.AdaptiveBudget,
 		StepTimeout:    o.StepTimeout,
 		MaxStates:      o.MaxStates,
+		Parallelism:    o.Parallelism,
 	}
 	switch o.Strategy {
 	case StrategyGreedy:
@@ -265,6 +270,11 @@ type Result struct {
 	// memo hits replay the stored search's count, so warm runs reconcile
 	// bit for bit with the cold runs that populated the memo.
 	StatesExplored int64
+	// MaxFrontier is the largest number of coexisting DP signatures any
+	// segment's search held — the frontier's memory high-water mark for the
+	// compilation. Memo hits replay the stored search's value. Zero when
+	// every segment was scheduled heuristically.
+	MaxFrontier int
 	// FreshStatesExplored counts only states explored by searches actually
 	// run in this compilation: memo hits contribute nothing. Equal to
 	// StatesExplored when no memo is installed (or nothing hit); the honest
@@ -281,7 +291,7 @@ func Schedule(g *Graph, opts Options) (*Result, error) {
 // ScheduleContext runs the SERENITY pipeline (Figure 4) on g under ctx.
 //
 // Cancellation is threaded down into the search loops: when ctx is done the
-// search aborts promptly (within one polling interval of ~64 states) and
+// search aborts promptly (within one polling interval of ~64 transitions) and
 // ctx.Err() is returned — except under StrategyBestEffort, where a deadline
 // degrades the affected segments to the greedy heuristic instead (see
 // BestEffort). With opts.Parallelism > 1 the per-segment search runs on a

@@ -69,6 +69,10 @@ type SearchResult struct {
 	// heuristic searchers report comparable numbers (DP memo entries vs.
 	// greedy candidate evaluations).
 	StatesExplored int64
+	// MaxFrontier is the largest number of coexisting DP signatures the
+	// search held for this segment — the memory high-water mark of the
+	// frontier. Zero for heuristic searchers, which keep no frontier.
+	MaxFrontier int
 	// Quality reports whether Order is provably optimal for the segment.
 	Quality Quality
 	// FellBack is set when a degradable searcher abandoned its primary
@@ -76,6 +80,16 @@ type SearchResult struct {
 	// records why the primary search gave up.
 	FellBack       bool
 	FallbackReason error
+}
+
+// parallelScoper is implemented by searchers whose single-segment search can
+// itself fan out (the DP's intra-level sharded expansion). The Pipeline uses
+// it to split one Parallelism budget between the segment pool and the
+// per-segment DP: when w segment workers run concurrently, each segment's
+// search is scoped to Parallelism/w shards, and a single-segment graph gets
+// the whole budget.
+type parallelScoper interface {
+	scopeParallelism(perSegment int) Searcher
 }
 
 // Searcher is a per-segment scheduling strategy. Implementations must be
@@ -103,16 +117,30 @@ type ExactDP struct {
 	// MaxStates caps the DP frontier as a memory-safety valve; zero means
 	// the adaptive default (unlimited when AdaptiveBudget is off).
 	MaxStates int
+	// Parallelism fans a single segment's wide DP levels across worker
+	// shards (see dp.Options.Parallelism); results on the solution path are
+	// bit-identical to a sequential search. The Pipeline scopes this down
+	// automatically when it is already running segments concurrently, so
+	// the two fan-outs share one budget.
+	Parallelism int
 }
 
 // Name implements Searcher.
 func (e ExactDP) Name() string { return "exact" }
 
-// MemoKey implements MemoKeyer: every ExactDP field can change the resulting
-// order (never the peak, which is provably minimal either way), so all three
-// discriminate the memo key.
+// MemoKey implements MemoKeyer: AdaptiveBudget, StepTimeout, and MaxStates
+// can each change the resulting order (never the peak, which is provably
+// minimal either way), so all three discriminate the memo key. Parallelism
+// is deliberately excluded: sharded expansion is bit-identical on the
+// solution path, and only solutions are memoized.
 func (e ExactDP) MemoKey() string {
 	return fmt.Sprintf("exact|a=%t|t=%d|s=%d", e.AdaptiveBudget, e.StepTimeout, e.MaxStates)
+}
+
+// scopeParallelism implements parallelScoper.
+func (e ExactDP) scopeParallelism(perSegment int) Searcher {
+	e.Parallelism = perSegment
+	return e
 }
 
 // Search implements Searcher.
@@ -121,6 +149,7 @@ func (e ExactDP) Search(ctx context.Context, m *MemModel) (SearchResult, error) 
 		ar, err := dp.AdaptiveScheduleCtx(ctx, m, dp.AdaptiveOptions{
 			StepTimeout: e.StepTimeout,
 			MaxStates:   e.MaxStates,
+			Parallelism: e.Parallelism,
 		})
 		if err != nil {
 			return SearchResult{}, err
@@ -128,16 +157,16 @@ func (e ExactDP) Search(ctx context.Context, m *MemModel) (SearchResult, error) 
 		if ar.Flag != dp.FlagSolution {
 			return SearchResult{}, fmt.Errorf("serenity: adaptive scheduling ended with %v", ar.Flag)
 		}
-		return SearchResult{Order: ar.Order, StatesExplored: ar.StatesExplored, Quality: QualityOptimal}, nil
+		return SearchResult{Order: ar.Order, StatesExplored: ar.StatesExplored, MaxFrontier: ar.MaxFrontier, Quality: QualityOptimal}, nil
 	}
-	r := dp.ScheduleCtx(ctx, m, dp.Options{MaxStates: e.MaxStates})
+	r := dp.ScheduleCtx(ctx, m, dp.Options{MaxStates: e.MaxStates, Parallelism: e.Parallelism})
 	if r.Flag == dp.FlagCanceled {
 		return SearchResult{}, ctx.Err()
 	}
 	if r.Flag != dp.FlagSolution {
 		return SearchResult{}, fmt.Errorf("serenity: dynamic programming ended with %v", r.Flag)
 	}
-	return SearchResult{Order: r.Order, StatesExplored: r.StatesExplored, Quality: QualityOptimal}, nil
+	return SearchResult{Order: r.Order, StatesExplored: r.StatesExplored, MaxFrontier: r.MaxFrontier, Quality: QualityOptimal}, nil
 }
 
 // GreedyMemory is the one-step-lookahead greedy heuristic as a first-class
@@ -198,18 +227,25 @@ func (b BestEffort) MemoKey() string {
 	return fmt.Sprintf("best-effort|t=%d|s=%d", b.Exact.StepTimeout, b.Exact.MaxStates)
 }
 
+// scopeParallelism implements parallelScoper.
+func (b BestEffort) scopeParallelism(perSegment int) Searcher {
+	b.Exact.Parallelism = perSegment
+	return b
+}
+
 // Search implements Searcher.
 func (b BestEffort) Search(ctx context.Context, m *MemModel) (SearchResult, error) {
 	ar, err := dp.AdaptiveScheduleCtx(ctx, m, dp.AdaptiveOptions{
 		StepTimeout:   b.Exact.StepTimeout,
 		MaxStates:     b.Exact.MaxStates,
 		DisableGrowth: true,
+		Parallelism:   b.Exact.Parallelism,
 	})
 	var reason error
 	var dpStates int64
 	switch {
 	case err == nil && ar.Flag == dp.FlagSolution:
-		return SearchResult{Order: ar.Order, StatesExplored: ar.StatesExplored, Quality: QualityOptimal}, nil
+		return SearchResult{Order: ar.Order, StatesExplored: ar.StatesExplored, MaxFrontier: ar.MaxFrontier, Quality: QualityOptimal}, nil
 	case err == nil:
 		// The meta-search surrendered (every probe timed out or the budget
 		// interval collapsed); the probes' work still counts.
