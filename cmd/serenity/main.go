@@ -8,6 +8,15 @@
 // With -builtin NAME it schedules one of the bundled benchmark networks
 // (darts, swiftnet, swiftnet-a, swiftnet-b, swiftnet-c, randwire) instead of
 // reading a file.
+//
+// The store subcommand inspects and maintains a persistent schedule artifact
+// store (the directory serenityd -store-dir writes):
+//
+//	serenity store ls     -dir DIR          list artifacts (key, nodes, quality, size)
+//	serenity store verify -dir DIR          re-checksum every record; nonzero exit on corruption
+//	serenity store gc     -dir DIR          compact the data file, reclaiming dead space
+//	serenity store export -dir DIR -o F     write the live artifacts as a portable store file
+//	serenity store import -dir DIR -in F    merge an exported file (fleet pre-warming)
 package main
 
 import (
@@ -23,6 +32,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "store" {
+		if err := storeMain(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "serenity store:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	in := flag.String("in", "", "input graph (JSON IR); '-' for stdin")
 	builtin := flag.String("builtin", "", "schedule a bundled network (darts|swiftnet|swiftnet-a|swiftnet-b|swiftnet-c|randwire)")
 	budget := flag.String("budget", "", "device memory budget, e.g. 250KiB or 262144")

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	serenity "github.com/serenity-ml/serenity"
+	"github.com/serenity-ml/serenity/internal/store"
+)
+
+// populateStore compiles a builtin network with a persistent store attached,
+// exactly as serenityd would, and returns the store directory.
+func populateStore(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	ss, err := serenity.OpenScheduleStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := serenity.DefaultOptions()
+	opts.StepTimeout = time.Minute
+	p, err := serenity.NewPipeline(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SegmentMemo = serenity.NewSegmentMemo(256)
+	p.Store = ss
+	for _, g := range []*serenity.Graph{serenity.SwiftNetCellA(), serenity.SwiftNetCellB()} {
+		if _, err := p.Run(context.Background(), g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ss.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestStoreCLILifecycle(t *testing.T) {
+	dir := populateStore(t)
+
+	// ls: every artifact listed, summary line present.
+	var out bytes.Buffer
+	if err := storeMain([]string{"ls", "-dir", dir, "-l"}, &out); err != nil {
+		t.Fatalf("ls: %v\n%s", err, out.String())
+	}
+	ls := out.String()
+	if !strings.Contains(ls, "quality=optimal") || !strings.Contains(ls, "artifacts") {
+		t.Errorf("ls output unexpected:\n%s", ls)
+	}
+
+	// verify: clean store verifies clean.
+	out.Reset()
+	if err := storeMain([]string{"verify", "-dir", dir}, &out); err != nil {
+		t.Fatalf("verify on a clean store: %v\n%s", err, out.String())
+	}
+
+	// export -> import into a fresh directory.
+	exported := filepath.Join(t.TempDir(), "corpus.dat")
+	out.Reset()
+	if err := storeMain([]string{"export", "-dir", dir, "-o", exported}, &out); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	dst := t.TempDir()
+	out.Reset()
+	if err := storeMain([]string{"import", "-dir", dst, "-in", exported}, &out); err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	if !strings.Contains(out.String(), "imported") {
+		t.Errorf("import output: %s", out.String())
+	}
+	// The pre-warmed replica serves the same artifacts.
+	src, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	rep, err := store.Open(dst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	srcEntries := src.Entries()
+	if len(srcEntries) == 0 || len(srcEntries) != len(rep.Entries()) {
+		t.Fatalf("replica holds %d artifacts, source %d", len(rep.Entries()), len(srcEntries))
+	}
+	for _, e := range srcEntries {
+		a, okA := src.Get(e.Key)
+		b, okB := rep.Get(e.Key)
+		if !okA || !okB || !bytes.Equal(a, b) {
+			t.Errorf("artifact %q differs between source and replica", e.Key)
+		}
+	}
+
+	// gc: compacting a store with no dead space keeps everything.
+	out.Reset()
+	if err := storeMain([]string{"gc", "-dir", dir}, &out); err != nil {
+		t.Fatalf("gc: %v", err)
+	}
+	if !strings.Contains(out.String(), "compacted") {
+		t.Errorf("gc output: %s", out.String())
+	}
+}
+
+func TestStoreCLIVerifyFlagsCorruption(t *testing.T) {
+	dir := populateStore(t)
+	path := filepath.Join(dir, store.DataFileName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := storeMain([]string{"verify", "-dir", dir}, &out); err == nil {
+		t.Fatalf("verify passed a vandalized store:\n%s", out.String())
+	}
+	// gc drops the damage; verify is clean afterwards.
+	out.Reset()
+	if err := storeMain([]string{"gc", "-dir", dir}, &out); err != nil {
+		t.Fatalf("gc: %v", err)
+	}
+	out.Reset()
+	if err := storeMain([]string{"verify", "-dir", dir}, &out); err != nil {
+		t.Fatalf("verify after gc: %v\n%s", err, out.String())
+	}
+}
+
+func TestStoreCLIErrors(t *testing.T) {
+	if err := storeMain(nil, os.Stdout); err == nil {
+		t.Error("no subcommand accepted")
+	}
+	if err := storeMain([]string{"frobnicate"}, os.Stdout); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := storeMain([]string{"ls"}, os.Stdout); err == nil {
+		t.Error("ls without -dir accepted")
+	}
+	if err := storeMain([]string{"ls", "-dir", filepath.Join(t.TempDir(), "absent")}, os.Stdout); err == nil {
+		t.Error("ls on a missing directory accepted")
+	}
+	// Read subcommands on a directory without a store file must error and
+	// must not manufacture one (a mistyped -dir is a mistake to flag).
+	empty := t.TempDir()
+	if err := storeMain([]string{"verify", "-dir", empty}, os.Stdout); err == nil {
+		t.Error("verify on a store-less directory accepted")
+	}
+	if err := storeMain([]string{"gc", "-dir", empty}, os.Stdout); err == nil {
+		t.Error("gc on a store-less directory accepted")
+	}
+	if _, err := os.Stat(filepath.Join(empty, store.DataFileName)); !os.IsNotExist(err) {
+		t.Errorf("a read subcommand created %s: %v", store.DataFileName, err)
+	}
+	if err := storeMain([]string{"export", "-dir", t.TempDir()}, os.Stdout); err == nil {
+		t.Error("export without -o accepted")
+	}
+	if err := storeMain([]string{"import", "-dir", t.TempDir()}, os.Stdout); err == nil {
+		t.Error("import without -in accepted")
+	}
+}

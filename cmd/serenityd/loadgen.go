@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -46,30 +47,63 @@ var loadgenStrategies = []string{
 	"?strategy=best-effort&deadline_ms=2000",
 }
 
-// runLoadgen stands the server up in-process and fires n schedule requests
-// at it from c concurrent clients under mixed strategies, then prints
-// throughput plus the server's own metrics so cache and fallback behaviour
-// are visible.
-func runLoadgen(s *server, n, c int, out io.Writer) error {
-	bodies, err := loadgenWorkload()
-	if err != nil {
-		return err
-	}
-	ts := httptest.NewServer(s.handler())
-	defer ts.Close()
+// batchEvery makes every Nth loadgen request a POST /v1/schedule/batch of
+// batchSize graphs instead of a single compilation, so the batch fan-out
+// path shares in the storm.
+const (
+	batchEvery = 5
+	batchSize  = 3
+)
 
-	if c < 1 {
-		c = 1
+// passTotals is one load pass's client-side accounting.
+type passTotals struct {
+	ok, failed    int64
+	cached        int64 // responses served from the schedule cache
+	heuristic     int64
+	batchReqs     int64 // batch requests among ok+failed
+	batchItems    int64 // graphs submitted inside batch requests
+	graphs        int64 // total graphs compiled (batch items count individually)
+	elapsed       time.Duration
+	memoHits      int64 // segment memo hits (memory + disk) during the pass
+	memoDiskHits  int64 // subset answered by the persistent store
+	memoSearches  int64 // total memoized segment lookups during the pass
+	statesPass    int64 // fresh DP states explored during the pass
+	fallbacksPass int64
+}
+
+// memoCounters snapshots the server-side counters a pass is diffed against.
+type memoCounters struct {
+	memoHits, memoMisses, memoDisk int64
+	states, fallbacks              int64
+}
+
+func snapshotCounters(s *server) memoCounters {
+	var c memoCounters
+	if s.segMemo != nil {
+		ms := s.segMemo.Stats()
+		c.memoHits, c.memoMisses, c.memoDisk = ms.Hits, ms.Misses, ms.DiskHits
+	} else if s.store != nil {
+		// Store-only configuration (-segment-memo-size 0 with -store-dir):
+		// the store's own lookup counters are the per-segment accounting, so
+		// disk benefit stays visible without a memo in front.
+		st := s.store.Stats()
+		c.memoHits, c.memoMisses, c.memoDisk = st.Hits, st.Misses, st.Hits
 	}
+	c.states = s.states.Load()
+	c.fallbacks = s.fallbacks.Load()
+	return c
+}
+
+// firePass sends n requests (every batchEvery-th one a batch) at the server
+// from c concurrent clients and returns the pass accounting.
+func firePass(ts *httptest.Server, s *server, bodies [][]byte, n, c int) passTotals {
 	var (
-		next      atomic.Int64
-		failures  atomic.Int64
-		cached    atomic.Int64
-		heuristic atomic.Int64
-		wg        sync.WaitGroup
+		next                                                         atomic.Int64
+		pt                                                           passTotals
+		ok, failed, cached, heuristic, batchReqs, batchItems, graphs atomic.Int64
+		wg                                                           sync.WaitGroup
 	)
-	fmt.Fprintf(out, "loadgen: %d requests, %d clients, %d distinct graphs, %d strategy mixes\n",
-		n, c, len(bodies), len(loadgenStrategies))
+	before := snapshotCounters(s)
 	start := time.Now()
 	for w := 0; w < c; w++ {
 		wg.Add(1)
@@ -82,17 +116,49 @@ func runLoadgen(s *server, n, c int, out io.Writer) error {
 					return
 				}
 				query := loadgenStrategies[i%len(loadgenStrategies)]
+				if i%batchEvery == batchEvery-1 {
+					// Batch request: batchSize graphs in one POST.
+					items := make([]json.RawMessage, batchSize)
+					for j := range items {
+						items[j] = json.RawMessage(bodies[(i+j)%len(bodies)])
+					}
+					body, err := json.Marshal(map[string]any{"items": items})
+					if err != nil {
+						failed.Add(1)
+						continue
+					}
+					batchReqs.Add(1)
+					graphs.Add(batchSize)
+					resp, err := client.Post(ts.URL+"/v1/schedule/batch"+query, "application/json", bytes.NewReader(body))
+					if err != nil {
+						failed.Add(1)
+						continue
+					}
+					data, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						failed.Add(1)
+						continue
+					}
+					batchItems.Add(int64(bytes.Count(data, []byte(`"schedule"`))))
+					ok.Add(1)
+					cached.Add(int64(bytes.Count(data, []byte(`"cached": true`))))
+					heuristic.Add(int64(bytes.Count(data, []byte(`"quality": "heuristic"`))))
+					continue
+				}
+				graphs.Add(1)
 				resp, err := client.Post(ts.URL+"/v1/schedule"+query, "application/json", bytes.NewReader(bodies[i%len(bodies)]))
 				if err != nil {
-					failures.Add(1)
+					failed.Add(1)
 					continue
 				}
 				body, _ := io.ReadAll(resp.Body)
 				resp.Body.Close()
 				if resp.StatusCode != http.StatusOK {
-					failures.Add(1)
+					failed.Add(1)
 					continue
 				}
+				ok.Add(1)
 				if bytes.Contains(body, []byte(`"cached": true`)) {
 					cached.Add(1)
 				}
@@ -103,17 +169,73 @@ func runLoadgen(s *server, n, c int, out io.Writer) error {
 		}()
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	pt.elapsed = time.Since(start)
+	after := snapshotCounters(s)
+	pt.ok, pt.failed = ok.Load(), failed.Load()
+	pt.cached, pt.heuristic = cached.Load(), heuristic.Load()
+	pt.batchReqs, pt.batchItems, pt.graphs = batchReqs.Load(), batchItems.Load(), graphs.Load()
+	pt.memoHits = after.memoHits - before.memoHits
+	pt.memoDiskHits = after.memoDisk - before.memoDisk
+	pt.memoSearches = (after.memoHits + after.memoMisses) - (before.memoHits + before.memoMisses)
+	pt.statesPass = after.states - before.states
+	pt.fallbacksPass = after.fallbacks - before.fallbacks
+	return pt
+}
 
-	ok := int64(n) - failures.Load()
-	fmt.Fprintf(out, "loadgen: %d ok, %d failed in %s (%.1f req/s); %d served from cache, %d heuristic-quality\n",
-		ok, failures.Load(), elapsed.Round(time.Millisecond),
-		float64(ok)/elapsed.Seconds(), cached.Load(), heuristic.Load())
+func printPass(out io.Writer, label string, pt passTotals) {
+	fmt.Fprintf(out, "%s: %d ok, %d failed in %s (%.1f req/s); %d graphs (%d via %d batch requests); %d cached, %d heuristic\n",
+		label, pt.ok, pt.failed, pt.elapsed.Round(time.Millisecond),
+		float64(pt.ok)/pt.elapsed.Seconds(), pt.graphs, pt.batchItems, pt.batchReqs,
+		pt.cached, pt.heuristic)
+	memoRate := 0.0
+	if pt.memoSearches > 0 {
+		memoRate = 100 * float64(pt.memoHits) / float64(pt.memoSearches)
+	}
+	fmt.Fprintf(out, "%s: segment memo %d/%d hits (%.1f%%), %d from disk; %d fresh DP states; %d fallbacks\n",
+		label, pt.memoHits, pt.memoSearches, memoRate, pt.memoDiskHits, pt.statesPass, pt.fallbacksPass)
+}
+
+// runLoadgen stands the server up in-process and fires two passes of n/2
+// schedule requests (mixing single and batch compilations) at it from c
+// concurrent clients under mixed strategies, then prints per-pass
+// throughput and hit rates. The cold/warm split makes cache, memo, and
+// persistent-store benefit visible from the CLI: run serenityd -loadgen
+// -store-dir twice and the second run's cold pass shows nonzero disk hits —
+// the restart survived.
+func runLoadgen(s *server, n, c int, out io.Writer) error {
+	bodies, err := loadgenWorkload()
+	if err != nil {
+		return err
+	}
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	if c < 1 {
+		c = 1
+	}
+	cold := (n + 1) / 2
+	warm := n - cold
+	fmt.Fprintf(out, "loadgen: %d requests (%d cold + %d warm), %d clients, %d distinct graphs, %d strategy mixes, every %dth request a batch of %d\n",
+		n, cold, warm, c, len(bodies), len(loadgenStrategies), batchEvery, batchSize)
+
+	coldPT := firePass(ts, s, bodies, cold, c)
+	printPass(out, "cold pass", coldPT)
+	var warmPT passTotals
+	if warm > 0 {
+		warmPT = firePass(ts, s, bodies, warm, c)
+		printPass(out, "warm pass", warmPT)
+	}
+
 	cs := s.cache.Stats()
 	fmt.Fprintf(out, "cache: %d hits, %d misses, %d entries; %d coalesced; %d states explored; %d segment fallbacks\n",
 		cs.Hits, cs.Misses, cs.Len, s.coalesced.Load(), s.states.Load(), s.fallbacks.Load())
-	if failures.Load() > 0 {
-		return fmt.Errorf("%d requests failed", failures.Load())
+	if s.store != nil {
+		st := s.store.Stats()
+		fmt.Fprintf(out, "store: %d hits, %d misses, %d writes, %d entries, %d live bytes, %d corrupt records\n",
+			st.Hits, st.Misses, st.Writes, st.Entries, st.LiveBytes, st.CorruptRecords)
+	}
+	if totalFailed := coldPT.failed + warmPT.failed; totalFailed > 0 {
+		return fmt.Errorf("%d requests failed", totalFailed)
 	}
 	return nil
 }

@@ -42,6 +42,17 @@
 // into one search. Degraded (deadline-fallback) segment results are never
 // memoized, so one overloaded moment cannot pin heuristic schedules.
 //
+// With -store-dir the memo gains a persistent tier: per-segment results are
+// also written (asynchronously) to a content-addressed on-disk artifact
+// store, and a restarted server warm-starts from it — lookups fall through
+// memory → disk → fresh DP, so a deploy, crash, or autoscale event no longer
+// re-pays the whole corpus under live traffic. The store is size-bounded
+// (-store-max-bytes, LRU), checksummed per record, and survives corruption
+// by recomputing (see serenity.ScheduleStore and the serenity store
+// subcommand for ls/verify/gc/export/import). On SIGINT/SIGTERM the server
+// drains in-flight requests for -drain-timeout and flushes the store before
+// exiting.
+//
 // Example:
 //
 //	graphgen -net swiftnet-a -o model.json   # any JSON IR producer works
@@ -56,14 +67,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	serenity "github.com/serenity-ml/serenity"
@@ -80,6 +95,9 @@ func main() {
 	noPartition := flag.Bool("no-partition", false, "disable divide-and-conquer")
 	maxNodes := flag.Int("max-nodes", 20000, "reject graphs with more nodes (0 = unlimited)")
 	computeTimeout := flag.Duration("compute-timeout", 2*time.Minute, "server-side limit per compilation (0 = unlimited)")
+	storeDir := flag.String("store-dir", "", "persist segment schedules to this directory and warm-start from it on boot (empty = in-memory only)")
+	storeMax := flag.String("store-max-bytes", "256MiB", "persistent store size bound, e.g. 64MiB or 0 for unbounded (requires -store-dir)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown: how long to wait for in-flight compilations on SIGINT/SIGTERM")
 	loadgen := flag.Bool("loadgen", false, "run the load generator against an in-process server instead of serving")
 	loadN := flag.Int("loadgen-n", 200, "loadgen: total requests")
 	loadC := flag.Int("loadgen-c", 16, "loadgen: concurrent clients")
@@ -107,8 +125,40 @@ func main() {
 	}
 	s.maxNodes = *maxNodes
 	s.computeTimeout = *computeTimeout
+
+	// Flag-level validation before any resource is opened: a store bound
+	// without a store is a configuration mistake, not a silent no-op.
+	storeMaxSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "store-max-bytes" {
+			storeMaxSet = true
+		}
+	})
+	if storeMaxSet && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "serenityd: -store-max-bytes requires -store-dir")
+		os.Exit(2)
+	}
+	if *storeDir != "" {
+		maxBytes, err := parseBytes(*storeMax)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serenityd: -store-max-bytes:", err)
+			os.Exit(2)
+		}
+		store, err := serenity.OpenScheduleStore(*storeDir, maxBytes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serenityd: opening schedule store:", err)
+			os.Exit(1)
+		}
+		s.store = store
+		st := store.Stats()
+		log.Printf("serenityd warm-start: %d segment artifacts (%d bytes) from %s (%d corrupt records skipped)",
+			st.Entries, st.LiveBytes, *storeDir, st.CorruptRecords)
+	}
+
 	if *loadgen {
-		if err := runLoadgen(s, *loadN, *loadC, os.Stdout); err != nil {
+		err := runLoadgen(s, *loadN, *loadC, os.Stdout)
+		closeStore(s)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "serenityd:", err)
 			os.Exit(1)
 		}
@@ -124,10 +174,51 @@ func main() {
 		ReadHeaderTimeout: 5 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	if err := srv.ListenAndServe(); err != nil {
+
+	// Graceful shutdown: the first SIGINT/SIGTERM stops accepting work and
+	// drains in-flight compilations for up to -drain-timeout; the store is
+	// flushed after the handlers are done writing to it. A second signal
+	// kills the process the hard way (signal.NotifyContext restores default
+	// handling once the context fires).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+	select {
+	case err := <-serveErr:
+		closeStore(s)
 		fmt.Fprintln(os.Stderr, "serenityd:", err)
 		os.Exit(1)
+	case <-ctx.Done():
+		stop()
+		log.Printf("serenityd shutting down: draining for up to %s", *drainTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		err := srv.Shutdown(shutdownCtx)
+		cancel()
+		if err != nil {
+			log.Printf("serenityd: drain incomplete: %v", err)
+		}
+		if serr := <-serveErr; serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+			log.Printf("serenityd: %v", serr)
+		}
+		closeStore(s)
+		log.Printf("serenityd stopped")
 	}
+}
+
+// closeStore flushes and closes the persistent schedule store, logging the
+// corpus it leaves behind for the next boot.
+func closeStore(s *server) {
+	if s.store == nil {
+		return
+	}
+	if err := s.store.Close(); err != nil {
+		log.Printf("serenityd: closing schedule store: %v", err)
+		return
+	}
+	st := s.store.Stats()
+	log.Printf("serenityd: schedule store flushed: %d artifacts, %d live bytes, %d writes this run",
+		st.Entries, st.LiveBytes, st.Writes)
 }
 
 // parseBytes accepts "262144", "250KiB"/"250KB", or "4MiB"/"4MB".

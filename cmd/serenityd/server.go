@@ -51,6 +51,11 @@ type scheduleResponse struct {
 	// search. On a cached response it describes the compilation that built
 	// the entry.
 	SegmentMemoHits int `json:"segment_memo_hits,omitempty"`
+	// SegmentMemoDiskHits is the subset of SegmentMemoHits answered by the
+	// persistent schedule store (-store-dir): artifacts surviving from a
+	// previous process. Nonzero right after a restart is the warm-start
+	// working.
+	SegmentMemoDiskHits int `json:"segment_memo_disk_hits,omitempty"`
 	// MaxFrontier is the largest number of coexisting DP signatures any
 	// segment's search held — how close the compilation came to the
 	// server's state-cap valve.
@@ -80,6 +85,12 @@ type server struct {
 	// cell pay for its DP once. See serenity.SegmentMemo and the
 	// -segment-memo-size flag.
 	segMemo *serenity.SegmentMemo
+	// store, when non-nil, is the persistent tier under segMemo: the
+	// on-disk schedule artifact store (-store-dir) that survives restarts,
+	// so a redeployed server warm-starts from its predecessor's corpus
+	// instead of re-running every DP under live traffic. See
+	// serenity.ScheduleStore.
+	store *serenity.ScheduleStore
 	// maxNodes rejects graphs above this node count (0 = unlimited);
 	// computeTimeout bounds one compilation server-side so a patient client
 	// cannot pin a CPU indefinitely (0 = unlimited).
@@ -298,8 +309,10 @@ func (s *server) compute(ctx context.Context, g *serenity.Graph, opts serenity.O
 	}
 	// One process-wide memo across every request: per-segment results are
 	// interchangeable wherever the segment fingerprint and strategy match,
-	// whatever graph they arrived in.
+	// whatever graph they arrived in. The store beneath it extends the same
+	// sharing across process restarts.
 	p.SegmentMemo = s.segMemo
+	p.Store = s.store
 	// The Observer feeds the /metrics stage and fallback counters as the
 	// compilation runs, so a long compile is visible before it finishes.
 	p.Observer = serenity.ObserverFunc(func(e serenity.Event) {
@@ -332,23 +345,24 @@ func (s *server) compute(ctx context.Context, g *serenity.Graph, opts serenity.O
 		s.heuristic.Add(1)
 	}
 	resp := &scheduleResponse{
-		Graph:           g.Name,
-		Nodes:           res.Graph.NumNodes(),
-		Fingerprint:     fingerprint,
-		Order:           res.Order,
-		Peak:            res.Peak,
-		ArenaSize:       res.ArenaSize,
-		BaselinePeak:    res.BaselinePeak,
-		Rewrites:        res.RewriteCount,
-		PartitionSizes:  res.PartitionSizes,
-		Strategy:        p.Searcher.Name(),
-		Quality:         res.Quality,
-		SegmentQuality:  res.SegmentQuality,
-		Fallbacks:       res.Fallbacks,
-		StatesExplored:  res.StatesExplored,
-		SegmentMemoHits: res.SegmentMemoHits,
-		MaxFrontier:     res.MaxFrontier,
-		SchedulingMS:    float64(res.SchedulingTime.Microseconds()) / 1000,
+		Graph:               g.Name,
+		Nodes:               res.Graph.NumNodes(),
+		Fingerprint:         fingerprint,
+		Order:               res.Order,
+		Peak:                res.Peak,
+		ArenaSize:           res.ArenaSize,
+		BaselinePeak:        res.BaselinePeak,
+		Rewrites:            res.RewriteCount,
+		PartitionSizes:      res.PartitionSizes,
+		Strategy:            p.Searcher.Name(),
+		Quality:             res.Quality,
+		SegmentQuality:      res.SegmentQuality,
+		Fallbacks:           res.Fallbacks,
+		StatesExplored:      res.StatesExplored,
+		SegmentMemoHits:     res.SegmentMemoHits,
+		SegmentMemoDiskHits: res.SegmentMemoDiskHits,
+		MaxFrontier:         res.MaxFrontier,
+		SchedulingMS:        float64(res.SchedulingTime.Microseconds()) / 1000,
 		StageMS: stageMS{
 			Rewrite:   float64(res.Stages.Rewrite.Microseconds()) / 1000,
 			Partition: float64(res.Stages.Partition.Microseconds()) / 1000,
@@ -517,6 +531,31 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP serenityd_segment_memo_entries Segment memo current size.\n")
 	fmt.Fprintf(w, "# TYPE serenityd_segment_memo_entries gauge\n")
 	fmt.Fprintf(w, "serenityd_segment_memo_entries %d\n", ms.Entries)
+	var ss serenity.StoreStats
+	if s.store != nil {
+		ss = s.store.Stats()
+	}
+	fmt.Fprintf(w, "# HELP serenityd_store_hits_total Segment artifacts served from the persistent schedule store.\n")
+	fmt.Fprintf(w, "# TYPE serenityd_store_hits_total counter\n")
+	fmt.Fprintf(w, "serenityd_store_hits_total %d\n", ss.Hits)
+	fmt.Fprintf(w, "# HELP serenityd_store_misses_total Store lookups that fell through to a fresh search.\n")
+	fmt.Fprintf(w, "# TYPE serenityd_store_misses_total counter\n")
+	fmt.Fprintf(w, "serenityd_store_misses_total %d\n", ss.Misses)
+	fmt.Fprintf(w, "# HELP serenityd_store_writes_total Segment artifacts written through to the store.\n")
+	fmt.Fprintf(w, "# TYPE serenityd_store_writes_total counter\n")
+	fmt.Fprintf(w, "serenityd_store_writes_total %d\n", ss.Writes)
+	fmt.Fprintf(w, "# HELP serenityd_store_evictions_total Artifacts evicted to honor -store-max-bytes.\n")
+	fmt.Fprintf(w, "# TYPE serenityd_store_evictions_total counter\n")
+	fmt.Fprintf(w, "serenityd_store_evictions_total %d\n", ss.Evictions)
+	fmt.Fprintf(w, "# HELP serenityd_store_corrupt_records_total Store records dropped for failing CRC or artifact validation.\n")
+	fmt.Fprintf(w, "# TYPE serenityd_store_corrupt_records_total counter\n")
+	fmt.Fprintf(w, "serenityd_store_corrupt_records_total %d\n", ss.CorruptRecords)
+	fmt.Fprintf(w, "# HELP serenityd_store_bytes Live bytes held by the persistent schedule store.\n")
+	fmt.Fprintf(w, "# TYPE serenityd_store_bytes gauge\n")
+	fmt.Fprintf(w, "serenityd_store_bytes %d\n", ss.LiveBytes)
+	fmt.Fprintf(w, "# HELP serenityd_store_entries Artifacts currently retrievable from the store.\n")
+	fmt.Fprintf(w, "# TYPE serenityd_store_entries gauge\n")
+	fmt.Fprintf(w, "serenityd_store_entries %d\n", ss.Entries)
 	fmt.Fprintf(w, "# HELP serenityd_batch_requests_total Batch schedule requests received.\n")
 	fmt.Fprintf(w, "# TYPE serenityd_batch_requests_total counter\n")
 	fmt.Fprintf(w, "serenityd_batch_requests_total %d\n", s.batches.Load())

@@ -1,0 +1,495 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openT(t *testing.T, dir string, maxBytes int64) *Store {
+	t.Helper()
+	s, err := Open(dir, maxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, 0)
+	pairs := map[string][]byte{
+		"alpha": []byte("one"),
+		"beta":  {},
+		"gamma": bytes.Repeat([]byte{0xAB}, 4096),
+	}
+	for k, v := range pairs {
+		if err := s.Put(k, v); err != nil {
+			t.Fatalf("Put(%q): %v", k, err)
+		}
+	}
+	for k, v := range pairs {
+		got, ok := s.Get(k)
+		if !ok {
+			t.Fatalf("Get(%q) missed", k)
+		}
+		if !bytes.Equal(got, v) {
+			t.Errorf("Get(%q) = %x, want %x", k, got, v)
+		}
+	}
+	if _, ok := s.Get("absent"); ok {
+		t.Error("Get on an absent key reported a hit")
+	}
+	st := s.Stats()
+	if st.Entries != 3 || st.Writes != 3 || st.Hits != 3 || st.Misses != 1 {
+		t.Errorf("stats %+v do not reconcile with the workload", st)
+	}
+}
+
+func TestReopenRestoresEntries(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, 0)
+	for i := 0; i < 10; i++ {
+		if err := s.Put(fmt.Sprintf("k%02d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Supersede one key; the later record must win after reopen.
+	if err := s.Put("k03", []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openT(t, dir, 0)
+	if st := s2.Stats(); st.Entries != 10 || st.CorruptRecords != 0 {
+		t.Fatalf("reopen: stats %+v, want 10 clean entries", st)
+	}
+	got, ok := s2.Get("k03")
+	if !ok || string(got) != "new" {
+		t.Errorf("superseded key after reopen = %q, %t; want \"new\"", got, ok)
+	}
+}
+
+func TestLRUEvictionByBytes(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte{1}, 100)
+	one := int64(len(encodeRecord("k0", payload)))
+	s := openT(t, dir, 3*one)
+	for i := 0; i < 5; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Entries != 3 || st.Evictions != 2 {
+		t.Fatalf("stats %+v; want 3 live entries, 2 evictions", st)
+	}
+	for i, want := range []bool{false, false, true, true, true} {
+		_, ok := s.Get(fmt.Sprintf("k%d", i))
+		if ok != want {
+			t.Errorf("k%d present=%t, want %t (LRU order violated)", i, ok, want)
+		}
+	}
+	// Touch k2, insert another: k3 (now LRU) must go, k2 stay.
+	s.Get("k2")
+	if err := s.Put("k5", payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k3"); ok {
+		t.Error("k3 survived despite being least recently used")
+	}
+	if _, ok := s.Get("k2"); !ok {
+		t.Error("recency refresh did not protect k2")
+	}
+}
+
+func TestOversizedRecordRejected(t *testing.T) {
+	s := openT(t, t.TempDir(), 64)
+	err := s.Put("key", bytes.Repeat([]byte{1}, 128))
+	if err != ErrTooLarge {
+		t.Fatalf("Put oversized = %v, want ErrTooLarge", err)
+	}
+	if st := s.Stats(); st.Writes != 0 || st.Entries != 0 {
+		t.Errorf("oversized record left traces: %+v", st)
+	}
+}
+
+func TestCompactReclaimsDeadSpace(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, 0)
+	for i := 0; i < 20; i++ {
+		// Every key written twice: half the file is dead.
+		key := fmt.Sprintf("k%d", i%10)
+		if err := s.Put(key, bytes.Repeat([]byte{byte(i)}, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.Stats()
+	if before.DeadBytes == 0 {
+		t.Fatal("superseding writes produced no dead bytes")
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Stats()
+	if after.DeadBytes != 0 {
+		t.Errorf("dead bytes after compact: %d", after.DeadBytes)
+	}
+	if after.FileBytes >= before.FileBytes {
+		t.Errorf("file did not shrink: %d -> %d", before.FileBytes, after.FileBytes)
+	}
+	if after.Entries != 10 {
+		t.Errorf("entries after compact: %d, want 10", after.Entries)
+	}
+	for i := 10; i < 20; i++ {
+		got, ok := s.Get(fmt.Sprintf("k%d", i%10))
+		if !ok || !bytes.Equal(got, bytes.Repeat([]byte{byte(i)}, 64)) {
+			t.Errorf("k%d wrong after compact (ok=%t)", i%10, ok)
+		}
+	}
+	// And the compacted file must reopen cleanly with recency preserved.
+	s.Close()
+	s2 := openT(t, dir, 0)
+	if st := s2.Stats(); st.Entries != 10 || st.CorruptRecords != 0 {
+		t.Errorf("post-compact reopen stats %+v", st)
+	}
+}
+
+// corruptAt flips one byte of the data file (store must be closed).
+func corruptAt(t *testing.T, dir string, off int64) {
+	t.Helper()
+	path := filepath.Join(dir, DataFileName)
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xFF
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenSkipsCRCCorruptRecord(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, 0)
+	var offs []int64
+	for i := 0; i < 3; i++ {
+		offs = append(offs, s.Stats().FileBytes)
+		if err := s.Put(fmt.Sprintf("k%d", i), bytes.Repeat([]byte{byte(i)}, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	// Flip a payload byte of the middle record: well-framed, bad CRC.
+	corruptAt(t, dir, offs[1]+recHeaderSize+4)
+
+	s2 := openT(t, dir, 0)
+	st := s2.Stats()
+	if st.CorruptRecords != 1 || st.Entries != 2 {
+		t.Fatalf("stats %+v; want 1 corrupt, 2 survivors", st)
+	}
+	if _, ok := s2.Get("k1"); ok {
+		t.Error("CRC-corrupt record served")
+	}
+	for _, k := range []string{"k0", "k2"} {
+		if _, ok := s2.Get(k); !ok {
+			t.Errorf("%s lost despite being intact", k)
+		}
+	}
+}
+
+func TestOpenTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, 0)
+	if err := s.Put("whole", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	good := s.Stats().FileBytes
+	if err := s.Put("torn", bytes.Repeat([]byte{7}, 64)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Simulate a crash mid-append: cut the last record in half.
+	path := filepath.Join(dir, DataFileName)
+	if err := os.Truncate(path, good+9); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openT(t, dir, 0)
+	st := s2.Stats()
+	if st.CorruptRecords != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v; want the torn record counted and dropped", st)
+	}
+	if st.FileBytes != good {
+		t.Errorf("file not truncated back to the last good record: %d != %d", st.FileBytes, good)
+	}
+	// Appends after the repair must be readable.
+	if err := s2.Put("after", []byte("repair")); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3 := openT(t, dir, 0)
+	if got, ok := s3.Get("after"); !ok || string(got) != "repair" {
+		t.Errorf("append after tail repair unreadable (ok=%t, %q)", ok, got)
+	}
+}
+
+func TestOpenSetsAsideAlienHeader(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, DataFileName)
+	if err := os.WriteFile(path, []byte("this is not an artifact store at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := openT(t, dir, 0)
+	if st := s.Stats(); st.CorruptRecords != 1 || st.Entries != 0 {
+		t.Errorf("stats %+v; want the alien file counted once", st)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Errorf("alien file not set aside: %v", err)
+	}
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetReVerifiesCRC(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, 0)
+	if err := s.Put("k", bytes.Repeat([]byte{3}, 32)); err != nil {
+		t.Fatal(err)
+	}
+	// Rot a byte underneath the open store.
+	path := filepath.Join(dir, DataFileName)
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xEE}, headerSize+recHeaderSize+2); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("bit-rotted record served to the caller")
+	}
+	if st := s.Stats(); st.CorruptRecords != 1 || st.Entries != 0 {
+		t.Errorf("stats %+v after bit rot", st)
+	}
+}
+
+func TestExportImport(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, 0)
+	for i := 0; i < 5; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), bytes.Repeat([]byte{byte(i)}, 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := openT(t, t.TempDir(), 0)
+	if err := dst.Put("k1", []byte("local")); err != nil {
+		t.Fatal(err)
+	}
+	added, corrupt, err := dst.Import(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 5 || corrupt != 0 {
+		t.Fatalf("import added %d (corrupt %d), want 5 clean", added, corrupt)
+	}
+	if st := dst.Stats(); st.Entries != 5 {
+		t.Errorf("entries after import: %d", st.Entries)
+	}
+	got, ok := dst.Get("k1")
+	if !ok || !bytes.Equal(got, bytes.Repeat([]byte{1}, 16)) {
+		t.Errorf("imported record did not supersede the local one: %q", got)
+	}
+
+	// A stream with a bad header must be refused outright.
+	if _, _, err := dst.Import(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Error("import accepted a non-store stream")
+	}
+	// A valid stream with a corrupt record imports the rest.
+	raw := buf.Bytes()
+	flip := make([]byte, len(raw))
+	copy(flip, raw)
+	flip[headerSize+recHeaderSize+3] ^= 0x55
+	dst2 := openT(t, t.TempDir(), 0)
+	added, corrupt, err = dst2.Import(bytes.NewReader(flip))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 4 || corrupt != 1 {
+		t.Errorf("tolerant import: added %d corrupt %d, want 4/1", added, corrupt)
+	}
+}
+
+func TestVerifyDropsRottenRecords(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, 0)
+	var offs []int64
+	for i := 0; i < 4; i++ {
+		offs = append(offs, s.Stats().FileBytes)
+		if err := s.Put(fmt.Sprintf("k%d", i), bytes.Repeat([]byte{byte(i)}, 24)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(dir, DataFileName)
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xEE}, offs[2]+recHeaderSize+1); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	ok, corrupt := s.Verify()
+	if ok != 3 || corrupt != 1 {
+		t.Errorf("Verify = %d ok, %d corrupt; want 3/1", ok, corrupt)
+	}
+	if st := s.Stats(); st.Entries != 3 {
+		t.Errorf("entries after Verify: %d", st.Entries)
+	}
+}
+
+func TestClosedStoreOperations(t *testing.T) {
+	s := openT(t, t.TempDir(), 0)
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+	if err := s.Put("k2", []byte("v")); err != ErrClosed {
+		t.Errorf("Put on closed store: %v, want ErrClosed", err)
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Error("Get on closed store reported a hit")
+	}
+	if err := s.Compact(); err != ErrClosed {
+		t.Errorf("Compact on closed store: %v, want ErrClosed", err)
+	}
+}
+
+func TestOpenReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, 0)
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	good := s.Stats().FileBytes
+	if err := s.Put("torn", bytes.Repeat([]byte{9}, 64)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	path := filepath.Join(dir, DataFileName)
+	// Tear the tail: read-only must report it but leave the bytes alone.
+	if err := os.Truncate(path, good+5); err != nil {
+		t.Fatal(err)
+	}
+
+	ro, err := OpenReadOnly(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	if got, ok := ro.Get("k"); !ok || string(got) != "v" {
+		t.Errorf("read-only Get = %q, %t", got, ok)
+	}
+	if st := ro.Stats(); st.CorruptRecords != 1 || st.Entries != 1 {
+		t.Errorf("read-only stats %+v; want the torn tail counted, one survivor", st)
+	}
+	if err := ro.Put("k2", []byte("v")); err != ErrReadOnly {
+		t.Errorf("read-only Put: %v, want ErrReadOnly", err)
+	}
+	if err := ro.Compact(); err != ErrReadOnly {
+		t.Errorf("read-only Compact: %v, want ErrReadOnly", err)
+	}
+	if err := ro.Sync(); err != ErrReadOnly {
+		t.Errorf("read-only Sync: %v, want ErrReadOnly", err)
+	}
+	// The torn tail must still be on disk, untruncated.
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != good+5 {
+		t.Errorf("read-only open changed the file: %d bytes, want %d", fi.Size(), good+5)
+	}
+
+	// A directory without a data file must be an error, and nothing may be
+	// created as a side effect.
+	empty := t.TempDir()
+	if _, err := OpenReadOnly(empty); err == nil {
+		t.Error("OpenReadOnly manufactured a store in an empty directory")
+	}
+	if _, err := os.Stat(filepath.Join(empty, DataFileName)); !os.IsNotExist(err) {
+		t.Errorf("OpenReadOnly created %s: %v", DataFileName, err)
+	}
+	// An unreadable header is reported, not set aside.
+	alien := t.TempDir()
+	if err := os.WriteFile(filepath.Join(alien, DataFileName), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ro2, err := OpenReadOnly(alien)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro2.Close()
+	if st := ro2.Stats(); st.CorruptRecords != 1 || st.Entries != 0 {
+		t.Errorf("read-only alien header: stats %+v", st)
+	}
+	if _, err := os.Stat(filepath.Join(alien, DataFileName+".corrupt")); !os.IsNotExist(err) {
+		t.Error("read-only open set the alien file aside")
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open("", 0); err == nil {
+		t.Error("Open accepted an empty directory")
+	}
+	if _, err := Open(t.TempDir(), -1); err == nil {
+		t.Error("Open accepted negative MaxBytes")
+	}
+}
+
+func TestRejectedVersionMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, 0)
+	s.Put("k", []byte("v"))
+	s.Close()
+	// Bump the on-disk version: a future-format file must be set aside, not
+	// misread.
+	path := filepath.Join(dir, DataFileName)
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v [4]byte
+	binary.LittleEndian.PutUint32(v[:], FormatVersion+1)
+	if _, err := f.WriteAt(v[:], 8); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	s2 := openT(t, dir, 0)
+	if st := s2.Stats(); st.Entries != 0 || st.CorruptRecords != 1 {
+		t.Errorf("future-version file: stats %+v, want set-aside", st)
+	}
+}

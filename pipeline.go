@@ -49,6 +49,14 @@ type Pipeline struct {
 	// enabled and the Searcher implements MemoKeyer; degraded (fallback)
 	// results are never stored. See SegmentMemo.
 	SegmentMemo *SegmentMemo
+	// Store, when non-nil, is the persistent tier under the SegmentMemo: a
+	// lookup falls through memory → disk → fresh search, disk hits are
+	// promoted into the memo, and fresh results are written through
+	// asynchronously. With no SegmentMemo installed the store is consulted
+	// directly (without singleflight coalescing). Keys, eligibility, and the
+	// never-store-degraded rule are exactly the SegmentMemo's; see
+	// ScheduleStore.
+	Store *ScheduleStore
 
 	// Rewrite / ExtendedRewrite / Partition toggle the graph stages, with
 	// the same semantics as the corresponding Options fields.
@@ -191,13 +199,13 @@ func (p *Pipeline) Run(ctx context.Context, g *Graph) (*Result, error) {
 		searcher = ps.scopeParallelism(perSegment)
 	}
 
-	// memoKeys[i] is segment i's memo key; nil disables memoization (no
-	// memo installed, partitioning off, or a Searcher that does not expose
-	// a MemoKey). Keys are computed up front so the per-segment workers do
-	// no fingerprinting of their own.
+	// memoKeys[i] is segment i's memo/store key; nil disables memoization
+	// (no memo or store installed, partitioning off, or a Searcher that does
+	// not expose a MemoKey). Keys are computed up front so the per-segment
+	// workers do no fingerprinting of their own.
 	var memoKeys []string
-	var memoHits, freshStates atomic.Int64
-	if p.SegmentMemo != nil && part != nil {
+	var memHits, diskHits, freshStates atomic.Int64
+	if (p.SegmentMemo != nil || p.Store != nil) && part != nil {
 		if mk, ok := p.Searcher.(MemoKeyer); ok {
 			if disc := mk.MemoKey(); disc != "" {
 				memoKeys = make([]string, len(segments))
@@ -227,11 +235,18 @@ func (p *Pipeline) Run(ctx context.Context, g *Graph) (*Result, error) {
 		}
 		var sr SearchResult
 		var err error
-		var hit bool
+		tier := memoTierMiss
 		if memoKeys != nil {
-			sr, hit, err = p.SegmentMemo.do(ctx, memoKeys[idx], compute)
-			if hit {
-				memoHits.Add(1)
+			if p.SegmentMemo != nil {
+				sr, tier, err = p.SegmentMemo.do(ctx, memoKeys[idx], p.Store, nodes, compute)
+			} else {
+				sr, tier, err = p.Store.lookupOrCompute(memoKeys[idx], nodes, compute)
+			}
+			switch tier {
+			case memoTierMemory:
+				memHits.Add(1)
+			case memoTierDisk:
+				diskHits.Add(1)
 			}
 		} else {
 			sr, err = compute()
@@ -239,7 +254,7 @@ func (p *Pipeline) Run(ctx context.Context, g *Graph) (*Result, error) {
 		if err != nil {
 			return sr, err
 		}
-		if !hit {
+		if tier == memoTierMiss {
 			// Memo hits replay their stored StatesExplored into the Result
 			// (warm runs reconcile bit for bit with cold ones), but only a
 			// search actually run here counts as fresh work.
@@ -288,7 +303,8 @@ func (p *Pipeline) Run(ctx context.Context, g *Graph) (*Result, error) {
 			res.Fallbacks++
 		}
 	}
-	res.SegmentMemoHits = int(memoHits.Load())
+	res.SegmentMemoHits = int(memHits.Load() + diskHits.Load())
+	res.SegmentMemoDiskHits = int(diskHits.Load())
 	res.FreshStatesExplored = freshStates.Load()
 	res.Stages.Search = time.Since(searchStart)
 	obs.stageDone(StageSearch, res.Stages.Search)

@@ -44,13 +44,41 @@ type MemoKeyer interface {
 //     (StatesExplored included, so a warm Result reconciles bit for bit with
 //     the cold run that populated the memo); callers must not mutate Order.
 //
+// A SegmentMemo is the memory tier of a two-level hierarchy: give the
+// Pipeline a ScheduleStore as well (Pipeline.Store) and a lookup falls
+// through memory → disk → fresh search, with disk hits promoted into memory
+// and fresh results written through to disk asynchronously. The disk tier
+// shares the memo's keys and its poison rule, so everything documented here
+// holds across process restarts too.
+//
 // A SegmentMemo is safe for concurrent use by any number of Pipelines.
 type SegmentMemo struct {
 	store *cache.Cache[SearchResult]
-	group cache.Group[SearchResult]
+	group cache.Group[memoLoad]
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	hits     atomic.Int64
+	diskHits atomic.Int64
+	misses   atomic.Int64
+}
+
+// memoTier reports where a memoized segment lookup was answered.
+type memoTier int
+
+const (
+	// memoTierMiss: no tier had it; this caller ran the search.
+	memoTierMiss memoTier = iota
+	// memoTierMemory: served from the in-memory store, or shared from a
+	// concurrent in-flight lookup (whatever tier the flight's leader used).
+	memoTierMemory
+	// memoTierDisk: loaded and validated from the persistent ScheduleStore.
+	memoTierDisk
+)
+
+// memoLoad is a flight's outcome: the result plus which tier the leader got
+// it from, so followers and the leader account hits truthfully.
+type memoLoad struct {
+	sr       SearchResult
+	fromDisk bool
 }
 
 // NewSegmentMemo returns a memo holding at most capacity segment results;
@@ -65,47 +93,74 @@ func NewSegmentMemo(capacity int) *SegmentMemo {
 // Hits+Misses equals the total memoized segment searches across all Pipelines
 // sharing the memo.
 type SegmentMemoStats struct {
-	Hits    int64
-	Misses  int64
-	Entries int
+	Hits   int64
+	Misses int64
+	// DiskHits is the subset of Hits answered by the persistent tier (a
+	// ScheduleStore layered under this memo); Hits - DiskHits were served
+	// from memory or a shared in-flight search.
+	DiskHits int64
+	Entries  int
 }
 
 // Stats returns a snapshot of the memo's counters.
 func (m *SegmentMemo) Stats() SegmentMemoStats {
 	return SegmentMemoStats{
-		Hits:    m.hits.Load(),
-		Misses:  m.misses.Load(),
-		Entries: m.store.Len(),
+		Hits:     m.hits.Load(),
+		Misses:   m.misses.Load(),
+		DiskHits: m.diskHits.Load(),
+		Entries:  m.store.Len(),
 	}
 }
 
-// do returns the result for key, consulting the store, then any in-flight
-// computation, then running compute. The boolean reports a hit: the result
-// arrived without this caller running compute. Errors are never stored;
-// context errors follow cache.Group's retry contract. Storable results enter
-// the store inside the flight — before followers are released and before the
-// flight is torn down — so a caller arriving as the leader finishes can
+// do returns the result for key, consulting the in-memory store, then the
+// persistent tier (disk, when non-nil), then any in-flight computation, then
+// running compute. The returned tier reports how the result arrived:
+// anything but memoTierMiss means this caller ran no search. nodes is the
+// segment's node count, used to validate disk artifacts before trusting
+// them.
+//
+// Errors are never stored; context errors follow cache.Group's retry
+// contract. Storable results enter the memory store (and the write-behind
+// disk queue) inside the flight — before followers are released and before
+// the flight is torn down — so a caller arriving as the leader finishes can
 // never slip between the closed flight and the not-yet-written store and
-// redo the search.
-func (m *SegmentMemo) do(ctx context.Context, key string, compute func() (SearchResult, error)) (SearchResult, bool, error) {
+// redo the search. The disk lookup also runs inside the flight: concurrent
+// lookups of one cold key cost one disk read, not N.
+func (m *SegmentMemo) do(ctx context.Context, key string, disk *ScheduleStore, nodes int, compute func() (SearchResult, error)) (SearchResult, memoTier, error) {
 	if sr, ok := m.store.Get(key); ok {
 		m.hits.Add(1)
-		return sr, true, nil
+		return sr, memoTierMemory, nil
 	}
-	sr, shared, err := m.group.Do(ctx, key, func() (SearchResult, error) {
+	v, shared, err := m.group.Do(ctx, key, func() (memoLoad, error) {
+		if disk != nil {
+			if sr, ok := disk.get(key, nodes); ok {
+				// Promote: the next lookup anywhere in the process is a
+				// memory hit.
+				m.store.Put(key, sr)
+				return memoLoad{sr: sr, fromDisk: true}, nil
+			}
+		}
 		sr, err := compute()
 		if err == nil && !sr.FellBack {
 			m.store.Put(key, sr)
+			if disk != nil {
+				disk.putAsync(key, sr)
+			}
 		}
-		return sr, err
+		return memoLoad{sr: sr}, err
 	})
 	if err != nil {
-		return SearchResult{}, false, err
+		return SearchResult{}, memoTierMiss, err
 	}
-	if shared {
+	switch {
+	case shared:
 		m.hits.Add(1)
-		return sr, true, nil
+		return v.sr, memoTierMemory, nil
+	case v.fromDisk:
+		m.hits.Add(1)
+		m.diskHits.Add(1)
+		return v.sr, memoTierDisk, nil
 	}
 	m.misses.Add(1)
-	return sr, false, nil
+	return v.sr, memoTierMiss, nil
 }

@@ -257,10 +257,17 @@ type Result struct {
 	// exact search for its heuristic fallback.
 	Fallbacks int
 	// SegmentMemoHits counts segments whose search result came from the
-	// Pipeline's SegmentMemo (stored from an earlier run, or shared with a
-	// concurrent search of the same segment) instead of a fresh search.
-	// Always zero without an installed memo.
+	// memo hierarchy instead of a fresh search — from the Pipeline's
+	// in-memory SegmentMemo (stored by an earlier run, or shared with a
+	// concurrent search of the same segment) or from the persistent
+	// ScheduleStore tier beneath it. Always zero without an installed memo
+	// or store.
 	SegmentMemoHits int
+	// SegmentMemoDiskHits is the subset of SegmentMemoHits answered by the
+	// persistent tier (Pipeline.Store): artifacts loaded, validated, and
+	// promoted from disk. SegmentMemoHits - SegmentMemoDiskHits were served
+	// from memory. Always zero without a store.
+	SegmentMemoDiskHits int
 	// Stages breaks the compile time down per pipeline stage.
 	Stages StageTimings
 	// SchedulingTime is the end-to-end compile time.

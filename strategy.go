@@ -133,6 +133,12 @@ func (e ExactDP) Name() string { return "exact" }
 // minimal either way), so all three discriminate the memo key. Parallelism
 // is deliberately excluded: sharded expansion is bit-identical on the
 // solution path, and only solutions are memoized.
+//
+// MemoKeys outlive the process: they are half of the on-disk ScheduleStore's
+// content address (the other half, Segment.Fingerprint, is golden-pinned in
+// testdata/golden). Changing any MemoKey's rendering silently orphans — or,
+// worse, aliases — every artifact persisted by deployed stores, so treat the
+// format of all three built-in keys as a wire format.
 func (e ExactDP) MemoKey() string {
 	return fmt.Sprintf("exact|a=%t|t=%d|s=%d", e.AdaptiveBudget, e.StepTimeout, e.MaxStates)
 }

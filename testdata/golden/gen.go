@@ -11,11 +11,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"time"
 
 	serenity "github.com/serenity-ml/serenity"
 	"github.com/serenity-ml/serenity/internal/graph"
@@ -71,5 +73,40 @@ func main() {
 			fmt.Fprintf(segManifest, "%s %d %s\n", name, i, seg.Fingerprint())
 		}
 	}
+	// Store artifact fixture: a persistent schedule store (internal/store
+	// format v1 + serenity artifact payload v1) populated by compiling
+	// SwiftNet cells A and B exactly as serenityd -store-dir would. The
+	// fixture pins the on-disk format end to end: TestGoldenStoreFixture
+	// warm-starts from this committed directory and must reproduce the
+	// pre-redesign schedule goldens with zero fresh searches, so any
+	// incompatible change to the record framing, the artifact codec, the
+	// segment fingerprints, or the MemoKey rendering fails the suite until
+	// this fixture is regenerated — the explicit act of acknowledging a
+	// format break.
+	storeDir := filepath.Join(dir, "store_v1")
+	if err := os.RemoveAll(storeDir); err != nil {
+		log.Fatal(err)
+	}
+	ss, err := serenity.OpenScheduleStore(storeDir, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := serenity.DefaultOptions()
+	opts.StepTimeout = time.Minute
+	pipe, err := serenity.NewPipeline(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pipe.SegmentMemo = serenity.NewSegmentMemo(256)
+	pipe.Store = ss
+	for _, g := range []*serenity.Graph{serenity.SwiftNetCellA(), serenity.SwiftNetCellB()} {
+		if _, err := pipe.Run(context.Background(), g); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := ss.Close(); err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Println("golden fixtures regenerated")
 }
