@@ -65,11 +65,12 @@ func (s *server) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
 
-	opts, deadline, err := s.requestOptions(r)
+	prm, err := s.requestOptions(r)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
+	opts, deadline := prm.opts, prm.deadline
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
@@ -92,24 +93,21 @@ func (s *server) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
 	s.batchItem.Add(int64(len(req.Items)))
 
 	results := make([]batchItemResult, len(req.Items))
-	workers := opts.Parallelism
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > len(req.Items) {
-		workers = len(req.Items)
-	}
-	// Compilation is pure CPU work; workers beyond GOMAXPROCS cannot run.
-	if mp := runtime.GOMAXPROCS(0); workers > mp {
-		workers = mp
-	}
-	// Split the request's parallelism budget between the two fan-out levels.
+	workers, perItem := batchSplit(opts.Parallelism, len(req.Items))
 	itemOpts := opts
-	if workers > 1 {
-		itemOpts.Parallelism = opts.Parallelism / workers
-		if itemOpts.Parallelism < 1 {
-			itemOpts.Parallelism = 1
+	itemOpts.Parallelism = perItem
+
+	// The whole batch admits once, weighted by its worker count, in the batch
+	// class: one slot per concurrently compiling item. Batch items then run
+	// pre-admitted so they are not throttled (or rejected) a second time
+	// inside schedule().
+	if s.admit != nil {
+		release, err := s.admit.acquire(r.Context(), classBatch, workers)
+		if err != nil {
+			s.fail(w, http.StatusTooManyRequests, err)
+			return
 		}
+		defer release()
 	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -181,7 +179,7 @@ func (s *server) runBatchItem(parent context.Context, idx int, raw json.RawMessa
 		defer cancel()
 	}
 	fp := g.Fingerprint()
-	resp, cached, err := s.schedule(ctx, g, opts, fp, scheduleKey(fp, opts, deadline))
+	resp, cached, err := s.schedule(ctx, g, opts, fp, scheduleKey(fp, opts, deadline, false), classPreAdmitted, false)
 	if err != nil {
 		if isContextErr(err) && parent.Err() != nil {
 			// The whole batch's client hung up; the caller discards results.
@@ -190,4 +188,34 @@ func (s *server) runBatchItem(parent context.Context, idx int, raw json.RawMessa
 		return fail(s.scheduleErrorStatus(err, opts.Strategy, deadline))
 	}
 	return batchItemResult{Index: idx, Status: http.StatusOK, Schedule: respForClient(resp, cached, g.Name)}
+}
+
+// batchSplit divides a batch request's parallelism budget between its two
+// fan-out levels: item workers and each item's per-segment workers. The
+// budget is the requested parallelism clamped to [1, GOMAXPROCS] FIRST —
+// compilation is pure CPU work, so workers beyond GOMAXPROCS cannot run —
+// and both levels divide that clamped budget, guaranteeing
+// workers*perItem <= budget. (The old derivation divided the UNclamped
+// request by the clamped worker count: parallelism=64 on an 8-way box ran 8
+// workers each fanning 8-wide — 64 goroutines contending for 8 CPUs.)
+func batchSplit(parallelism, items int) (workers, perItem int) {
+	budget := parallelism
+	if budget < 1 {
+		budget = 1
+	}
+	if mp := runtime.GOMAXPROCS(0); budget > mp {
+		budget = mp
+	}
+	workers = budget
+	if workers > items {
+		workers = items
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	perItem = budget / workers
+	if perItem < 1 {
+		perItem = 1
+	}
+	return workers, perItem
 }

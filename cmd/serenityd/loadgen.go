@@ -58,6 +58,7 @@ const (
 // passTotals is one load pass's client-side accounting.
 type passTotals struct {
 	ok, failed    int64
+	shed          int64 // 429/503 answers: admission or deadline shed the request, by design
 	cached        int64 // responses served from the schedule cache
 	heuristic     int64
 	batchReqs     int64 // batch requests among ok+failed
@@ -98,11 +99,17 @@ func snapshotCounters(s *server) memoCounters {
 // from c concurrent clients and returns the pass accounting.
 func firePass(ts *httptest.Server, s *server, bodies [][]byte, n, c int) passTotals {
 	var (
-		next                                                         atomic.Int64
-		pt                                                           passTotals
-		ok, failed, cached, heuristic, batchReqs, batchItems, graphs atomic.Int64
-		wg                                                           sync.WaitGroup
+		next                                                               atomic.Int64
+		pt                                                                 passTotals
+		ok, failed, shed, cached, heuristic, batchReqs, batchItems, graphs atomic.Int64
+		wg                                                                 sync.WaitGroup
 	)
+	// Overload answers are deliberate load shedding, not failures: 429 is an
+	// admission rejection (with Retry-After), 503 a deadline that expired
+	// before a compile slot freed.
+	shedStatus := func(code int) bool {
+		return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+	}
 	before := snapshotCounters(s)
 	start := time.Now()
 	for w := 0; w < c; w++ {
@@ -136,6 +143,10 @@ func firePass(ts *httptest.Server, s *server, bodies [][]byte, n, c int) passTot
 					}
 					data, _ := io.ReadAll(resp.Body)
 					resp.Body.Close()
+					if shedStatus(resp.StatusCode) {
+						shed.Add(1)
+						continue
+					}
 					if resp.StatusCode != http.StatusOK {
 						failed.Add(1)
 						continue
@@ -154,6 +165,10 @@ func firePass(ts *httptest.Server, s *server, bodies [][]byte, n, c int) passTot
 				}
 				body, _ := io.ReadAll(resp.Body)
 				resp.Body.Close()
+				if shedStatus(resp.StatusCode) {
+					shed.Add(1)
+					continue
+				}
 				if resp.StatusCode != http.StatusOK {
 					failed.Add(1)
 					continue
@@ -171,7 +186,7 @@ func firePass(ts *httptest.Server, s *server, bodies [][]byte, n, c int) passTot
 	wg.Wait()
 	pt.elapsed = time.Since(start)
 	after := snapshotCounters(s)
-	pt.ok, pt.failed = ok.Load(), failed.Load()
+	pt.ok, pt.failed, pt.shed = ok.Load(), failed.Load(), shed.Load()
 	pt.cached, pt.heuristic = cached.Load(), heuristic.Load()
 	pt.batchReqs, pt.batchItems, pt.graphs = batchReqs.Load(), batchItems.Load(), graphs.Load()
 	pt.memoHits = after.memoHits - before.memoHits
@@ -183,8 +198,8 @@ func firePass(ts *httptest.Server, s *server, bodies [][]byte, n, c int) passTot
 }
 
 func printPass(out io.Writer, label string, pt passTotals) {
-	fmt.Fprintf(out, "%s: %d ok, %d failed in %s (%.1f req/s); %d graphs (%d via %d batch requests); %d cached, %d heuristic\n",
-		label, pt.ok, pt.failed, pt.elapsed.Round(time.Millisecond),
+	fmt.Fprintf(out, "%s: %d ok, %d shed, %d failed in %s (%.1f req/s); %d graphs (%d via %d batch requests); %d cached, %d heuristic\n",
+		label, pt.ok, pt.shed, pt.failed, pt.elapsed.Round(time.Millisecond),
 		float64(pt.ok)/pt.elapsed.Seconds(), pt.graphs, pt.batchItems, pt.batchReqs,
 		pt.cached, pt.heuristic)
 	memoRate := 0.0
@@ -225,6 +240,9 @@ func runLoadgen(s *server, n, c int, out io.Writer) error {
 		warmPT = firePass(ts, s, bodies, warm, c)
 		printPass(out, "warm pass", warmPT)
 	}
+	if err := fireOverload(ts, s, out); err != nil {
+		return err
+	}
 
 	cs := s.cache.Stats()
 	fmt.Fprintf(out, "cache: %d hits, %d misses, %d entries; %d coalesced; %d states explored; %d segment fallbacks\n",
@@ -234,8 +252,69 @@ func runLoadgen(s *server, n, c int, out io.Writer) error {
 		fmt.Fprintf(out, "store: %d hits, %d misses, %d writes, %d entries, %d live bytes, %d corrupt records\n",
 			st.Hits, st.Misses, st.Writes, st.Entries, st.LiveBytes, st.CorruptRecords)
 	}
+	if s.refine != nil {
+		rs := s.refine.Stats()
+		fmt.Fprintf(out, "refine: %d queued, %d done, %d failed, %d dropped, %d outstanding\n",
+			rs.Queued, rs.Done, rs.Failed, rs.Dropped, rs.Outstanding)
+	}
 	if totalFailed := coldPT.failed + warmPT.failed; totalFailed > 0 {
 		return fmt.Errorf("%d requests failed", totalFailed)
 	}
+	return nil
+}
+
+// fireOverload drills the serve-then-refine path end to end on a graph the
+// earlier passes never compiled: force a degraded answer (?degrade=force),
+// then repeat the request with ?wait_refined= and confirm the background
+// refinement repaired it to exact quality. The reported latency is the
+// un-poisoning time — how long a key compiled under pressure stays heuristic
+// before the refiner catches up.
+func fireOverload(ts *httptest.Server, s *server, out io.Writer) error {
+	if s.refine == nil {
+		fmt.Fprintln(out, "overload: refinement disabled (-refine-workers 0); skipping serve-then-refine drill")
+		return nil
+	}
+	g := serenity.RandWireCell("rw-overload", 24, 4, 0.75, 77, 16, 8)
+	var buf bytes.Buffer
+	if err := serenity.WriteGraphJSON(&buf, g); err != nil {
+		return err
+	}
+	body := buf.Bytes()
+	client := ts.Client()
+	const query = "/v1/schedule?strategy=best-effort&deadline_ms=2000&degrade=force"
+	post := func(q string) (int, []byte, error) {
+		resp, err := client.Post(ts.URL+q, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, nil, err
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, data, nil
+	}
+
+	start := time.Now()
+	code, data, err := post(query)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("overload drill: status %d: %s", code, data)
+	}
+	if !bytes.Contains(data, []byte(`"quality": "heuristic"`)) {
+		fmt.Fprintln(out, "overload: forced degradation served exact (segment memo already warm); nothing to refine")
+		return nil
+	}
+	code, data, err = post(query + "&wait_refined=30000")
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("overload drill revalidation: status %d: %s", code, data)
+	}
+	if !bytes.Contains(data, []byte(`"quality": "optimal"`)) {
+		return fmt.Errorf("overload drill: schedule still degraded after waiting for refinement: %s", data)
+	}
+	fmt.Fprintf(out, "overload: degraded answer served instantly, refined to exact in %s\n",
+		time.Since(start).Round(time.Millisecond))
 	return nil
 }

@@ -13,12 +13,19 @@
 //	                    deadline_ms=N override the server defaults; with
 //	                    strategy=best-effort an expiring deadline degrades
 //	                    the search to the greedy heuristic instead of
-//	                    failing the request
+//	                    failing the request. degrade=force (best-effort
+//	                    only) skips the exact search outright — the
+//	                    deterministic overload drill. wait_refined=ms holds
+//	                    a degraded response back up to that long waiting
+//	                    for its background refinement to land.
 //	                    response: order, peak, arena_size, quality,
 //	                    segment_quality, fallbacks, stage_ms,
-//	                    segment_memo_hits, ...; when rewriting changed the
-//	                    graph, rewritten_graph carries the IR the order
-//	                    indexes
+//	                    segment_memo_hits, schedule_version, ...; when
+//	                    rewriting changed the graph, rewritten_graph
+//	                    carries the IR the order indexes. Every response
+//	                    carries an ETag; a client holding a degraded answer
+//	                    revalidates with If-None-Match and gets 304 until
+//	                    the refinement bumps schedule_version
 //	POST /v1/schedule/batch
 //	                    body: {"items": [<graph>, ...]} (same IR, up to 256
 //	                    graphs); same query parameters, applied to every
@@ -41,6 +48,15 @@
 // cell's DP once, ever; concurrent requests for the same segment coalesce
 // into one search. Degraded (deadline-fallback) segment results are never
 // memoized, so one overloaded moment cannot pin heuristic schedules.
+//
+// Degraded answers are provisional, not final: a compilation that fell back
+// queues its exact re-search with the background refinement pool
+// (-refine-workers/-refine-queue), which repairs the segment memo, the
+// persistent store, and the response cache once the load subsides — serve
+// now, refine when quiet. Compile slots (-compile-slots) are granted by a
+// strict-priority admission controller: interactive requests ahead of batch,
+// batch ahead of refinement, each class's wait queue bounded (-admit-queue)
+// and answering 429 + Retry-After when full instead of hanging connections.
 //
 // With -store-dir the memo gains a persistent tier: per-segment results are
 // also written (asynchronously) to a content-addressed on-disk artifact
@@ -98,6 +114,10 @@ func main() {
 	storeDir := flag.String("store-dir", "", "persist segment schedules to this directory and warm-start from it on boot (empty = in-memory only)")
 	storeMax := flag.String("store-max-bytes", "256MiB", "persistent store size bound, e.g. 64MiB or 0 for unbounded (requires -store-dir)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown: how long to wait for in-flight compilations on SIGINT/SIGTERM")
+	compileSlots := flag.Int("compile-slots", runtime.GOMAXPROCS(0), "concurrently executing compilations; interactive > batch > refinement priority (0 = unlimited, no admission control)")
+	admitQueue := flag.Int("admit-queue", 64, "per-class admission wait-queue depth; a full class answers 429 + Retry-After")
+	refineWorkers := flag.Int("refine-workers", 1, "background refinement workers repairing degraded schedules (0 disables serve-then-refine)")
+	refineQueue := flag.Int("refine-queue", 256, "background refinement queue depth; overflow refinements are shed")
 	loadgen := flag.Bool("loadgen", false, "run the load generator against an in-process server instead of serving")
 	loadN := flag.Int("loadgen-n", 200, "loadgen: total requests")
 	loadC := flag.Int("loadgen-c", 16, "loadgen: concurrent clients")
@@ -125,6 +145,9 @@ func main() {
 	}
 	s.maxNodes = *maxNodes
 	s.computeTimeout = *computeTimeout
+	if *compileSlots > 0 {
+		s.admit = newAdmission(*compileSlots, [numClasses]int{*admitQueue, *admitQueue, *admitQueue})
+	}
 
 	// Flag-level validation before any resource is opened: a store bound
 	// without a store is a configuration mistake, not a silent no-op.
@@ -155,8 +178,26 @@ func main() {
 			st.Entries, st.LiveBytes, *storeDir, st.CorruptRecords)
 	}
 
+	if *refineWorkers > 0 {
+		ropts := serenity.RefinePoolOptions{
+			Workers:     *refineWorkers,
+			QueueDepth:  *refineQueue,
+			Parallelism: 1, // background repairs crawl one segment at a time
+		}
+		if s.admit != nil {
+			// Refinements compete for the same compile slots as requests, in
+			// the lowest priority class: they only run when nothing a client
+			// is waiting on needs the CPU.
+			ropts.Gate = func(ctx context.Context) (func(), error) {
+				return s.admit.acquire(ctx, classRefine, 1)
+			}
+		}
+		s.refine = serenity.NewRefinePool(s.segMemo, s.store, ropts)
+	}
+
 	if *loadgen {
 		err := runLoadgen(s, *loadN, *loadC, os.Stdout)
+		closeRefine(s)
 		closeStore(s)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "serenityd:", err)
@@ -186,6 +227,7 @@ func main() {
 	go func() { serveErr <- srv.ListenAndServe() }()
 	select {
 	case err := <-serveErr:
+		closeRefine(s)
 		closeStore(s)
 		fmt.Fprintln(os.Stderr, "serenityd:", err)
 		os.Exit(1)
@@ -201,9 +243,25 @@ func main() {
 		if serr := <-serveErr; serr != nil && !errors.Is(serr, http.ErrServerClosed) {
 			log.Printf("serenityd: %v", serr)
 		}
+		// The refinement pool writes through to the memo, store, and cache;
+		// stop it before the store so every accepted repair is flushed.
+		closeRefine(s)
 		closeStore(s)
 		log.Printf("serenityd stopped")
 	}
+}
+
+// closeRefine stops the background refinement pool, canceling the running
+// repair and shedding the backlog; it must precede closeStore so the store
+// sees no writes after its own shutdown.
+func closeRefine(s *server) {
+	if s.refine == nil {
+		return
+	}
+	s.refine.Close()
+	st := s.refine.Stats()
+	log.Printf("serenityd: refinement pool stopped: %d queued, %d done, %d failed, %d dropped",
+		st.Queued, st.Done, st.Failed, st.Dropped)
 }
 
 // closeStore flushes and closes the persistent schedule store, logging the

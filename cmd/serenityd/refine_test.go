@@ -1,0 +1,504 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	serenity "github.com/serenity-ml/serenity"
+)
+
+// refineServer attaches a background refinement pool to a test server.
+func refineServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	s, ts := testServer(t)
+	s.refine = serenity.NewRefinePool(s.segMemo, nil, serenity.RefinePoolOptions{
+		Workers: 1, QueueDepth: 64,
+	})
+	t.Cleanup(s.refine.Close)
+	return s, ts
+}
+
+func postScheduleINM(t *testing.T, ts *httptest.Server, query string, body []byte, inm string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/schedule"+query, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("If-None-Match", inm)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func drainRefine(t *testing.T, pool *serenity.RefinePool) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := pool.Quiesce(ctx); err != nil {
+		t.Fatalf("refinement pool did not drain: %v", err)
+	}
+}
+
+// TestOverloadSoakRefinedBitIdentical is the serve-then-refine acceptance
+// scenario over HTTP: a forced-degraded request is served instantly at
+// heuristic quality, and after the background refinement drains, the
+// identical request returns an exact-quality schedule bit-identical —
+// order, peak, arena — to an unpressured compilation of the same graph.
+func TestOverloadSoakRefinedBitIdentical(t *testing.T) {
+	s, ts := refineServer(t)
+	g := smallCell(41)
+
+	// The unpressured reference: the exact options the server resolves for
+	// ?strategy=best-effort, run directly with no pressure.
+	refOpts := s.opts
+	refOpts.Strategy = serenity.StrategyBestEffort
+	ref, err := serenity.ScheduleContext(context.Background(), smallCell(41), refOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Quality != serenity.QualityOptimal {
+		t.Fatalf("reference quality %q; the scenario needs an exact baseline", ref.Quality)
+	}
+
+	body := graphBody(t, g)
+	resp, data := postSchedule(t, ts, "?strategy=best-effort&degrade=force", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded request: status %d: %s", resp.StatusCode, data)
+	}
+	var degraded scheduleResponse
+	if err := json.Unmarshal(data, &degraded); err != nil {
+		t.Fatal(err)
+	}
+	if degraded.Quality != serenity.QualityHeuristic || degraded.Fallbacks == 0 {
+		t.Fatalf("forced degradation served quality %q with %d fallbacks", degraded.Quality, degraded.Fallbacks)
+	}
+	if degraded.ScheduleVersion != 1 {
+		t.Errorf("degraded schedule_version = %d, want 1", degraded.ScheduleVersion)
+	}
+	if degraded.RefinementsQueued == 0 {
+		t.Error("degraded response queued no segment refinements")
+	}
+	degradedTag := resp.Header.Get("ETag")
+	if degradedTag == "" {
+		t.Error("degraded response missing ETag")
+	}
+
+	drainRefine(t, s.refine)
+	if st := s.refine.Stats(); st.Failed != 0 {
+		t.Fatalf("refinements failed: %+v", st)
+	}
+
+	resp2, data2 := postSchedule(t, ts, "?strategy=best-effort&degrade=force", body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-refinement request: status %d: %s", resp2.StatusCode, data2)
+	}
+	var refined scheduleResponse
+	if err := json.Unmarshal(data2, &refined); err != nil {
+		t.Fatal(err)
+	}
+	if refined.Quality != serenity.QualityOptimal {
+		t.Fatalf("post-refinement quality %q, want optimal", refined.Quality)
+	}
+	if !refined.Cached {
+		t.Error("refined answer not served from the repaired cache")
+	}
+	if refined.ScheduleVersion != degraded.ScheduleVersion+1 {
+		t.Errorf("refined schedule_version = %d, want %d", refined.ScheduleVersion, degraded.ScheduleVersion+1)
+	}
+	if tag := resp2.Header.Get("ETag"); tag == "" || tag == degradedTag {
+		t.Errorf("refined ETag %q did not change from degraded %q", tag, degradedTag)
+	}
+	if !reflect.DeepEqual(refined.Order, []int(ref.Order)) {
+		t.Errorf("refined order diverged from unpressured reference\nref: %v\ngot: %v", ref.Order, refined.Order)
+	}
+	if refined.Peak != ref.Peak || refined.ArenaSize != ref.ArenaSize {
+		t.Errorf("refined peak/arena %d/%d, want %d/%d", refined.Peak, refined.ArenaSize, ref.Peak, ref.ArenaSize)
+	}
+}
+
+// TestWaitRefinedAndPending304 exercises the revalidation surface while the
+// repair is still queued: wait_refined holds the response for the refined
+// answer, and If-None-Match answers 304 + Retry-After instead of recomputing
+// what the client already holds.
+func TestWaitRefinedAndPending304(t *testing.T) {
+	s, ts := refineServer(t)
+
+	// Plug the single refinement worker so queued repairs stay pending.
+	unblock := make(chan struct{})
+	if !s.refine.Enqueue("test-blocker", func(ctx context.Context) error {
+		select {
+		case <-unblock:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}) {
+		t.Fatal("blocker job declined")
+	}
+
+	body := graphBody(t, smallCell(42))
+	resp, data := postSchedule(t, ts, "?strategy=best-effort&degrade=force", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var degraded scheduleResponse
+	if err := json.Unmarshal(data, &degraded); err != nil {
+		t.Fatal(err)
+	}
+	if degraded.Quality != serenity.QualityHeuristic {
+		t.Fatalf("forced degradation served quality %q", degraded.Quality)
+	}
+	degradedTag := resp.Header.Get("ETag")
+
+	// Revalidation while the repair is queued: unchanged, retry later, and
+	// crucially no recompilation of an answer the client already holds.
+	resp304, _ := postScheduleINM(t, ts, "?strategy=best-effort&degrade=force", body, degradedTag)
+	if resp304.StatusCode != http.StatusNotModified {
+		t.Fatalf("revalidation during pending refinement: status %d, want 304", resp304.StatusCode)
+	}
+	if resp304.Header.Get("Retry-After") == "" {
+		t.Error("pending-refinement 304 missing Retry-After")
+	}
+
+	// A waiting client: ask for the refined answer with a generous budget,
+	// then release the worker.
+	type waitResult struct {
+		resp *scheduleResponse
+		tag  string
+	}
+	waited := make(chan waitResult, 1)
+	go func() {
+		resp, data := postSchedule(t, ts, "?strategy=best-effort&degrade=force&wait_refined=30000", body)
+		var sr scheduleResponse
+		if resp.StatusCode == http.StatusOK {
+			_ = json.Unmarshal(data, &sr)
+		}
+		waited <- waitResult{&sr, resp.Header.Get("ETag")}
+	}()
+	time.Sleep(50 * time.Millisecond) // let the waiter reach its poll loop
+	close(unblock)
+
+	got := <-waited
+	if got.resp.Quality != serenity.QualityOptimal {
+		t.Fatalf("wait_refined returned quality %q, want the refined optimal answer", got.resp.Quality)
+	}
+	if got.resp.ScheduleVersion != degraded.ScheduleVersion+1 {
+		t.Errorf("wait_refined schedule_version = %d, want %d", got.resp.ScheduleVersion, degraded.ScheduleVersion+1)
+	}
+
+	// Revalidating the stale degraded tag now yields the refined answer in
+	// full; revalidating the refined tag is a 304.
+	drainRefine(t, s.refine)
+	respNew, dataNew := postScheduleINM(t, ts, "?strategy=best-effort&degrade=force", body, degradedTag)
+	if respNew.StatusCode != http.StatusOK {
+		t.Fatalf("revalidation after refinement: status %d: %s", respNew.StatusCode, dataNew)
+	}
+	var fresh scheduleResponse
+	if err := json.Unmarshal(dataNew, &fresh); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Quality != serenity.QualityOptimal {
+		t.Errorf("post-refinement revalidation served quality %q", fresh.Quality)
+	}
+	respSame, _ := postScheduleINM(t, ts, "?strategy=best-effort&degrade=force", body, respNew.Header.Get("ETag"))
+	if respSame.StatusCode != http.StatusNotModified {
+		t.Errorf("revalidating the current tag: status %d, want 304", respSame.StatusCode)
+	}
+}
+
+// TestEtagRevalidationExact pins the ETag flow on the plain (never degraded)
+// path: stable tag, 304 on match, full response on mismatch.
+func TestEtagRevalidationExact(t *testing.T) {
+	_, ts := testServer(t)
+	body := graphBody(t, smallCell(43))
+	resp, data := postSchedule(t, ts, "", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	tag := resp.Header.Get("ETag")
+	if tag == "" {
+		t.Fatal("response missing ETag")
+	}
+	resp2, _ := postScheduleINM(t, ts, "", body, tag)
+	if resp2.StatusCode != http.StatusNotModified {
+		t.Errorf("matching If-None-Match: status %d, want 304", resp2.StatusCode)
+	}
+	resp3, _ := postScheduleINM(t, ts, "", body, `"0000000000000000"`)
+	if resp3.StatusCode != http.StatusOK {
+		t.Errorf("stale If-None-Match: status %d, want 200", resp3.StatusCode)
+	}
+	if got := resp3.Header.Get("ETag"); got != tag {
+		t.Errorf("ETag unstable across identical requests: %q then %q", tag, got)
+	}
+}
+
+func waitWaiting(t *testing.T, a *admission, c admitClass, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for a.waiting[c].Load() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("class %s never reached %d queued waiters", c, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAdmissionPriorityOrder: with the only slot held, waiters enqueued in
+// reverse priority are granted interactive → batch → refinement once it
+// frees, regardless of arrival order.
+func TestAdmissionPriorityOrder(t *testing.T) {
+	a := newAdmission(1, [numClasses]int{4, 4, 4})
+	release, err := a.acquire(context.Background(), classInteractive, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := make(chan admitClass, int(numClasses))
+	done := make(chan struct{})
+	start := func(c admitClass) {
+		go func() {
+			rel, err := a.acquire(context.Background(), c, 1)
+			if err != nil {
+				t.Errorf("class %s: %v", c, err)
+				return
+			}
+			order <- c
+			rel()
+			if c == classRefine {
+				close(done)
+			}
+		}()
+	}
+	start(classRefine)
+	waitWaiting(t, a, classRefine, 1)
+	start(classBatch)
+	waitWaiting(t, a, classBatch, 1)
+	start(classInteractive)
+	waitWaiting(t, a, classInteractive, 1)
+
+	release()
+	<-done
+	close(order)
+	var got []admitClass
+	for c := range order {
+		got = append(got, c)
+	}
+	want := []admitClass{classInteractive, classBatch, classRefine}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("grant order %v, want %v", got, want)
+	}
+}
+
+// TestAdmissionRejectAndWeightClamp: a full class queue rejects immediately
+// with errAdmission and backoff advice, and weights above capacity clamp
+// instead of deadlocking.
+func TestAdmissionRejectAndWeightClamp(t *testing.T) {
+	a := newAdmission(2, [numClasses]int{1, 1, 1})
+	release, err := a.acquire(context.Background(), classBatch, 100) // clamped to 2
+	if err != nil {
+		t.Fatalf("over-capacity weight did not clamp: %v", err)
+	}
+
+	queuedErr := make(chan error, 1)
+	go func() {
+		rel, err := a.acquire(context.Background(), classInteractive, 1)
+		if err == nil {
+			rel()
+		}
+		queuedErr <- err
+	}()
+	waitWaiting(t, a, classInteractive, 1)
+
+	_, err = a.acquire(context.Background(), classInteractive, 1)
+	var adm *errAdmission
+	if !errors.As(err, &adm) {
+		t.Fatalf("full queue returned %v, want errAdmission", err)
+	}
+	if adm.class != classInteractive || adm.retryAfter < time.Second {
+		t.Errorf("rejection %+v; want interactive class with >=1s backoff", adm)
+	}
+	if a.rejected[classInteractive].Load() != 1 {
+		t.Errorf("rejected counter = %d, want 1", a.rejected[classInteractive].Load())
+	}
+
+	release()
+	if err := <-queuedErr; err != nil {
+		t.Fatalf("queued waiter failed after release: %v", err)
+	}
+}
+
+// TestAdmissionAbandonedHeadRegrants: an abandoned head-of-line waiter must
+// not leave the slots it was holding out for stranded — and until it leaves,
+// strict priority means no lower-class waiter slips past it.
+func TestAdmissionAbandonedHeadRegrants(t *testing.T) {
+	a := newAdmission(2, [numClasses]int{4, 4, 4})
+	release, err := a.acquire(context.Background(), classInteractive, 1) // free=1
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	headCtx, cancelHead := context.WithCancel(context.Background())
+	defer cancelHead()
+	headErr := make(chan error, 1)
+	go func() {
+		_, err := a.acquire(headCtx, classInteractive, 2) // needs 2, only 1 free: blocks
+		headErr <- err
+	}()
+	waitWaiting(t, a, classInteractive, 1)
+
+	granted := make(chan struct{})
+	go func() {
+		rel, err := a.acquire(context.Background(), classRefine, 1)
+		if err != nil {
+			t.Errorf("refine acquire: %v", err)
+			return
+		}
+		close(granted)
+		rel()
+	}()
+	waitWaiting(t, a, classRefine, 1)
+
+	// The refine waiter would fit in the free slot, but the interactive head
+	// is ahead of it: no bypass.
+	select {
+	case <-granted:
+		t.Fatal("lower-priority waiter bypassed a blocked head-of-line waiter")
+	case <-time.After(30 * time.Millisecond):
+	}
+
+	cancelHead()
+	if err := <-headErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoned head returned %v", err)
+	}
+	select {
+	case <-granted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("abandoning the head-of-line waiter did not re-grant the queue")
+	}
+	release()
+}
+
+// TestSchedule429UnderOverload drives admission rejection through HTTP: with
+// the one compile slot held and the wait queues full, both endpoints answer
+// 429 with Retry-After immediately — never a hung connection — and recover
+// once the slot frees.
+func TestSchedule429UnderOverload(t *testing.T) {
+	s, ts := testServer(t)
+	s.admit = newAdmission(1, [numClasses]int{1, 1, 1})
+
+	release, err := s.admit.acquire(context.Background(), classInteractive, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillCtx, cancelFill := context.WithCancel(context.Background())
+	defer cancelFill()
+	for _, c := range []admitClass{classInteractive, classBatch} {
+		c := c
+		go func() {
+			rel, err := s.admit.acquire(fillCtx, c, 1)
+			if err == nil {
+				rel()
+			}
+		}()
+		waitWaiting(t, s.admit, c, 1)
+	}
+
+	body := graphBody(t, smallCell(44))
+	resp, data := postSchedule(t, ts, "", body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded single request: status %d: %s", resp.StatusCode, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 missing Retry-After")
+	}
+
+	batchBody, err := json.Marshal(map[string]any{"items": []json.RawMessage{body}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	respB, dataB := postBatch(t, ts, "", batchBody)
+	if respB.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded batch request: status %d: %s", respB.StatusCode, dataB)
+	}
+	if respB.Header.Get("Retry-After") == "" {
+		t.Error("batch 429 missing Retry-After")
+	}
+
+	// Load subsides: the same requests are admitted and served.
+	cancelFill()
+	release()
+	waitWaiting(t, s.admit, classInteractive, 0)
+	waitWaiting(t, s.admit, classBatch, 0)
+	resp2, data2 := postSchedule(t, ts, "", body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("after overload: status %d: %s", resp2.StatusCode, data2)
+	}
+	if s.admit.admitted[classInteractive].Load() == 0 {
+		t.Error("admitted counter never moved")
+	}
+}
+
+// TestBatchSplitBudget pins the oversubscription fix: the two fan-out levels
+// (item workers × per-item parallelism) never exceed the GOMAXPROCS-clamped
+// request budget.
+func TestBatchSplitBudget(t *testing.T) {
+	mp := runtime.GOMAXPROCS(0)
+	for _, tc := range []struct{ par, items int }{
+		{0, 1}, {1, 1}, {1, 8}, {2, 2}, {4, 2}, {4, 8}, {3, 7},
+		{64, 1}, {64, 8}, {mp, mp}, {4 * mp, 16}, {4 * mp, 1},
+	} {
+		workers, perItem := batchSplit(tc.par, tc.items)
+		budget := tc.par
+		if budget < 1 {
+			budget = 1
+		}
+		if budget > mp {
+			budget = mp
+		}
+		if workers < 1 || perItem < 1 {
+			t.Errorf("batchSplit(%d, %d) = %d, %d; both must be >= 1", tc.par, tc.items, workers, perItem)
+		}
+		if workers > tc.items {
+			t.Errorf("batchSplit(%d, %d) = %d workers for %d items", tc.par, tc.items, workers, tc.items)
+		}
+		if workers*perItem > budget {
+			t.Errorf("batchSplit(%d, %d) = %d×%d = %d goroutines, budget %d: oversubscribed",
+				tc.par, tc.items, workers, perItem, workers*perItem, budget)
+		}
+	}
+}
+
+// TestServeRefineParamValidation rejects malformed serve-then-refine
+// parameters with 400s.
+func TestServeRefineParamValidation(t *testing.T) {
+	_, ts := testServer(t)
+	body := graphBody(t, smallCell(45))
+	for _, q := range []string{
+		"?degrade=yes&strategy=best-effort",
+		"?degrade=force", // server default strategy is exact
+		"?degrade=force&strategy=greedy",
+		"?strategy=best-effort&wait_refined=-5",
+		"?strategy=best-effort&wait_refined=soon",
+	} {
+		resp, data := postSchedule(t, ts, q, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s), want 400", q, resp.StatusCode, data)
+		}
+	}
+}

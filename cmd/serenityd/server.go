@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -63,6 +65,16 @@ type scheduleResponse struct {
 	SchedulingMS float64 `json:"scheduling_ms"`
 	StageMS      stageMS `json:"stage_ms"`
 	Cached       bool    `json:"cached"`
+	// ScheduleVersion starts at 1 for a fresh compilation and increments
+	// when a background refinement replaces a degraded answer with the
+	// exact one. Together with the ETag header it lets a client that
+	// accepted a degraded schedule revalidate cheaply (If-None-Match) or
+	// wait for the repair (?wait_refined=ms).
+	ScheduleVersion int `json:"schedule_version"`
+	// RefinementsQueued reports how many of this compilation's degraded
+	// segments were queued for background refinement; a later identical
+	// request can expect exact quality once they drain.
+	RefinementsQueued int `json:"refinements_queued,omitempty"`
 	// RewrittenGraph is set when identity graph rewriting changed the graph:
 	// Order indexes ITS nodes, not the submitted graph's, so clients need it
 	// to interpret or execute the schedule.
@@ -96,6 +108,18 @@ type server struct {
 	// cannot pin a CPU indefinitely (0 = unlimited).
 	maxNodes       int
 	computeTimeout time.Duration
+	// admit, when non-nil, is the weighted priority semaphore over compile
+	// slots: interactive requests are admitted ahead of batch, batch ahead
+	// of background refinement, and a full class queue answers 429 +
+	// Retry-After instead of hanging (see admission). Nil means unlimited
+	// admission (tests, and -compile-slots 0).
+	admit *admission
+	// refine, when non-nil, is the background refinement pool: degraded
+	// compilations are served immediately and their exact re-search is
+	// queued here, repairing the segment memo, the schedule store, and this
+	// server's response cache once a compile slot is free (lowest priority
+	// class). See serenity.RefinePool.
+	refine *serenity.RefinePool
 
 	// flights coalesces concurrent compilations of the same key into one
 	// (singleflight); followers of a canceled leader retry on their own.
@@ -163,11 +187,12 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
 
-	opts, deadline, err := s.requestOptions(r)
+	prm, err := s.requestOptions(r)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
+	opts, deadline := prm.opts, prm.deadline
 	g, err := serenity.ReadGraphJSON(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("parsing graph: %w", err))
@@ -177,6 +202,28 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusRequestEntityTooLarge,
 			fmt.Errorf("graph has %d nodes, server accepts at most %d", g.NumNodes(), s.maxNodes))
 		return
+	}
+
+	fp := g.Fingerprint()
+	key := scheduleKey(fp, opts, deadline, prm.forceDegrade)
+	if inm := r.Header.Get("If-None-Match"); inm != "" {
+		if resp, ok := s.cache.Get(key); ok {
+			if tag := etagFor(resp); etagMatch(inm, tag) {
+				// The client already holds the current answer.
+				w.Header().Set("ETag", tag)
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
+			// The cached entry differs (typically a refinement landed); fall
+			// through and serve it.
+		} else if s.refine != nil && s.refine.Pending(respRefineKey(key)) {
+			// The client holds a degraded answer whose repair is still
+			// queued. Recomputing now would duplicate the refinement's work,
+			// so report "unchanged, try again shortly" instead.
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
 	}
 
 	ctx := r.Context()
@@ -192,8 +239,7 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, deadline)
 		defer cancel()
 	}
-	fp := g.Fingerprint()
-	resp, cached, err := s.schedule(ctx, g, opts, fp, scheduleKey(fp, opts, deadline))
+	resp, cached, err := s.schedule(ctx, g, opts, fp, key, classInteractive, prm.forceDegrade)
 	if err != nil {
 		if isContextErr(err) && r.Context().Err() != nil {
 			// The client is gone; nothing useful to write, and it is not a
@@ -205,7 +251,50 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, code, werr)
 		return
 	}
+	if prm.waitRefined > 0 && resp.Fallbacks > 0 && s.refine != nil {
+		if refined := s.awaitRefined(r.Context(), key, prm.waitRefined); refined != nil {
+			resp, cached = refined, true
+		}
+	}
+	w.Header().Set("ETag", etagFor(resp))
 	writeJSON(w, http.StatusOK, respForClient(resp, cached, g.Name))
+}
+
+// respRefineKey names the response-level refinement job for a schedule key;
+// the prefix keeps it from colliding with segment-memo refinement keys in the
+// shared pool.
+func respRefineKey(key string) string { return "resp|" + key }
+
+// awaitRefined polls the response cache for up to budget waiting for key's
+// background refinement to land, returning the refined entry or nil if the
+// budget (or the client) ran out first. It bails early when the refinement is
+// no longer pending — completed (the cache has it), failed, or dropped —
+// since no repair is coming.
+func (s *server) awaitRefined(ctx context.Context, key string, budget time.Duration) *scheduleResponse {
+	timeout := time.NewTimer(budget)
+	defer timeout.Stop()
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if resp, ok := s.cache.Get(key); ok && resp.Fallbacks == 0 {
+			return resp
+		}
+		if !s.refine.Pending(respRefineKey(key)) {
+			// Re-check: the job may have retired between the two tests above,
+			// with its cache write already visible.
+			if resp, ok := s.cache.Get(key); ok && resp.Fallbacks == 0 {
+				return resp
+			}
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-timeout.C:
+			return nil
+		case <-tick.C:
+		}
+	}
 }
 
 func isContextErr(err error) bool {
@@ -219,6 +308,9 @@ func isContextErr(err error) bool {
 // client which one ran out.
 func (s *server) scheduleErrorStatus(err error, strategy serenity.Strategy, deadline time.Duration) (int, error) {
 	switch {
+	case errors.As(err, new(*errAdmission)):
+		// fail() adds the Retry-After header from the error itself.
+		return http.StatusTooManyRequests, err
 	case errors.As(err, new(*serenity.ErrBudgetExceeded)):
 		return http.StatusUnprocessableEntity, err
 	case isContextErr(err):
@@ -260,11 +352,17 @@ func respForClient(resp *scheduleResponse, cached bool, graphName string) *sched
 // fingerprint plus every result-affecting option. Only best-effort results
 // depend on the deadline (it decides which segments degrade); exact and
 // greedy results are deadline-invariant, so keying them by deadline would
-// only fragment the cache.
-func scheduleKey(fp string, opts serenity.Options, deadline time.Duration) string {
+// only fragment the cache. A forced degradation (?degrade=force) gets its
+// own key suffix so a drill never coalesces with — or is served from — a
+// normal flight, while its background refinement still repairs the forced
+// key's cache entry.
+func scheduleKey(fp string, opts serenity.Options, deadline time.Duration, forced bool) string {
 	key := fp + "|" + optionsKey(opts)
 	if opts.Strategy == serenity.StrategyBestEffort {
 		key += deadlineKey(deadline)
+	}
+	if forced {
+		key += "|forced"
 	}
 	return key
 }
@@ -277,20 +375,39 @@ func scheduleKey(fp string, opts serenity.Options, deadline time.Duration) strin
 // compute surfaces as an error to followers instead of a nil response (all
 // cache.Group's contract). Successful non-degraded responses enter the
 // cache inside the flight, before followers are released.
-func (s *server) schedule(ctx context.Context, g *serenity.Graph, opts serenity.Options, fingerprint, key string) (*scheduleResponse, bool, error) {
+//
+// The flight's leader acquires a compile slot in class before computing
+// (classPreAdmitted skips this — the caller already holds slots), so cache
+// and coalesced hits are never throttled, only actual compilations. A
+// degraded compute queues a response-level background refinement before
+// returning, so the repaired exact answer eventually replaces it in the
+// cache with a bumped ScheduleVersion.
+func (s *server) schedule(ctx context.Context, g *serenity.Graph, opts serenity.Options, fingerprint, key string, class admitClass, degrade bool) (*scheduleResponse, bool, error) {
 	if resp, ok := s.cache.Get(key); ok {
 		return resp, true, nil
 	}
 	resp, shared, err := s.flights.Do(ctx, key, func() (*scheduleResponse, error) {
-		r, err := s.compute(ctx, g, opts, fingerprint)
-		if err == nil && r.Fallbacks == 0 {
+		if s.admit != nil && class != classPreAdmitted {
+			release, err := s.admit.acquire(ctx, class, 1)
+			if err != nil {
+				return nil, err
+			}
+			defer release()
+		}
+		r, err := s.compute(ctx, g, opts, fingerprint, degrade)
+		if err != nil {
+			return nil, err
+		}
+		if r.Fallbacks == 0 {
 			// Degraded (fallback) schedules are served but not cached: the
 			// degradation reflects this moment's load, and pinning it would
 			// deny every later identical request the exact answer a quieter
 			// server could produce.
 			s.cache.Put(key, r)
+		} else {
+			s.enqueueRespRefine(key, g, opts, fingerprint, r)
 		}
-		return r, err
+		return r, nil
 	})
 	if err != nil {
 		return nil, false, err
@@ -302,17 +419,56 @@ func (s *server) schedule(ctx context.Context, g *serenity.Graph, opts serenity.
 	return resp, false, nil
 }
 
-func (s *server) compute(ctx context.Context, g *serenity.Graph, opts serenity.Options, fingerprint string) (*scheduleResponse, error) {
+// enqueueRespRefine queues the serve-then-refine repair for a degraded
+// response: recompute the same request without degradation under the
+// refinement pool's context (no client deadline — background work takes the
+// time it needs), and write the exact answer into the response cache with the
+// next ScheduleVersion. The pool runs it at the lowest admission priority via
+// its Gate, and FIFO order means the compilation's per-segment refinements —
+// queued earlier by the pipeline — have already warmed the segment memo by
+// the time this recompute runs.
+func (s *server) enqueueRespRefine(key string, g *serenity.Graph, opts serenity.Options, fingerprint string, degraded *scheduleResponse) {
+	if s.refine == nil {
+		return
+	}
+	version := degraded.ScheduleVersion + 1
+	s.refine.Enqueue(respRefineKey(key), func(ctx context.Context) error {
+		r, err := s.compute(ctx, g, opts, fingerprint, false)
+		if err != nil {
+			return err
+		}
+		if r.Fallbacks > 0 {
+			return fmt.Errorf("refinement of %q still degraded (%d fallbacks); keeping it out of the cache", key, r.Fallbacks)
+		}
+		r.ScheduleVersion = version
+		s.cache.Put(key, r)
+		return nil
+	})
+}
+
+// compute runs one compilation. degrade forces every best-effort segment
+// down the heuristic path (?degrade=force) — the deterministic overload
+// drill for the serve-then-refine machinery.
+func (s *server) compute(ctx context.Context, g *serenity.Graph, opts serenity.Options, fingerprint string, degrade bool) (*scheduleResponse, error) {
 	p, err := serenity.NewPipeline(opts)
 	if err != nil {
 		return nil, err
 	}
+	if degrade {
+		if be, ok := p.Searcher.(serenity.BestEffort); ok {
+			be.SkipExact = true
+			p.Searcher = be
+		}
+	}
 	// One process-wide memo across every request: per-segment results are
 	// interchangeable wherever the segment fingerprint and strategy match,
 	// whatever graph they arrived in. The store beneath it extends the same
-	// sharing across process restarts.
+	// sharing across process restarts. The refinement pool hangs off the
+	// same pipeline: any segment that falls back is queued for background
+	// repair.
 	p.SegmentMemo = s.segMemo
 	p.Store = s.store
+	p.RefinePool = s.refine
 	// The Observer feeds the /metrics stage and fallback counters as the
 	// compilation runs, so a long compile is visible before it finishes.
 	p.Observer = serenity.ObserverFunc(func(e serenity.Event) {
@@ -362,6 +518,8 @@ func (s *server) compute(ctx context.Context, g *serenity.Graph, opts serenity.O
 		SegmentMemoHits:     res.SegmentMemoHits,
 		SegmentMemoDiskHits: res.SegmentMemoDiskHits,
 		MaxFrontier:         res.MaxFrontier,
+		ScheduleVersion:     1,
+		RefinementsQueued:   res.RefinementsQueued,
 		SchedulingMS:        float64(res.SchedulingTime.Microseconds()) / 1000,
 		StageMS: stageMS{
 			Rewrite:   float64(res.Stages.Rewrite.Microseconds()) / 1000,
@@ -376,60 +534,91 @@ func (s *server) compute(ctx context.Context, g *serenity.Graph, opts serenity.O
 	return resp, nil
 }
 
+// reqParams is one request's decoded scheduling parameters.
+type reqParams struct {
+	opts     serenity.Options
+	deadline time.Duration
+	// forceDegrade (?degrade=force, best-effort only) skips the exact
+	// search outright, as if the deadline expired at search start — the
+	// deterministic way to drill the serve-then-refine path.
+	forceDegrade bool
+	// waitRefined (?wait_refined=ms) bounds how long the handler may hold a
+	// degraded response back waiting for its background refinement.
+	waitRefined time.Duration
+}
+
 // requestOptions derives the effective scheduling options for one request —
 // the server's defaults overridden by query parameters — plus the client's
-// optional compile deadline. Options.Validate runs here so a bad request
-// fails with a clear 400 instead of a deep-pipeline error.
-func (s *server) requestOptions(r *http.Request) (serenity.Options, time.Duration, error) {
+// optional compile deadline and the serve-then-refine parameters.
+// Options.Validate runs here so a bad request fails with a clear 400
+// instead of a deep-pipeline error.
+func (s *server) requestOptions(r *http.Request) (reqParams, error) {
 	opts := s.opts
 	var deadline time.Duration
 	q := r.URL.Query()
 	if v := q.Get("parallelism"); v != "" {
 		p, err := strconv.Atoi(v)
 		if err != nil {
-			return opts, 0, fmt.Errorf("bad parallelism %q", v)
+			return reqParams{}, fmt.Errorf("bad parallelism %q", v)
 		}
 		opts.Parallelism = p
 	}
 	if v := q.Get("budget"); v != "" {
 		b, err := parseBytes(v)
 		if err != nil {
-			return opts, 0, err
+			return reqParams{}, err
 		}
 		opts.MemoryBudget = b
 	}
 	if v := q.Get("rewrite"); v != "" {
 		on, err := strconv.ParseBool(v)
 		if err != nil {
-			return opts, 0, fmt.Errorf("bad rewrite %q", v)
+			return reqParams{}, fmt.Errorf("bad rewrite %q", v)
 		}
 		opts.Rewrite = on
 	}
 	if v := q.Get("partition"); v != "" {
 		on, err := strconv.ParseBool(v)
 		if err != nil {
-			return opts, 0, fmt.Errorf("bad partition %q", v)
+			return reqParams{}, fmt.Errorf("bad partition %q", v)
 		}
 		opts.Partition = on
 	}
 	if v := q.Get("strategy"); v != "" {
 		st, err := serenity.ParseStrategy(v)
 		if err != nil {
-			return opts, 0, err
+			return reqParams{}, err
 		}
 		opts.Strategy = st
 	}
 	if v := q.Get("deadline_ms"); v != "" {
 		ms, err := strconv.ParseInt(v, 10, 64)
 		if err != nil || ms <= 0 {
-			return opts, 0, fmt.Errorf("bad deadline_ms %q (want a positive integer)", v)
+			return reqParams{}, fmt.Errorf("bad deadline_ms %q (want a positive integer)", v)
 		}
 		deadline = time.Duration(ms) * time.Millisecond
 	}
 	if err := opts.Validate(); err != nil {
-		return opts, 0, err
+		return reqParams{}, err
 	}
-	return opts, deadline, nil
+	params := reqParams{opts: opts, deadline: deadline}
+	if v := q.Get("degrade"); v != "" {
+		if v != "force" {
+			return reqParams{}, fmt.Errorf("bad degrade %q (the only value is \"force\")", v)
+		}
+		if opts.Strategy != serenity.StrategyBestEffort {
+			return reqParams{}, fmt.Errorf("degrade=force requires strategy=best-effort (only a degradable strategy can skip its exact search)")
+		}
+		params.forceDegrade = true
+	}
+	if v := q.Get("wait_refined"); v != "" {
+		ms, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || ms < 0 {
+			return reqParams{}, fmt.Errorf("bad wait_refined %q (want milliseconds)", v)
+		}
+		params.waitRefined = time.Duration(ms) * time.Millisecond
+	}
+	return params, nil
 }
 
 // optionsKey renders every result-affecting option into the cache key.
@@ -562,11 +751,79 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP serenityd_batch_items_total Graphs submitted across all batch requests.\n")
 	fmt.Fprintf(w, "# TYPE serenityd_batch_items_total counter\n")
 	fmt.Fprintf(w, "serenityd_batch_items_total %d\n", s.batchItem.Load())
+	var rs serenity.RefinePoolStats
+	if s.refine != nil {
+		rs = s.refine.Stats()
+	}
+	fmt.Fprintf(w, "# HELP serenityd_refinements_queued_total Background refinements accepted into the repair queue.\n")
+	fmt.Fprintf(w, "# TYPE serenityd_refinements_queued_total counter\n")
+	fmt.Fprintf(w, "serenityd_refinements_queued_total %d\n", rs.Queued)
+	fmt.Fprintf(w, "# HELP serenityd_refinements_done_total Background refinements that completed and repaired their caches.\n")
+	fmt.Fprintf(w, "# TYPE serenityd_refinements_done_total counter\n")
+	fmt.Fprintf(w, "serenityd_refinements_done_total %d\n", rs.Done)
+	fmt.Fprintf(w, "# HELP serenityd_refinements_failed_total Background refinements that ran but errored; nothing was replaced.\n")
+	fmt.Fprintf(w, "# TYPE serenityd_refinements_failed_total counter\n")
+	fmt.Fprintf(w, "serenityd_refinements_failed_total %d\n", rs.Failed)
+	fmt.Fprintf(w, "# HELP serenityd_refinements_dropped_total Refinements shed without running: full queue, duplicate key, or shutdown.\n")
+	fmt.Fprintf(w, "# TYPE serenityd_refinements_dropped_total counter\n")
+	fmt.Fprintf(w, "serenityd_refinements_dropped_total %d\n", rs.Dropped)
+	fmt.Fprintf(w, "# HELP serenityd_refinements_outstanding Refinements queued or running right now.\n")
+	fmt.Fprintf(w, "# TYPE serenityd_refinements_outstanding gauge\n")
+	fmt.Fprintf(w, "serenityd_refinements_outstanding %d\n", rs.Outstanding)
+	if s.admit != nil {
+		fmt.Fprintf(w, "# HELP serenityd_admission_admitted_total Compile-slot acquisitions granted, per priority class.\n")
+		fmt.Fprintf(w, "# TYPE serenityd_admission_admitted_total counter\n")
+		for c := admitClass(0); c < numClasses; c++ {
+			fmt.Fprintf(w, "serenityd_admission_admitted_total{class=%q} %d\n", c, s.admit.admitted[c].Load())
+		}
+		fmt.Fprintf(w, "# HELP serenityd_admission_rejected_total Acquisitions rejected with 429 because the class queue was full.\n")
+		fmt.Fprintf(w, "# TYPE serenityd_admission_rejected_total counter\n")
+		for c := admitClass(0); c < numClasses; c++ {
+			fmt.Fprintf(w, "serenityd_admission_rejected_total{class=%q} %d\n", c, s.admit.rejected[c].Load())
+		}
+		fmt.Fprintf(w, "# HELP serenityd_admission_waiting Acquisitions currently queued for a compile slot, per priority class.\n")
+		fmt.Fprintf(w, "# TYPE serenityd_admission_waiting gauge\n")
+		for c := admitClass(0); c < numClasses; c++ {
+			fmt.Fprintf(w, "serenityd_admission_waiting{class=%q} %d\n", c, s.admit.waiting[c].Load())
+		}
+	}
 }
 
 func (s *server) fail(w http.ResponseWriter, code int, err error) {
 	s.errored.Add(1)
+	var adm *errAdmission
+	if errors.As(err, &adm) {
+		// Admission rejections always carry backoff advice and always answer
+		// 429, whatever status the call site guessed.
+		code = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", strconv.Itoa(int(adm.retryAfter/time.Second)))
+	}
 	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+// etagFor derives the entity tag clients revalidate against: a content hash
+// over everything that distinguishes one served schedule from another,
+// including ScheduleVersion so a refined answer never shares a tag with the
+// degraded one it replaced.
+func etagFor(resp *scheduleResponse) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%s|%d|%d|%d|%v",
+		resp.Fingerprint, resp.ScheduleVersion, resp.Quality,
+		resp.Peak, resp.ArenaSize, resp.Fallbacks, resp.Order)
+	return fmt.Sprintf("%q", fmt.Sprintf("%016x", h.Sum64()))
+}
+
+// etagMatch implements If-None-Match matching: a comma-separated candidate
+// list, weak validators compared by value, and "*" matching anything.
+func etagMatch(header, etag string) bool {
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(cand)
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == "*" || cand == etag {
+			return true
+		}
+	}
+	return false
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -732,11 +733,24 @@ func TestLoadgenSmoke(t *testing.T) {
 	opts := serenity.DefaultOptions()
 	opts.StepTimeout = 500 * time.Millisecond
 	s := newServer(opts, 64)
+	s.segMemo = serenity.NewSegmentMemo(1024)
+	s.admit = newAdmission(2, [numClasses]int{64, 64, 64})
+	s.refine = serenity.NewRefinePool(s.segMemo, nil, serenity.RefinePoolOptions{
+		Workers: 1, QueueDepth: 256,
+		Gate: func(ctx context.Context) (func(), error) {
+			return s.admit.acquire(ctx, classRefine, 1)
+		},
+	})
+	defer s.refine.Close()
 	var out bytes.Buffer
 	if err := runLoadgen(s, 30, 8, &out); err != nil {
 		t.Fatalf("loadgen: %v\n%s", err, out.String())
 	}
 	if s.cache.Stats().Hits < 1 {
 		t.Errorf("loadgen produced no cache hits:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "refined to exact in") &&
+		!strings.Contains(out.String(), "nothing to refine") {
+		t.Errorf("loadgen overload drill never reported:\n%s", out.String())
 	}
 }

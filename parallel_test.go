@@ -98,43 +98,62 @@ func TestScheduleContextPreCanceled(t *testing.T) {
 	}
 }
 
-// TestScheduleContextDeadline verifies cancellation reaches down into the DP
-// search loop: an unbudgeted exact DP on a large cell would run far beyond
-// the deadline, but must return promptly with the context's error.
-func TestScheduleContextDeadline(t *testing.T) {
-	// Sized so the unbudgeted exact DP runs ~1.3s on the allocation-free
-	// core — the 50ms deadline still lands mid-search with wide margin.
+// TestScheduleContextCancelMidSearch verifies cancellation reaches down into
+// the DP search loop: the Observer cancels the context at the instant the
+// search stage starts (Observer calls are synchronous, so the search begins
+// with the context already done), and the unbudgeted exact DP — which would
+// otherwise run ~1.3s on this cell — must return promptly with the context's
+// error. The hook replaces the 50ms wall-clock deadline this test used to
+// race against the DP, which flaked under CPU contention.
+func TestScheduleContextCancelMidSearch(t *testing.T) {
 	g := models.StackedRandWire("cancel", 2, models.WSConfig{
 		Nodes: 44, K: 4, P: 0.75, Seed: 9, HW: 16, Channel: 8,
 	})
-	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	p, err := NewPipeline(Options{}) // exact DP, no budget pruning
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	p.Observer = ObserverFunc(func(e Event) {
+		if e.Kind == EventStageStart && e.Stage == StageSearch {
+			cancel()
+		}
+	})
 	start := time.Now()
-	_, err := ScheduleContext(ctx, g, Options{}) // exact DP, no budget pruning
+	_, err = p.Run(ctx, g)
 	elapsed := time.Since(start)
-	if !errors.Is(err, context.DeadlineExceeded) {
-		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 	if elapsed > 5*time.Second {
 		t.Errorf("cancellation took %s; search loop is not polling the context", elapsed)
 	}
 }
 
-// TestScheduleContextDeadlineParallel does the same through the worker pool.
-func TestScheduleContextDeadlineParallel(t *testing.T) {
-	// Each cell's exact DP runs ~1.5s standalone, so a 50ms deadline lands
-	// mid-search in every worker.
+// TestScheduleContextCancelMidSearchParallel does the same through the
+// worker pool: every worker starts its segment's DP under an already-done
+// context and must abort rather than complete its ~1.5s search.
+func TestScheduleContextCancelMidSearchParallel(t *testing.T) {
 	g := models.StackedRandWire("cancel-par", 4, models.WSConfig{
 		Nodes: 48, K: 8, P: 0.9, Seed: 10, HW: 16, Channel: 8,
 	})
-	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	p, err := NewPipeline(Options{Partition: true, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	opts := Options{Partition: true, Parallelism: 4}
+	p.Observer = ObserverFunc(func(e Event) {
+		if e.Kind == EventStageStart && e.Stage == StageSearch {
+			cancel()
+		}
+	})
 	start := time.Now()
-	_, err := ScheduleContext(ctx, g, opts)
+	_, err = p.Run(ctx, g)
 	elapsed := time.Since(start)
-	if !errors.Is(err, context.DeadlineExceeded) {
-		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 	if elapsed > 5*time.Second {
 		t.Errorf("parallel cancellation took %s", elapsed)

@@ -57,6 +57,13 @@ type Pipeline struct {
 	// never-store-degraded rule are exactly the SegmentMemo's; see
 	// ScheduleStore.
 	Store *ScheduleStore
+	// RefinePool, when non-nil, makes degraded segment results provisional:
+	// whenever a memoizable segment falls back, its exact re-search is
+	// enqueued here and the optimal result is written through the memo
+	// hierarchy in the background (see RefinePool). Only consulted when the
+	// segment was memo-eligible (a degraded key that cannot be cached cannot
+	// be repaired either) and the Searcher implements Refiner.
+	RefinePool *RefinePool
 
 	// Rewrite / ExtendedRewrite / Partition toggle the graph stages, with
 	// the same semantics as the corresponding Options fields.
@@ -204,7 +211,13 @@ func (p *Pipeline) Run(ctx context.Context, g *Graph) (*Result, error) {
 	// not expose a MemoKey). Keys are computed up front so the per-segment
 	// workers do no fingerprinting of their own.
 	var memoKeys []string
-	var memHits, diskHits, freshStates atomic.Int64
+	var memHits, diskHits, freshStates, refined atomic.Int64
+	var refiner Refiner
+	if p.RefinePool != nil {
+		if rf, ok := p.Searcher.(Refiner); ok {
+			refiner = rf
+		}
+	}
 	if (p.SegmentMemo != nil || p.Store != nil) && part != nil {
 		if mk, ok := p.Searcher.(MemoKeyer); ok {
 			if disc := mk.MemoKey(); disc != "" {
@@ -262,6 +275,14 @@ func (p *Pipeline) Run(ctx context.Context, g *Graph) (*Result, error) {
 		}
 		if sr.FellBack {
 			obs.fallback(idx, sr.FallbackReason)
+			// Serve-then-refine: the degraded answer is returned to this
+			// caller, and the segment's exact search is queued for background
+			// repair under the same memo key the degraded result was denied.
+			if refiner != nil && memoKeys != nil {
+				if p.RefinePool.EnqueueSegment(memoKeys[idx], m.G, refiner) {
+					refined.Add(1)
+				}
+			}
 		}
 		obs.segmentDone(idx, nodes, sr, time.Since(segStart))
 		return sr, nil
@@ -305,6 +326,7 @@ func (p *Pipeline) Run(ctx context.Context, g *Graph) (*Result, error) {
 	}
 	res.SegmentMemoHits = int(memHits.Load() + diskHits.Load())
 	res.SegmentMemoDiskHits = int(diskHits.Load())
+	res.RefinementsQueued = int(refined.Load())
 	res.FreshStatesExplored = freshStates.Load()
 	res.Stages.Search = time.Since(searchStart)
 	obs.stageDone(StageSearch, res.Stages.Search)

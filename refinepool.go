@@ -1,0 +1,321 @@
+package serenity
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Refiner is implemented by Searchers whose degraded results can be repaired
+// in the background: RefineSearcher returns the searcher configuration a
+// RefinePool runs — the same search with the deadline pressure removed —
+// whose result is valid under the original MemoKey. BestEffort implements it
+// (the refined searcher is the exact attempt, run to completion under a
+// background context). A Searcher that does not implement Refiner opts out:
+// the Pipeline serves its degraded results as before, final and uncached.
+type Refiner interface {
+	Searcher
+	MemoKeyer
+	// RefineSearcher returns the searcher the RefinePool runs to produce
+	// the exact result for a key this searcher degraded. The returned
+	// searcher must produce results interchangeable with this searcher's
+	// non-degraded results (same MemoKey contract).
+	RefineSearcher() Searcher
+}
+
+// RefinePoolOptions configures a RefinePool.
+type RefinePoolOptions struct {
+	// Workers is the number of background refinement goroutines; values < 1
+	// mean 1.
+	Workers int
+	// QueueDepth bounds the refinement queue. An enqueue against a full
+	// queue is dropped and counted — refinement is best-effort repair, and
+	// the serving path must never block on it. Values < 1 mean 64.
+	QueueDepth int
+	// Parallelism is the CPU budget of each refining search (the same
+	// semantics as Options.Parallelism). Refinement is the lowest-priority
+	// work in the process, so keep this small; values < 1 mean 1.
+	Parallelism int
+	// Gate, when non-nil, is acquired around every refinement run. It is
+	// how serenityd subordinates refinement to live traffic: the gate is an
+	// admission-control slot in the lowest priority class, so a refinement
+	// only occupies a compile slot when no interactive or batch request
+	// wants it. Gate blocks until a slot is free and returns its release,
+	// or an error when ctx ends (the job is then dropped, not failed).
+	Gate func(ctx context.Context) (release func(), err error)
+	// Observer, when non-nil, receives one EventRefined per finished job
+	// (Err set on failure). Calls are serialized, like a Pipeline's.
+	Observer Observer
+}
+
+// RefinePoolStats is a snapshot of a pool's counters. Queued - Done -
+// Dropped is the work still in flight (Outstanding).
+type RefinePoolStats struct {
+	// Queued counts jobs accepted into the queue (deduplicated re-enqueues
+	// of a pending key are not accepted and count nowhere).
+	Queued int64
+	// Done counts jobs that ran to completion, successfully or not; Failed
+	// is the subset whose refining search or write-through failed.
+	Done   int64
+	Failed int64
+	// Dropped counts jobs rejected at enqueue (full queue, closed pool) or
+	// abandoned before running (pool closed while the job waited, gate
+	// refused).
+	Dropped int64
+	// Outstanding is the number of accepted jobs not yet finished.
+	Outstanding int64
+}
+
+// refineJob is one queued refinement: a key (for pending-set dedup) and the
+// work to run.
+type refineJob struct {
+	key string
+	run func(ctx context.Context) error
+}
+
+// RefinePool repairs degraded schedules in the background, making fallbacks
+// provisional instead of final.
+//
+// The poison rule (see SegmentMemo) keeps degraded results out of every
+// cache tier, which protects future requests from one overloaded moment —
+// but it also means a hot key compiled under pressure stays cold for
+// everyone until some quiet request happens to recompute it. A RefinePool
+// closes that gap: when a compilation falls back, the Pipeline enqueues the
+// segment's exact search here; workers run it with no deadline, and the
+// optimal result is written through the guarded replace path into the
+// SegmentMemo and ScheduleStore. The next identical request is then a warm
+// hit on the exact answer, bit-identical to an unpressured run.
+//
+// Un-poisoning is safe by construction: every refined result passes the
+// same quality and permutation validation disk artifacts pass on load
+// before it may replace anything, and an entry that is already optimal is
+// never clobbered (see SegmentMemo.replace). A buggy or degraded refinement
+// therefore repairs nothing rather than poisoning something.
+//
+// Enqueue order is FIFO and keys are deduplicated while pending, so a hot
+// degraded key costs one refinement no matter how many requests hit it.
+// The pool is bounded (QueueDepth) and drops on overflow: under sustained
+// overload refinement sheds load first, which is exactly its place in the
+// priority order (serenityd additionally routes every refinement run
+// through the lowest admission class via Gate).
+//
+// A RefinePool is safe for concurrent use. Close it on shutdown: queued
+// jobs are dropped, running searches are canceled, and workers exit.
+type RefinePool struct {
+	memo  *SegmentMemo
+	store *ScheduleStore
+	opts  RefinePoolOptions
+	obs   *emitter
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	jobs   chan refineJob
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	pending map[string]struct{}
+	closed  bool
+
+	queued      atomic.Int64
+	done        atomic.Int64
+	failed      atomic.Int64
+	dropped     atomic.Int64
+	outstanding atomic.Int64
+}
+
+// NewRefinePool starts a pool writing refined results through to memo
+// and/or store (either may be nil; with both nil the pool still runs jobs,
+// which is useful only for the generic Enqueue). The caller owns the pool
+// and must Close it.
+func NewRefinePool(memo *SegmentMemo, store *ScheduleStore, opts RefinePoolOptions) *RefinePool {
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	if opts.QueueDepth < 1 {
+		opts.QueueDepth = 64
+	}
+	if opts.Parallelism < 1 {
+		opts.Parallelism = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &RefinePool{
+		memo:    memo,
+		store:   store,
+		opts:    opts,
+		obs:     &emitter{obs: opts.Observer},
+		ctx:     ctx,
+		cancel:  cancel,
+		jobs:    make(chan refineJob, opts.QueueDepth),
+		pending: make(map[string]struct{}),
+	}
+	p.wg.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// EnqueueSegment queues the exact re-search of one degraded segment: run
+// r.RefineSearcher() on g with no deadline and write the optimal result
+// through to the memo hierarchy under key. Returns whether the job was
+// accepted; false means the key is already pending (the earlier job covers
+// this request too), the queue is full, or the pool is closed.
+func (p *RefinePool) EnqueueSegment(key string, g *Graph, r Refiner) bool {
+	searcher := r.RefineSearcher()
+	if ps, ok := searcher.(parallelScoper); ok && p.opts.Parallelism > 1 {
+		searcher = ps.scopeParallelism(p.opts.Parallelism)
+	}
+	return p.Enqueue(key, func(ctx context.Context) error {
+		m := NewMemModel(g)
+		nodes := g.NumNodes()
+		start := time.Now()
+		sr, err := searcher.Search(ctx, m)
+		if err == nil && len(sr.Order) != nodes {
+			err = fmt.Errorf("serenity: refining searcher %s returned %d of %d nodes", searcher.Name(), len(sr.Order), nodes)
+		}
+		if err == nil {
+			if p.memo != nil {
+				err = p.memo.replace(key, nodes, sr)
+			}
+			if err == nil && p.store != nil {
+				err = p.store.replace(key, nodes, sr)
+			}
+		}
+		p.obs.emit(Event{
+			Kind: EventRefined, Stage: StageSearch, Segment: -1, Nodes: nodes,
+			Quality: sr.Quality, States: sr.StatesExplored,
+			Elapsed: time.Since(start), Err: err,
+		})
+		return err
+	})
+}
+
+// Enqueue queues an arbitrary refinement job under key. Keys deduplicate:
+// while a job for key is queued or running, further enqueues of the same
+// key are declined (return false) — the pending job repairs the key for
+// everyone. serenityd uses this form for whole-response refinements on top
+// of the Pipeline's per-segment ones.
+func (p *RefinePool) Enqueue(key string, run func(ctx context.Context) error) bool {
+	// The whole admission — closed check, dedup, and the non-blocking send —
+	// happens under mu, the same lock Close holds while closing the channel,
+	// so a send can never race the close.
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		p.dropped.Add(1)
+		return false
+	}
+	if _, dup := p.pending[key]; dup {
+		return false
+	}
+	select {
+	case p.jobs <- refineJob{key: key, run: run}:
+		p.pending[key] = struct{}{}
+		p.queued.Add(1)
+		p.outstanding.Add(1)
+		return true
+	default:
+		p.dropped.Add(1)
+		return false
+	}
+}
+
+// Pending reports whether a refinement for key is queued or running. It is
+// the revalidation primitive: serenityd's ?wait_refined= poll and 304
+// responses consult it to tell "refinement coming" from "this is final".
+func (p *RefinePool) Pending(key string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.pending[key]
+	return ok
+}
+
+// worker drains the queue. Each job acquires the Gate (when configured),
+// runs under the pool's root context — no deadline, canceled only by Close
+// — and retires into the counters.
+func (p *RefinePool) worker() {
+	defer p.wg.Done()
+	for job := range p.jobs {
+		if p.ctx.Err() != nil {
+			// Closing: abandon without running.
+			p.retire(job.key, &p.dropped)
+			continue
+		}
+		var release func()
+		if p.opts.Gate != nil {
+			var err error
+			release, err = p.opts.Gate(p.ctx)
+			if err != nil {
+				p.retire(job.key, &p.dropped)
+				continue
+			}
+		}
+		err := job.run(p.ctx)
+		if release != nil {
+			release()
+		}
+		p.done.Add(1)
+		if err != nil {
+			p.failed.Add(1)
+		}
+		p.retire(job.key, nil)
+	}
+}
+
+// retire removes key from the pending set, bumps counter (when non-nil),
+// and decrements the outstanding gauge.
+func (p *RefinePool) retire(key string, counter *atomic.Int64) {
+	if counter != nil {
+		counter.Add(1)
+	}
+	p.mu.Lock()
+	delete(p.pending, key)
+	p.mu.Unlock()
+	p.outstanding.Add(-1)
+}
+
+// Quiesce blocks until every accepted job has finished (or been dropped by
+// a concurrent Close), or ctx ends. Jobs enqueued after Quiesce is called
+// extend the wait. Tests and drains use it as the "refinement has caught
+// up" barrier.
+func (p *RefinePool) Quiesce(ctx context.Context) error {
+	for {
+		if p.outstanding.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *RefinePool) Stats() RefinePoolStats {
+	return RefinePoolStats{
+		Queued:      p.queued.Load(),
+		Done:        p.done.Load(),
+		Failed:      p.failed.Load(),
+		Dropped:     p.dropped.Load(),
+		Outstanding: p.outstanding.Load(),
+	}
+}
+
+// Close stops the pool: no further jobs are accepted, queued jobs are
+// dropped, running searches are canceled promptly, and workers exit before
+// Close returns. Closing twice is safe.
+func (p *RefinePool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.cancel()
+	close(p.jobs) // under mu: no Enqueue can be mid-send (see Enqueue)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -2,6 +2,8 @@ package serenity
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"sync/atomic"
 
 	"github.com/serenity-ml/serenity/internal/cache"
@@ -59,6 +61,8 @@ type SegmentMemo struct {
 	hits     atomic.Int64
 	diskHits atomic.Int64
 	misses   atomic.Int64
+	errors   atomic.Int64
+	replaced atomic.Int64
 }
 
 // memoTier reports where a memoized segment lookup was answered.
@@ -89,9 +93,11 @@ func NewSegmentMemo(capacity int) *SegmentMemo {
 
 // SegmentMemoStats is a snapshot of a memo's counters. Every memoized segment
 // search resolves as exactly one Hit (served from the store, or shared from a
-// concurrent in-flight search) or one Miss (this caller ran the searcher), so
-// Hits+Misses equals the total memoized segment searches across all Pipelines
-// sharing the memo.
+// concurrent in-flight search), one Miss (this caller ran the searcher to
+// completion), or one Error (the lookup returned an error instead of a
+// result: the caller's context ended while waiting, the searcher failed, or
+// a shared flight's leader failed), so Hits+Misses+Errors equals the total
+// memoized segment searches across all Pipelines sharing the memo.
 type SegmentMemoStats struct {
 	Hits   int64
 	Misses int64
@@ -99,6 +105,14 @@ type SegmentMemoStats struct {
 	// ScheduleStore layered under this memo); Hits - DiskHits were served
 	// from memory or a shared in-flight search.
 	DiskHits int64
+	// Errors counts lookups that resolved with an error — canceled waiters,
+	// failed searches, and followers of a failed flight. An errored lookup is
+	// neither a Hit nor a Miss: nothing was served and no result was stored.
+	Errors int64
+	// Replaced counts background refinements written through the guarded
+	// replace path (see RefinePool): previously un-cacheable (degraded) keys
+	// upgraded to their exact result.
+	Replaced int64
 	Entries  int
 }
 
@@ -108,6 +122,8 @@ func (m *SegmentMemo) Stats() SegmentMemoStats {
 		Hits:     m.hits.Load(),
 		Misses:   m.misses.Load(),
 		DiskHits: m.diskHits.Load(),
+		Errors:   m.errors.Load(),
+		Replaced: m.replaced.Load(),
 		Entries:  m.store.Len(),
 	}
 }
@@ -150,6 +166,11 @@ func (m *SegmentMemo) do(ctx context.Context, key string, disk *ScheduleStore, n
 		return memoLoad{sr: sr}, err
 	})
 	if err != nil {
+		// Neither a hit nor a miss: nothing was served and nothing ran to
+		// completion for this caller. Counting it as either would break the
+		// Hits+Misses+Errors == total-searches reconciliation under
+		// cancellation storms.
+		m.errors.Add(1)
 		return SearchResult{}, memoTierMiss, err
 	}
 	switch {
@@ -163,4 +184,40 @@ func (m *SegmentMemo) do(ctx context.Context, key string, disk *ScheduleStore, n
 	}
 	m.misses.Add(1)
 	return v.sr, memoTierMiss, nil
+}
+
+// replace is the RefinePool's guarded write-through: it upgrades key to the
+// exact result sr, but only upward — an existing optimal entry is never
+// clobbered (two optimal runs may have converged through different adaptive
+// budgets, and hits must stay bit-identical to whichever run populated the
+// entry first). sr itself must be worth storing: a degraded, non-optimal, or
+// structurally invalid result is rejected, so no refinement outcome —
+// however buggy the searcher — can poison the memo this path exists to
+// un-poison. nodes is the segment's node count for the permutation check,
+// the same validation disk artifacts pass on load.
+func (m *SegmentMemo) replace(key string, nodes int, sr SearchResult) error {
+	if err := validateRefined(sr, nodes); err != nil {
+		return err
+	}
+	if cur, ok := m.store.Get(key); ok && cur.Quality == QualityOptimal {
+		return nil // already exact; keep the established entry
+	}
+	m.store.Put(key, sr)
+	m.replaced.Add(1)
+	return nil
+}
+
+// validateRefined is the quality/permutation gate every refined result passes
+// before it may replace anything in the memo hierarchy.
+func validateRefined(sr SearchResult, nodes int) error {
+	if sr.FellBack {
+		return errors.New("serenity: refined result fell back; degraded results are never stored")
+	}
+	if sr.Quality != QualityOptimal {
+		return fmt.Errorf("serenity: refined result has quality %q, want %q", sr.Quality, QualityOptimal)
+	}
+	if !validPermutation(sr.Order, nodes) {
+		return fmt.Errorf("serenity: refined order is not a permutation of %d nodes", nodes)
+	}
+	return nil
 }

@@ -148,10 +148,17 @@ type StoreStats struct {
 type ScheduleStore struct {
 	st *store.Store
 
-	mu      sync.Mutex
-	writeCh chan storeWrite
-	closed  bool
-	wg      sync.WaitGroup
+	// mu is read-held by every data operation (get, putAsync, Flush,
+	// Compact, replace, Stats) and write-held only by Close, which makes
+	// "closed store drops lookups and writes silently" a real invariant:
+	// once Close holds the write lock no operation can be mid-flight
+	// against the inner store, and every later operation observes closed
+	// and returns inert.
+	mu         sync.RWMutex
+	writeCh    chan storeWrite
+	closed     bool
+	finalStats store.Stats // inner-store counters, snapshotted by Close
+	wg         sync.WaitGroup
 
 	decodeErrs atomic.Int64
 	hits       atomic.Int64
@@ -205,8 +212,15 @@ func (ss *ScheduleStore) writer() {
 
 // get loads and validates the artifact for key. nodes is the segment's node
 // count: a payload that is not a permutation of exactly that many nodes is
-// dropped as corrupt and reported as a miss.
+// dropped as corrupt and reported as a miss. A closed store answers false
+// without counting a miss — nothing was looked up, and shutdown must not
+// skew the hit-rate accounting the caller prints afterwards.
 func (ss *ScheduleStore) get(key string, nodes int) (SearchResult, bool) {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	if ss.closed {
+		return SearchResult{}, false
+	}
 	payload, ok := ss.st.Get(key)
 	if !ok {
 		ss.misses.Add(1)
@@ -254,8 +268,8 @@ func (ss *ScheduleStore) putAsync(key string, sr SearchResult) {
 	if err != nil {
 		return
 	}
-	ss.mu.Lock()
-	defer ss.mu.Unlock()
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
 	if ss.closed {
 		return
 	}
@@ -267,49 +281,94 @@ func (ss *ScheduleStore) putAsync(key string, sr SearchResult) {
 }
 
 // Flush blocks until every write enqueued before the call has reached the
-// store file.
+// store file. Flushing a closed store is a no-op: Close already drained the
+// queue.
 func (ss *ScheduleStore) Flush() {
-	ss.mu.Lock()
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
 	if ss.closed {
-		ss.mu.Unlock()
 		return
 	}
 	barrier := storeWrite{flushed: make(chan struct{})}
 	ss.writeCh <- barrier // blocking: a flush must not be droppable
-	ss.mu.Unlock()
 	<-barrier.flushed
 }
 
 // Compact flushes pending writes and rewrites the data file with only the
 // live artifacts, reclaiming space from superseded, evicted, and corrupt
-// records.
+// records. Compacting a closed store is a no-op, like every other operation
+// after Close. The flush barrier is inlined rather than calling Flush: a
+// second read-lock acquisition could deadlock against a Close queued between
+// the two.
 func (ss *ScheduleStore) Compact() error {
-	ss.Flush()
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	if ss.closed {
+		return nil
+	}
+	barrier := storeWrite{flushed: make(chan struct{})}
+	ss.writeCh <- barrier
+	<-barrier.flushed
 	return ss.st.Compact()
+}
+
+// replace is the RefinePool's persistent-tier write-through, mirroring
+// SegmentMemo.replace: refined results pass the same quality/permutation
+// validation artifacts pass on load, an existing optimal artifact is never
+// clobbered, and the write is synchronous — refinement runs in the
+// background, so it may wait on disk where the compile hot path may not.
+// Replacing into a closed store is a silent no-op.
+func (ss *ScheduleStore) replace(key string, nodes int, sr SearchResult) error {
+	if err := validateRefined(sr, nodes); err != nil {
+		return err
+	}
+	payload, err := MarshalSegmentArtifact(sr)
+	if err != nil {
+		return err
+	}
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	if ss.closed {
+		return nil
+	}
+	if cur, ok := ss.st.Get(key); ok {
+		if dec, derr := UnmarshalSegmentArtifact(cur); derr == nil && dec.Quality == QualityOptimal {
+			return nil // already exact on disk; keep the established artifact
+		}
+	}
+	return ss.st.Put(key, payload)
 }
 
 // Close drains the write-behind queue, syncs, and releases the store. A
 // closed store drops lookups and writes silently, so Pipelines holding it
-// keep working (cold) during shutdown.
+// keep working (cold) during shutdown; Stats keeps answering with the
+// final pre-close counters.
 func (ss *ScheduleStore) Close() error {
 	ss.mu.Lock()
+	defer ss.mu.Unlock()
 	if ss.closed {
-		ss.mu.Unlock()
 		return nil
 	}
 	ss.closed = true
 	close(ss.writeCh)
-	ss.mu.Unlock()
 	ss.wg.Wait()
+	ss.finalStats = ss.st.Stats()
 	return ss.st.Close()
 }
 
 // Stats returns a snapshot of the store's counters. Lookup accounting
 // (hits/misses) is kept at this layer — the raw byte store can't tell a
 // semantically invalid payload from a valid one — while write, eviction, and
-// size accounting come from the file layer.
+// size accounting come from the file layer. After Close, the file-layer
+// numbers are the snapshot Close took; the lookup counters stop moving
+// because a closed store declines lookups.
 func (ss *ScheduleStore) Stats() StoreStats {
-	raw := ss.st.Stats()
+	ss.mu.RLock()
+	raw := ss.finalStats
+	if !ss.closed {
+		raw = ss.st.Stats()
+	}
+	ss.mu.RUnlock()
 	return StoreStats{
 		Hits:           ss.hits.Load(),
 		Misses:         ss.misses.Load(),

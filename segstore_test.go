@@ -10,6 +10,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"reflect"
+	"sync"
 	"testing"
 	"time"
 
@@ -327,6 +328,124 @@ func TestScheduleStoreClosedIsInert(t *testing.T) {
 	}
 	if res.SegmentMemoDiskHits != 0 {
 		t.Errorf("closed store served %d disk hits", res.SegmentMemoDiskHits)
+	}
+}
+
+// TestScheduleStoreConcurrentCloseDrain is the shutdown race test (run under
+// -race in CI): lookups, writes, flushes, compactions, and stats snapshots
+// drain through a store while another goroutine closes it mid-storm. Every
+// entry point must be closed-inert — return without panicking, deadlocking,
+// or touching the released inner store — and a closed get must not count a
+// miss (nothing was looked up, and shutdown must not skew the hit rate the
+// daemon prints on exit).
+func TestScheduleStoreConcurrentCloseDrain(t *testing.T) {
+	ss, err := OpenScheduleStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := SearchResult{Order: Order{0, 1, 2}, Quality: QualityOptimal}
+	ss.putAsync("seed", sr)
+	ss.Flush()
+
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 200; i++ {
+				switch (w + i) % 5 {
+				case 0:
+					ss.get("seed", 3)
+				case 1:
+					ss.putAsync(fmt.Sprintf("k%d-%d", w, i), sr)
+				case 2:
+					ss.Flush()
+				case 3:
+					_ = ss.Compact()
+				case 4:
+					ss.Stats()
+				}
+			}
+		}(w)
+	}
+	closed := make(chan struct{})
+	go func() {
+		defer close(closed)
+		<-start
+		if err := ss.Close(); err != nil {
+			t.Errorf("Close mid-storm: %v", err)
+		}
+	}()
+	close(start)
+	wg.Wait()
+	<-closed
+
+	before := ss.Stats()
+	if _, ok := ss.get("seed", 3); ok {
+		t.Error("closed store served a lookup")
+	}
+	ss.putAsync("late", sr)
+	ss.Flush()
+	if err := ss.Compact(); err != nil {
+		t.Errorf("Compact on a closed store: %v", err)
+	}
+	after := ss.Stats()
+	if after.Misses != before.Misses {
+		t.Errorf("closed get counted a miss (%d -> %d)", before.Misses, after.Misses)
+	}
+	if after != before {
+		t.Errorf("closed store's stats moved: %+v -> %+v", before, after)
+	}
+	if err := ss.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+// TestScheduleStoreReplaceUpgradesOnly pins the guarded replace path the
+// RefinePool writes through: heuristic artifacts upgrade to optimal,
+// existing optimal artifacts are never clobbered, and nothing invalid or
+// degraded gets in.
+func TestScheduleStoreReplaceUpgradesOnly(t *testing.T) {
+	ss := openStoreT(t, t.TempDir())
+	heuristic := SearchResult{Order: Order{2, 1, 0}, StatesExplored: 3, Quality: QualityHeuristic}
+	optimal := SearchResult{Order: Order{0, 1, 2}, StatesExplored: 9, Quality: QualityOptimal}
+
+	// Upgrade heuristic → optimal.
+	ss.putAsync("k", heuristic)
+	ss.Flush()
+	if err := ss.replace("k", 3, optimal); err != nil {
+		t.Fatalf("replace heuristic with optimal: %v", err)
+	}
+	got, ok := ss.get("k", 3)
+	if !ok || got.Quality != QualityOptimal || !reflect.DeepEqual(got.Order, optimal.Order) {
+		t.Fatalf("after replace: got %+v ok=%v", got, ok)
+	}
+
+	// An established optimal artifact wins over a later refinement: hits
+	// must stay bit-identical to whichever run populated the entry.
+	other := SearchResult{Order: Order{1, 0, 2}, StatesExplored: 7, Quality: QualityOptimal}
+	if err := ss.replace("k", 3, other); err != nil {
+		t.Fatalf("replace optimal with optimal: %v", err)
+	}
+	got, _ = ss.get("k", 3)
+	if !reflect.DeepEqual(got.Order, optimal.Order) {
+		t.Errorf("second replace clobbered the established optimal artifact: %v", got.Order)
+	}
+
+	// Nothing degraded or malformed gets in.
+	if err := ss.replace("k2", 3, SearchResult{Order: Order{0, 1, 2}, Quality: QualityOptimal, FellBack: true}); err == nil {
+		t.Error("replace accepted a degraded result")
+	}
+	if err := ss.replace("k2", 3, heuristic); err == nil {
+		t.Error("replace accepted a heuristic result")
+	}
+	if err := ss.replace("k2", 3, SearchResult{Order: Order{0, 0, 2}, Quality: QualityOptimal}); err == nil {
+		t.Error("replace accepted a non-permutation order")
+	}
+	if _, ok := ss.get("k2", 3); ok {
+		t.Error("a rejected replace still wrote an artifact")
 	}
 }
 

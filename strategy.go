@@ -217,6 +217,16 @@ type BestEffort struct {
 	// exact attempt always runs under adaptive soft budgeting, the only
 	// deadline-aware exact configuration.
 	Exact ExactDP
+	// SkipExact degrades every segment immediately, without attempting the
+	// exact search — exactly as if the caller's deadline expired the moment
+	// the search began. It exists to make the degraded path deterministic:
+	// tests and operational drills of the serve-then-refine loop (see
+	// RefinePool) force fallbacks with it instead of racing a wall-clock
+	// deadline against the DP. It is deliberately absent from MemoKey:
+	// degraded results are never stored, so the flag cannot alias cached
+	// entries, and a RefinePool repairs the key with RefineSearcher's
+	// configuration, which clears it.
+	SkipExact bool
 }
 
 // Name implements Searcher.
@@ -239,8 +249,33 @@ func (b BestEffort) scopeParallelism(perSegment int) Searcher {
 	return b
 }
 
+// RefineSearcher implements Refiner: a fallen-back BestEffort segment is
+// repaired by the same configuration with the deadline pressure removed —
+// SkipExact cleared, run under a background context — which produces the
+// exact answer the degraded request was denied, under the same MemoKey.
+func (b BestEffort) RefineSearcher() Searcher {
+	b.SkipExact = false
+	return b
+}
+
+// errSkipExact is the fallback reason of a forced (SkipExact) degradation.
+var errSkipExact = errors.New("serenity: exact search skipped (forced degradation)")
+
 // Search implements Searcher.
 func (b BestEffort) Search(ctx context.Context, m *MemModel) (SearchResult, error) {
+	if b.SkipExact {
+		gr, err := sched.GreedyMemoryRun(m)
+		if err != nil {
+			return SearchResult{}, err
+		}
+		return SearchResult{
+			Order:          gr.Order,
+			StatesExplored: gr.StatesExplored,
+			Quality:        QualityHeuristic,
+			FellBack:       true,
+			FallbackReason: errSkipExact,
+		}, nil
+	}
 	ar, err := dp.AdaptiveScheduleCtx(ctx, m, dp.AdaptiveOptions{
 		StepTimeout:   b.Exact.StepTimeout,
 		MaxStates:     b.Exact.MaxStates,
