@@ -1,0 +1,240 @@
+package main
+
+// The fleetbench artifact: a machine-readable benchmark of the distributed
+// compile fleet, emitted as BENCH_fleet.json. It stands up a two-node
+// in-process fleet (real HTTP between them, via httptest listeners), pays for
+// the evaluation cells once on node A, and then compiles the same corpus on a
+// cold node B — measuring what the fleet tier is for: the peer-warm latency
+// against the cold latency, and the peer hit rate that produced it.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	serenity "github.com/serenity-ml/serenity"
+	"github.com/serenity-ml/serenity/internal/fleet"
+	"github.com/serenity-ml/serenity/internal/models"
+)
+
+// fleetBenchModel is one cell's cold-vs-warm measurement.
+type fleetBenchModel struct {
+	Network string  `json:"network"`
+	Cell    string  `json:"cell"`
+	Nodes   int     `json:"nodes"`
+	ColdMS  float64 `json:"cold_ms"`
+	WarmMS  float64 `json:"peer_warm_ms"`
+	Speedup float64 `json:"speedup"`
+	// FreshStatesWarm must be zero for the pay-once contract to hold; it is
+	// recorded rather than assumed so a regression shows up in the artifact.
+	FreshStatesCold int64 `json:"fresh_states_cold"`
+	FreshStatesWarm int64 `json:"fresh_states_warm"`
+	PeerHits        int   `json:"peer_hits"`
+}
+
+// fleetBenchReport is the BENCH_fleet.json envelope.
+type fleetBenchReport struct {
+	GoOS        string            `json:"goos"`
+	GoArch      string            `json:"goarch"`
+	GoMaxProcs  int               `json:"gomaxprocs"`
+	ColdMSTotal float64           `json:"cold_ms_total"`
+	WarmMSTotal float64           `json:"peer_warm_ms_total"`
+	Speedup     float64           `json:"speedup"`
+	PeerHits    int64             `json:"peer_hits"`
+	PeerMisses  int64             `json:"peer_misses"`
+	PeerHitRate float64           `json:"peer_hit_rate"`
+	Identical   bool              `json:"schedules_bit_identical"`
+	Models      []fleetBenchModel `json:"models"`
+}
+
+// fleetNode is one member of the benchmark fleet: a segment memo and a
+// persistent store fronted by the fleet's peer HTTP surface.
+type fleetNode struct {
+	memo   *serenity.SegmentMemo
+	store  *serenity.ScheduleStore
+	client *fleet.Client
+	ts     *httptest.Server
+	dir    string
+}
+
+func (n *fleetNode) close() {
+	if n.client != nil {
+		n.client.Close()
+	}
+	if n.ts != nil {
+		n.ts.Close()
+	}
+	if n.store != nil {
+		n.store.Close()
+	}
+	if n.dir != "" {
+		os.RemoveAll(n.dir)
+	}
+}
+
+// newFleetBenchNodes builds a two-node fleet over httptest listeners. The
+// handlers are late-bound because the ring needs both URLs before either
+// node's peer server can exist.
+func newFleetBenchNodes() ([]*fleetNode, error) {
+	const n = 2
+	handlers := make([]atomic.Value, n)
+	nodes := make([]*fleetNode, n)
+	urls := make([]string, n)
+	for i := range nodes {
+		i := i
+		nodes[i] = &fleetNode{}
+		nodes[i].ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			h, _ := handlers[i].Load().(http.Handler)
+			if h == nil {
+				http.Error(w, "booting", http.StatusServiceUnavailable)
+				return
+			}
+			h.ServeHTTP(w, r)
+		}))
+		urls[i] = nodes[i].ts.URL
+	}
+	for i, node := range nodes {
+		dir, err := os.MkdirTemp("", "fleetbench-")
+		if err != nil {
+			return nodes, err
+		}
+		node.dir = dir
+		node.store, err = serenity.OpenScheduleStore(dir, 0)
+		if err != nil {
+			return nodes, err
+		}
+		ring, err := fleet.NewRing(urls[i], urls, fleet.DefaultVirtualNodes)
+		if err != nil {
+			return nodes, err
+		}
+		node.memo = serenity.NewSegmentMemo(8192)
+		node.client = fleet.NewClient(ring, fleet.ClientOptions{Timeout: 2 * time.Second})
+		mux := http.NewServeMux()
+		fleet.NewServer(node.store, ring, nil).Register(mux)
+		handlers[i].Store(mux)
+	}
+	return nodes, nil
+}
+
+// fleetRun compiles g on node, timing the whole pipeline.
+func fleetRun(node *fleetNode, g *serenity.Graph) (*serenity.Result, time.Duration, error) {
+	opts := serenity.DefaultOptions()
+	opts.StepTimeout = time.Minute // exact, deterministic schedules only
+	p, err := serenity.NewPipeline(opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	p.SegmentMemo = node.memo
+	p.Store = node.store
+	p.Peers = node.client
+	start := time.Now()
+	res, err := p.Run(context.Background(), g)
+	return res, time.Since(start), err
+}
+
+// fleetBench measures the fleet tier cold vs. peer-warm across the evaluation
+// cells and writes the JSON report to outPath, with a human summary on w.
+func fleetBench(w io.Writer, outPath string) error {
+	nodes, err := newFleetBenchNodes()
+	defer func() {
+		for _, n := range nodes {
+			if n != nil {
+				n.close()
+			}
+		}
+	}()
+	if err != nil {
+		return err
+	}
+	a, b := nodes[0], nodes[1]
+
+	report := fleetBenchReport{
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Identical:  true,
+	}
+	cells := models.BenchmarkCells()
+	orders := make([]serenity.Order, len(cells))
+	for i, cell := range cells {
+		g := cell.Build()
+		res, elapsed, err := fleetRun(a, g)
+		if err != nil {
+			return fmt.Errorf("fleetbench cold %s %s: %w", cell.Network, cell.Cell, err)
+		}
+		orders[i] = res.Order
+		report.Models = append(report.Models, fleetBenchModel{
+			Network:         cell.Network,
+			Cell:            cell.Cell,
+			Nodes:           g.NumNodes(),
+			ColdMS:          float64(elapsed.Microseconds()) / 1000,
+			FreshStatesCold: res.FreshStatesExplored,
+		})
+	}
+	// The warm pass's zero-fresh-states contract needs every write-behind
+	// replication to have landed on its owner first.
+	a.client.Drain()
+
+	warmBefore := b.client.Stats()
+	for i, cell := range cells {
+		g := cell.Build()
+		res, elapsed, err := fleetRun(b, g)
+		if err != nil {
+			return fmt.Errorf("fleetbench warm %s %s: %w", cell.Network, cell.Cell, err)
+		}
+		m := &report.Models[i]
+		m.WarmMS = float64(elapsed.Microseconds()) / 1000
+		if m.WarmMS > 0 {
+			m.Speedup = m.ColdMS / m.WarmMS
+		}
+		m.FreshStatesWarm = res.FreshStatesExplored
+		m.PeerHits = res.SegmentMemoPeerHits
+		if !reflect.DeepEqual(res.Order, orders[i]) {
+			report.Identical = false
+		}
+		report.ColdMSTotal += m.ColdMS
+		report.WarmMSTotal += m.WarmMS
+	}
+	warmAfter := b.client.Stats()
+	report.PeerHits = warmAfter.Hits - warmBefore.Hits
+	report.PeerMisses = warmAfter.Misses - warmBefore.Misses
+	if total := report.PeerHits + report.PeerMisses; total > 0 {
+		report.PeerHitRate = float64(report.PeerHits) / float64(total)
+	}
+	if report.WarmMSTotal > 0 {
+		report.Speedup = report.ColdMSTotal / report.WarmMSTotal
+	}
+
+	fmt.Fprintf(w, "%-12s %-10s %6s %10s %12s %8s %6s\n",
+		"network", "cell", "nodes", "cold ms", "peer-warm ms", "speedup", "hits")
+	for _, m := range report.Models {
+		fmt.Fprintf(w, "%-12s %-10s %6d %10.2f %12.2f %7.1fx %6d\n",
+			m.Network, m.Cell, m.Nodes, m.ColdMS, m.WarmMS, m.Speedup, m.PeerHits)
+	}
+	fmt.Fprintf(w, "total: cold %.1f ms, peer-warm %.1f ms (%.1fx); peer hit rate %.0f%%; bit-identical: %v\n",
+		report.ColdMSTotal, report.WarmMSTotal, report.Speedup, 100*report.PeerHitRate, report.Identical)
+
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", outPath)
+	return nil
+}

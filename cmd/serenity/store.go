@@ -192,6 +192,7 @@ func storeImport(args []string, out io.Writer) error {
 	dir := fs.String("dir", "", "store directory (created if missing)")
 	inPath := fs.String("in", "", "exported store file ('-' for stdin)")
 	maxBytes := fs.Int64("max-bytes", 0, "byte bound for the destination store (0 = unbounded)")
+	strict := fs.Bool("strict", false, "fail (exit non-zero) if any record in the stream was corrupt; without it corrupt records are skipped and only reported")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -222,5 +223,11 @@ func storeImport(args []string, out io.Writer) error {
 	s := st.Stats()
 	fmt.Fprintf(out, "imported %d artifacts (%d corrupt skipped); store now holds %d artifacts, %d live bytes\n",
 		added, corrupt, s.Entries, s.LiveBytes)
+	if *strict && corrupt > 0 {
+		// The clean records are already merged and stay merged — strict mode
+		// changes the verdict, not the import: a pipeline moving corpora
+		// between fleets gets a hard signal that the source needs a gc.
+		return fmt.Errorf("strict import: %d corrupt records in %s", corrupt, *inPath)
+	}
 	return nil
 }

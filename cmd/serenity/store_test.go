@@ -165,3 +165,50 @@ func TestStoreCLIErrors(t *testing.T) {
 		t.Error("import without -in accepted")
 	}
 }
+
+// TestStoreCLIImportStrict: -strict turns corrupt records in the stream from
+// a reported count into a non-zero exit, while a clean stream imports the
+// same either way. The clean records merge regardless — strict changes the
+// verdict, not the import.
+func TestStoreCLIImportStrict(t *testing.T) {
+	dir := populateStore(t)
+	exported := filepath.Join(t.TempDir(), "corpus.dat")
+	if err := storeMain([]string{"export", "-dir", dir, "-o", exported}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+
+	// A clean stream passes under -strict.
+	var out bytes.Buffer
+	if err := storeMain([]string{"import", "-dir", t.TempDir(), "-in", exported, "-strict"}, &out); err != nil {
+		t.Fatalf("strict import of a clean stream failed: %v\n%s", err, out.String())
+	}
+
+	// Vandalize the stream mid-record.
+	data, err := os.ReadFile(exported)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(exported, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Default mode: corrupt records are skipped, reported, and tolerated.
+	out.Reset()
+	if err := storeMain([]string{"import", "-dir", t.TempDir(), "-in", exported}, &out); err != nil {
+		t.Fatalf("lenient import of a damaged stream failed: %v\n%s", err, out.String())
+	}
+	if strings.Contains(out.String(), "(0 corrupt skipped)") {
+		t.Fatalf("vandalism went unnoticed: %s", out.String())
+	}
+
+	// Strict mode: same import, hard failure.
+	out.Reset()
+	err = storeMain([]string{"import", "-dir", t.TempDir(), "-in", exported, "-strict"}, &out)
+	if err == nil {
+		t.Fatalf("strict import passed a damaged stream:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "corrupt") {
+		t.Errorf("strict failure does not name the corruption: %v", err)
+	}
+}

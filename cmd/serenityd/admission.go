@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/serenity-ml/serenity/internal/fleet"
 )
 
 // admitClass is a request's admission priority. Lower values are admitted
@@ -171,6 +173,25 @@ func (a *admission) grantLocked() {
 			a.free -= head.weight
 			a.queues[c] = a.queues[c][1:]
 			close(head.granted)
+		}
+	}
+}
+
+// peerGate is the fleet tier's own admission lane: a plain non-queueing
+// semaphore of -peer-slots over the peer-facing handlers. Deliberately
+// separate from the compile-slot controller — a peer artifact fetch must
+// never wait behind a long local DP (its caller budgets a few hundred
+// milliseconds, then computes), and a flood of peer traffic must never
+// starve interactive compiles. Saturation sheds with 429; the fetching
+// peer treats that as a miss without tripping its breaker.
+func peerGate(slots int) fleet.Gate {
+	sem := make(chan struct{}, slots)
+	return func() (func(), bool) {
+		select {
+		case sem <- struct{}{}:
+			return func() { <-sem }, true
+		default:
+			return nil, false
 		}
 	}
 }

@@ -1,0 +1,197 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"reflect"
+	"testing"
+	"time"
+
+	serenity "github.com/serenity-ml/serenity"
+)
+
+// testFleet builds an n-node in-process fleet with the drill's constructor
+// and wires cleanup into the test.
+func testFleet(t *testing.T, n int) []*drillNode {
+	t.Helper()
+	opts := serenity.DefaultOptions()
+	opts.StepTimeout = 500 * time.Millisecond
+	opts.Parallelism = 4
+	nodes, err := newDrillFleet(opts, n)
+	t.Cleanup(func() {
+		for _, node := range nodes {
+			if node != nil {
+				node.close()
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nodes
+}
+
+func fleetPost(t *testing.T, node *drillNode, body []byte) *scheduleResponse {
+	t.Helper()
+	sr, err := drillPost(node.ts, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sr
+}
+
+// TestFleetPayOnceAcrossServers is the tentpole contract at serenityd scope:
+// node A compiles a corpus, write-behind replication distributes it, and node
+// B answers the same graphs with zero fresh DP searches and bit-identical
+// schedules, entirely from the fleet tier.
+func TestFleetPayOnceAcrossServers(t *testing.T) {
+	nodes := testFleet(t, 2)
+	a, b := nodes[0], nodes[1]
+	graphs := [][]byte{
+		graphBody(t, smallCell(21)),
+		graphBody(t, smallCell(22)),
+		graphBody(t, serenity.SwiftNetCellA()),
+	}
+
+	orders := make([][]int, len(graphs))
+	for i, g := range graphs {
+		orders[i] = fleetPost(t, a, g).Order
+	}
+	if a.s.states.Load() == 0 {
+		t.Fatal("node A's cold pass explored no states; the test workload is broken")
+	}
+	a.s.peers.Drain()
+
+	peerHitsInResponses := 0
+	for i, g := range graphs {
+		sr := fleetPost(t, b, g)
+		if !reflect.DeepEqual(sr.Order, orders[i]) {
+			t.Errorf("graph %d: node B order %v diverged from node A %v", i, sr.Order, orders[i])
+		}
+		peerHitsInResponses += sr.SegmentMemoPeerHits
+	}
+	if fresh := b.s.states.Load(); fresh != 0 {
+		t.Errorf("node B explored %d fresh DP states; the fleet should have answered every segment", fresh)
+	}
+	if bs := b.s.peers.Stats(); bs.Hits == 0 {
+		t.Error("node B's fleet client reported no peer hits")
+	}
+	if peerHitsInResponses == 0 {
+		t.Error("no response carried segment_memo_peer_hits > 0")
+	}
+	if got := metricValue(t, b.ts, "serenityd_peer_hits_total"); got == 0 {
+		t.Error("node B's /metrics exports zero serenityd_peer_hits_total")
+	}
+	if got := metricValue(t, b.ts, "serenityd_states_explored_total"); got != 0 {
+		t.Errorf("node B's /metrics exports %v fresh states", got)
+	}
+	// A served those fetches: its peer-facing hit counter moved too.
+	if got := metricValue(t, a.ts, "serenityd_peer_served_hits_total"); got == 0 {
+		t.Error("node A's /metrics exports zero serenityd_peer_served_hits_total")
+	}
+	if got := metricValue(t, a.ts, "serenityd_peer_ring_members"); got != 2 {
+		t.Errorf("ring members gauge = %v, want 2", got)
+	}
+}
+
+// TestFleetDeadPeerDegradesToLocalCompute: killing a peer mid-run must cost
+// latency, never correctness — an unseen graph still compiles exactly, with
+// no client-visible error.
+func TestFleetDeadPeerDegradesToLocalCompute(t *testing.T) {
+	nodes := testFleet(t, 2)
+	a, b := nodes[0], nodes[1]
+
+	// Warm the fleet so the surviving node has both kinds of keys.
+	warm := graphBody(t, smallCell(31))
+	want := fleetPost(t, a, warm)
+	a.s.peers.Drain()
+
+	a.ts.Close()
+
+	// The warm graph still answers (store/replicated records + local compute
+	// for whatever only A held), and an entirely fresh graph compiles exactly.
+	got := fleetPost(t, b, warm)
+	if !reflect.DeepEqual(got.Order, want.Order) {
+		t.Errorf("surviving node's schedule diverged:\nA: %v\nB: %v", want.Order, got.Order)
+	}
+	fresh := fleetPost(t, b, graphBody(t, smallCell(32)))
+	if fresh.Quality != serenity.QualityOptimal {
+		t.Errorf("dead-peer compile degraded quality to %q", fresh.Quality)
+	}
+	if b.s.states.Load() == 0 {
+		t.Error("surviving node never ran a local DP; the dead-peer path was not exercised")
+	}
+}
+
+// TestReadyzDistinctFromHealthz: /healthz is liveness and always answers 200;
+// /readyz answers 503 until boot completes (store warm, ring wired).
+func TestReadyzDistinctFromHealthz(t *testing.T) {
+	s, ts := testServer(t)
+
+	get := func(path string) int {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get("/healthz"); code != http.StatusOK {
+		t.Errorf("healthz during boot = %d, want 200 (liveness must not gate on readiness)", code)
+	}
+	if code := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("readyz before boot completion = %d, want 503", code)
+	}
+	s.ready.Store(true)
+	if code := get("/readyz"); code != http.StatusOK {
+		t.Errorf("readyz after boot = %d, want 200", code)
+	}
+}
+
+// TestReadyzReportsFleetMembership: a fleet node's readiness payload names
+// its ring so an operator can spot a node that joined the wrong cluster.
+func TestReadyzReportsFleetMembership(t *testing.T) {
+	nodes := testFleet(t, 3)
+	resp, err := nodes[0].ts.Client().Get(nodes[0].ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz = %d: %s", resp.StatusCode, data)
+	}
+	var body struct {
+		Status       string `json:"status"`
+		FleetMembers int    `json:"fleet_members"`
+		FleetSelf    string `json:"fleet_self"`
+	}
+	if err := json.Unmarshal(data, &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != "ready" || body.FleetMembers != 3 || body.FleetSelf == "" {
+		t.Errorf("readyz payload %s, want status=ready members=3 self set", data)
+	}
+}
+
+// TestFleetDrillSmoke runs the -loadgen-fleet drill end to end; it is the
+// same machinery CI's multi-process smoke exercises, kept green from go test.
+func TestFleetDrillSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("3-node drill compiles the full model zoo")
+	}
+	opts := serenity.DefaultOptions()
+	opts.StepTimeout = 500 * time.Millisecond
+	opts.Parallelism = 4
+	var out bytes.Buffer
+	if err := runFleetDrill(opts, &out); err != nil {
+		t.Fatalf("fleet drill failed: %v\n%s", err, out.String())
+	}
+	if !bytes.Contains(out.Bytes(), []byte("fleet drill: PASS")) {
+		t.Errorf("drill output missing PASS line:\n%s", out.String())
+	}
+}

@@ -1,0 +1,233 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"reflect"
+	"sync/atomic"
+	"time"
+
+	serenity "github.com/serenity-ml/serenity"
+	"github.com/serenity-ml/serenity/internal/fleet"
+)
+
+// drillNode is one member of the in-process drill fleet.
+type drillNode struct {
+	s   *server
+	ts  *httptest.Server
+	dir string
+}
+
+// newDrillFleet stands up n serenityd instances, each with its own segment
+// memo and persistent store, joined into one consistent-hash ring over their
+// httptest URLs. The handlers are late-bound because the ring needs every
+// member's URL, and URLs only exist once the listeners are up.
+func newDrillFleet(opts serenity.Options, n int) ([]*drillNode, error) {
+	handlers := make([]atomic.Value, n)
+	nodes := make([]*drillNode, n)
+	urls := make([]string, n)
+	for i := range nodes {
+		i := i
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			h, _ := handlers[i].Load().(http.Handler)
+			if h == nil {
+				http.Error(w, "booting", http.StatusServiceUnavailable)
+				return
+			}
+			h.ServeHTTP(w, r)
+		}))
+		nodes[i] = &drillNode{ts: ts}
+		urls[i] = ts.URL
+	}
+	for i, node := range nodes {
+		dir, err := os.MkdirTemp("", "serenityd-fleet-drill-")
+		if err != nil {
+			return nodes, err
+		}
+		node.dir = dir
+		store, err := serenity.OpenScheduleStore(dir, 0)
+		if err != nil {
+			return nodes, err
+		}
+		ring, err := fleet.NewRing(urls[i], urls, fleet.DefaultVirtualNodes)
+		if err != nil {
+			return nodes, err
+		}
+		s := newServer(opts, 64)
+		s.segMemo = serenity.NewSegmentMemo(4096)
+		s.store = store
+		s.ring = ring
+		// Generous fetch budget: the drill proves correctness, not latency,
+		// and a loaded CI machine must not flake it on a slow scheduler tick.
+		s.peers = fleet.NewClient(ring, fleet.ClientOptions{Timeout: 2 * time.Second})
+		s.peerSrv = fleet.NewServer(store, ring, peerGate(8))
+		// No background loop: the drill drives anti-entropy deterministically
+		// through SyncOnce.
+		s.syncer = fleet.NewSyncer(store, ring, fleet.SyncerOptions{Batch: 64})
+		s.ready.Store(true)
+		node.s = s
+		handlers[i].Store(s.handler())
+	}
+	return nodes, nil
+}
+
+func (n *drillNode) close() {
+	if n.ts != nil {
+		n.ts.Close()
+	}
+	if n.s != nil {
+		closeFleet(n.s)
+		closeStore(n.s)
+	}
+	if n.dir != "" {
+		os.RemoveAll(n.dir)
+	}
+}
+
+// drillPost compiles one graph on a node and decodes the response.
+func drillPost(ts *httptest.Server, body []byte) (*scheduleResponse, error) {
+	resp, err := ts.Client().Post(ts.URL+"/v1/schedule", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("schedule on %s answered %d: %s", ts.URL, resp.StatusCode, data)
+	}
+	var sr scheduleResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		return nil, err
+	}
+	return &sr, nil
+}
+
+// runFleetDrill (-loadgen-fleet) proves the fleet's contract end to end on a
+// 3-node in-process cluster:
+//
+//  1. Global pay-once — node A compiles the bundled model zoo and its
+//     write-behind replication distributes the artifacts to their ring
+//     owners; node B then compiles the same zoo with ZERO fresh DP states
+//     (every segment answered by a peer fetch or a replicated store record)
+//     and bit-identical schedules.
+//  2. Anti-entropy — node C, which never saw the traffic, pulls the corpus
+//     digest-diff by digest-diff in capped batches until it converges, then
+//     also compiles the zoo without fresh search work.
+//  3. Dead-owner degradation — node A is killed outright; a graph nobody has
+//     compiled still gets an exact schedule from node B (peer fetches time
+//     out, the DP runs locally, no client-visible error).
+func runFleetDrill(opts serenity.Options, out io.Writer) error {
+	bodies, err := loadgenWorkload()
+	if err != nil {
+		return err
+	}
+	nodes, err := newDrillFleet(opts, 3)
+	defer func() {
+		for _, n := range nodes {
+			if n != nil {
+				n.close()
+			}
+		}
+	}()
+	if err != nil {
+		return err
+	}
+	a, b, c := nodes[0], nodes[1], nodes[2]
+	fmt.Fprintf(out, "fleet drill: 3 nodes, %d graphs; shares A=%.2f B=%.2f C=%.2f\n",
+		len(bodies), a.s.ring.OwnedShare(4096), b.s.ring.OwnedShare(4096), c.s.ring.OwnedShare(4096))
+
+	// Pass 1: node A pays for the corpus.
+	start := time.Now()
+	orders := make([][]int, len(bodies))
+	for i, body := range bodies {
+		sr, err := drillPost(a.ts, body)
+		if err != nil {
+			return err
+		}
+		orders[i] = sr.Order
+	}
+	coldElapsed := time.Since(start)
+	// The drill is a barrier-style drill: wait for every write-behind
+	// replication so B's "zero fresh states" assertion is deterministic.
+	a.s.peers.Drain()
+	fmt.Fprintf(out, "fleet drill: node A cold pass %s, %d fresh DP states, %d artifacts replicated to owners\n",
+		coldElapsed.Round(time.Millisecond), a.s.states.Load(), a.s.peers.Stats().Replicated)
+
+	// Pass 2: node B compiles the same zoo from the fleet alone.
+	start = time.Now()
+	for i, body := range bodies {
+		sr, err := drillPost(b.ts, body)
+		if err != nil {
+			return err
+		}
+		if !reflect.DeepEqual(sr.Order, orders[i]) {
+			return fmt.Errorf("fleet drill: node B's schedule for graph %d diverged from node A's", i)
+		}
+	}
+	warmElapsed := time.Since(start)
+	bs := b.s.peers.Stats()
+	if fresh := b.s.states.Load(); fresh != 0 {
+		return fmt.Errorf("fleet drill: node B explored %d fresh DP states; the fleet should have answered every segment", fresh)
+	}
+	if bs.Hits == 0 {
+		return fmt.Errorf("fleet drill: node B reported no peer hits compiling a fleet-warm corpus")
+	}
+	fmt.Fprintf(out, "fleet drill: node B warm pass %s (%.1fx cold), 0 fresh DP states, %d peer hits, bit-identical schedules\n",
+		warmElapsed.Round(time.Millisecond), coldElapsed.Seconds()/warmElapsed.Seconds(), bs.Hits)
+
+	// Anti-entropy: node C pulls the corpus from A in capped batches.
+	pulled, rounds := 0, 0
+	for ; rounds < 64; rounds++ {
+		n, err := c.s.syncer.SyncOnce(context.Background(), a.ts.URL)
+		if err != nil {
+			return fmt.Errorf("fleet drill: anti-entropy round %d: %w", rounds, err)
+		}
+		pulled += n
+		if n == 0 {
+			break
+		}
+	}
+	if pulled == 0 {
+		return fmt.Errorf("fleet drill: anti-entropy pulled nothing; node A's corpus should have been missing from C")
+	}
+	for i, body := range bodies {
+		sr, err := drillPost(c.ts, body)
+		if err != nil {
+			return err
+		}
+		if !reflect.DeepEqual(sr.Order, orders[i]) {
+			return fmt.Errorf("fleet drill: node C's schedule for graph %d diverged after anti-entropy", i)
+		}
+	}
+	if fresh := c.s.states.Load(); fresh != 0 {
+		return fmt.Errorf("fleet drill: node C explored %d fresh DP states after anti-entropy convergence", fresh)
+	}
+	fmt.Fprintf(out, "fleet drill: node C converged via anti-entropy: %d records over %d rounds, then compiled the zoo with 0 fresh DP states\n",
+		pulled, rounds+1)
+
+	// Dead-owner degradation: kill A, then compile a graph nobody has seen on
+	// B. Peer fetches to the dead owner fail fast and the DP runs locally.
+	a.ts.Close()
+	fresh := serenity.RandWireCell("rw-fleet-drill-dead-owner", 24, 4, 0.75, 99, 16, 8)
+	var buf bytes.Buffer
+	if err := serenity.WriteGraphJSON(&buf, fresh); err != nil {
+		return err
+	}
+	sr, err := drillPost(b.ts, buf.Bytes())
+	if err != nil {
+		return fmt.Errorf("fleet drill: compile with a dead peer surfaced an error: %w", err)
+	}
+	if sr.Quality != serenity.QualityOptimal {
+		return fmt.Errorf("fleet drill: dead-peer compile degraded quality to %q", sr.Quality)
+	}
+	fmt.Fprintf(out, "fleet drill: killed node A; node B compiled an unseen graph locally (%d fresh states, quality %s, no error)\n",
+		b.s.states.Load(), sr.Quality)
+	fmt.Fprintln(out, "fleet drill: PASS")
+	return nil
+}

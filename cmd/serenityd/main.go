@@ -69,6 +69,21 @@
 // drains in-flight requests for -drain-timeout and flushes the store before
 // exiting.
 //
+// With -peer-addr and -peers the store becomes one shard of a distributed
+// compile fleet: a static cluster of serenityd instances sharing one global
+// artifact corpus over a consistent-hash ring, so each distinct segment
+// fingerprint pays its DP once fleet-wide. A memo/disk miss asks the key's
+// ring owner (GET /v1/peer/segment/{key}, budgeted by -peer-timeout) before
+// falling back to the local DP; fresh local computes of non-owned keys are
+// replicated to their owners in the background; and a pull-based anti-entropy
+// loop (-peer-sync-interval) converges whatever replication missed, a capped
+// batch per round. Peer traffic runs in its own admission lane (-peer-slots),
+// apart from compile slots. Every fleet failure mode — dead peer, slow peer,
+// corrupt artifact — degrades to local compute, never to a client-visible
+// error. GET /readyz answers 503 until the store warm-start and ring wiring
+// finish, so load balancers can hold traffic off a booting node (/healthz
+// stays a pure liveness probe).
+//
 // Example:
 //
 //	graphgen -net swiftnet-a -o model.json   # any JSON IR producer works
@@ -98,6 +113,7 @@ import (
 	"time"
 
 	serenity "github.com/serenity-ml/serenity"
+	"github.com/serenity-ml/serenity/internal/fleet"
 )
 
 func main() {
@@ -118,9 +134,18 @@ func main() {
 	admitQueue := flag.Int("admit-queue", 64, "per-class admission wait-queue depth; a full class answers 429 + Retry-After")
 	refineWorkers := flag.Int("refine-workers", 1, "background refinement workers repairing degraded schedules (0 disables serve-then-refine)")
 	refineQueue := flag.Int("refine-queue", 256, "background refinement queue depth; overflow refinements are shed")
+	peersFlag := flag.String("peers", "", "comma-separated fleet member base URLs (e.g. http://10.0.0.5:7433,http://10.0.0.6:7433); requires -peer-addr")
+	peerAddr := flag.String("peer-addr", "", "this node's own base URL as fleet peers dial it; joins the fleet and requires -store-dir (the store is the fleet-visible corpus)")
+	peerVnodes := flag.Int("peer-vnodes", fleet.DefaultVirtualNodes, "consistent-hash virtual nodes per fleet member")
+	peerTimeout := flag.Duration("peer-timeout", 250*time.Millisecond, "per-attempt budget for one peer artifact fetch; a slow peer costs at most two of these, then its breaker trips")
+	peerConcurrency := flag.Int("peer-concurrency", 8, "in-flight peer fetches; arrivals beyond the bound skip the fleet tier instead of queueing")
+	peerSlots := flag.Int("peer-slots", 4, "concurrently served peer requests, a dedicated admission lane apart from -compile-slots (0 = unlimited)")
+	peerSyncInterval := flag.Duration("peer-sync-interval", 15*time.Second, "anti-entropy round interval, jittered per node (0 disables the background sync loop)")
+	peerSyncBatch := flag.Int("peer-sync-batch", 512, "max store records pulled per anti-entropy round; a rebooted node converges over several rounds instead of thundering onto one peer")
 	loadgen := flag.Bool("loadgen", false, "run the load generator against an in-process server instead of serving")
 	loadN := flag.Int("loadgen-n", 200, "loadgen: total requests")
 	loadC := flag.Int("loadgen-c", 16, "loadgen: concurrent clients")
+	loadgenFleet := flag.Bool("loadgen-fleet", false, "drill a 3-node in-process fleet (pay-once, anti-entropy, dead-owner degradation) instead of serving")
 	flag.Parse()
 
 	opts := serenity.DefaultOptions()
@@ -161,6 +186,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "serenityd: -store-max-bytes requires -store-dir")
 		os.Exit(2)
 	}
+	if *peersFlag != "" && *peerAddr == "" {
+		fmt.Fprintln(os.Stderr, "serenityd: -peers requires -peer-addr (this node's own base URL)")
+		os.Exit(2)
+	}
+	if *peerAddr != "" && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "serenityd: -peer-addr requires -store-dir (the persistent store is the fleet-visible artifact corpus)")
+		os.Exit(2)
+	}
 	if *storeDir != "" {
 		maxBytes, err := parseBytes(*storeMax)
 		if err != nil {
@@ -176,6 +209,33 @@ func main() {
 		st := store.Stats()
 		log.Printf("serenityd warm-start: %d segment artifacts (%d bytes) from %s (%d corrupt records skipped)",
 			st.Entries, st.LiveBytes, *storeDir, st.CorruptRecords)
+	}
+
+	if *peerAddr != "" {
+		ring, err := fleet.NewRing(*peerAddr, splitPeers(*peersFlag), *peerVnodes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serenityd:", err)
+			os.Exit(2)
+		}
+		s.ring = ring
+		s.peers = fleet.NewClient(ring, fleet.ClientOptions{
+			Timeout:     *peerTimeout,
+			Concurrency: *peerConcurrency,
+		})
+		var gate fleet.Gate
+		if *peerSlots > 0 {
+			gate = peerGate(*peerSlots)
+		}
+		s.peerSrv = fleet.NewServer(s.store, ring, gate)
+		if *peerSyncInterval > 0 && len(ring.Peers()) > 0 {
+			s.syncer = fleet.NewSyncer(s.store, ring, fleet.SyncerOptions{
+				Interval: *peerSyncInterval,
+				Batch:    *peerSyncBatch,
+			})
+			s.syncer.Start()
+		}
+		log.Printf("serenityd fleet: %d members, self %s owns ~%.1f%% of the keyspace",
+			len(ring.Members()), ring.Self(), 100*ring.OwnedShare(4096))
 	}
 
 	if *refineWorkers > 0 {
@@ -195,8 +255,23 @@ func main() {
 		s.refine = serenity.NewRefinePool(s.segMemo, s.store, ropts)
 	}
 
+	s.ready.Store(true)
+
+	if *loadgenFleet {
+		// The drill builds its own 3-node fleet; the server assembled above
+		// only contributed flag validation, so release its resources first.
+		closeFleet(s)
+		closeRefine(s)
+		closeStore(s)
+		if err := runFleetDrill(opts, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "serenityd:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *loadgen {
 		err := runLoadgen(s, *loadN, *loadC, os.Stdout)
+		closeFleet(s)
 		closeRefine(s)
 		closeStore(s)
 		if err != nil {
@@ -227,6 +302,7 @@ func main() {
 	go func() { serveErr <- srv.ListenAndServe() }()
 	select {
 	case err := <-serveErr:
+		closeFleet(s)
 		closeRefine(s)
 		closeStore(s)
 		fmt.Fprintln(os.Stderr, "serenityd:", err)
@@ -243,11 +319,43 @@ func main() {
 		if serr := <-serveErr; serr != nil && !errors.Is(serr, http.ErrServerClosed) {
 			log.Printf("serenityd: %v", serr)
 		}
-		// The refinement pool writes through to the memo, store, and cache;
-		// stop it before the store so every accepted repair is flushed.
+		// Shutdown order matters: the syncer and replication client write to
+		// the store, the refinement pool writes to the memo, store, and cache
+		// — stop each producer before the tier it feeds, store last.
+		closeFleet(s)
 		closeRefine(s)
 		closeStore(s)
 		log.Printf("serenityd stopped")
+	}
+}
+
+// splitPeers parses the -peers flag: comma-separated base URLs, blanks
+// dropped (the ring normalizes and deduplicates further).
+func splitPeers(list string) []string {
+	var out []string
+	for _, p := range strings.Split(list, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// closeFleet stops the anti-entropy loop and the peer fetch/replication
+// client. It must precede closeRefine/closeStore so no fleet-driven write
+// lands on a store that has already shut down.
+func closeFleet(s *server) {
+	if s.syncer != nil {
+		s.syncer.Stop()
+		ys := s.syncer.Stats()
+		log.Printf("serenityd: anti-entropy stopped: %d rounds, %d records pulled, %d errors",
+			ys.Rounds, ys.Pulled, ys.Errors)
+	}
+	if s.peers != nil {
+		s.peers.Close()
+		cs := s.peers.Stats()
+		log.Printf("serenityd: fleet client stopped: %d peer hits, %d misses (%d timeouts), %d replicated, %d replication drops",
+			cs.Hits, cs.Misses, cs.Timeouts, cs.Replicated, cs.ReplicationDropped)
 	}
 }
 

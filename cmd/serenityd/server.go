@@ -14,6 +14,7 @@ import (
 
 	serenity "github.com/serenity-ml/serenity"
 	"github.com/serenity-ml/serenity/internal/cache"
+	"github.com/serenity-ml/serenity/internal/fleet"
 )
 
 // maxRequestBytes bounds a /v1/schedule request body; the largest bundled
@@ -58,6 +59,10 @@ type scheduleResponse struct {
 	// previous process. Nonzero right after a restart is the warm-start
 	// working.
 	SegmentMemoDiskHits int `json:"segment_memo_disk_hits,omitempty"`
+	// SegmentMemoPeerHits is the subset of SegmentMemoHits answered by the
+	// distributed fleet tier (-peers): artifacts another node computed and this
+	// one fetched from the key's ring owner instead of re-running the DP.
+	SegmentMemoPeerHits int `json:"segment_memo_peer_hits,omitempty"`
 	// MaxFrontier is the largest number of coexisting DP signatures any
 	// segment's search held — how close the compilation came to the
 	// server's state-cap valve.
@@ -120,6 +125,20 @@ type server struct {
 	// server's response cache once a compile slot is free (lowest priority
 	// class). See serenity.RefinePool.
 	refine *serenity.RefinePool
+	// Fleet tier (-peers/-peer-addr), all nil on a fleetless server: ring is
+	// the consistent-hash membership; peers the bounded fetch/replication
+	// client the pipeline consults as its PeerTier; peerSrv the peer-facing
+	// HTTP surface (artifact get/put, digest, sync) mounted on the same mux;
+	// syncer the background anti-entropy loop. See internal/fleet.
+	ring    *fleet.Ring
+	peers   *fleet.Client
+	peerSrv *fleet.Server
+	syncer  *fleet.Syncer
+	// ready flips once boot completed: store warm-started and the fleet ring
+	// (when configured) wired. /readyz answers 503 until then so a load
+	// balancer holds traffic off a node still importing its corpus, while
+	// /healthz stays a pure liveness probe.
+	ready atomic.Bool
 
 	// flights coalesces concurrent compilations of the same key into one
 	// (singleflight); followers of a canceled leader retry on their own.
@@ -174,7 +193,11 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/v1/schedule", s.handleSchedule)
 	mux.HandleFunc("/v1/schedule/batch", s.handleScheduleBatch)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	if s.peerSrv != nil {
+		s.peerSrv.Register(mux)
+	}
 	return mux
 }
 
@@ -469,6 +492,11 @@ func (s *server) compute(ctx context.Context, g *serenity.Graph, opts serenity.O
 	p.SegmentMemo = s.segMemo
 	p.Store = s.store
 	p.RefinePool = s.refine
+	if s.peers != nil {
+		// Conditional so a fleetless server leaves the interface nil rather
+		// than holding a typed nil *fleet.Client.
+		p.Peers = s.peers
+	}
 	// The Observer feeds the /metrics stage and fallback counters as the
 	// compilation runs, so a long compile is visible before it finishes.
 	p.Observer = serenity.ObserverFunc(func(e serenity.Event) {
@@ -517,6 +545,7 @@ func (s *server) compute(ctx context.Context, g *serenity.Graph, opts serenity.O
 		StatesExplored:      res.StatesExplored,
 		SegmentMemoHits:     res.SegmentMemoHits,
 		SegmentMemoDiskHits: res.SegmentMemoDiskHits,
+		SegmentMemoPeerHits: res.SegmentMemoPeerHits,
 		MaxFrontier:         res.MaxFrontier,
 		ScheduleVersion:     1,
 		RefinementsQueued:   res.RefinementsQueued,
@@ -648,6 +677,26 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleReadyz is the readiness probe, distinct from liveness: it answers 503
+// until the boot sequence finished (persistent store warm-started, fleet ring
+// wired when configured), so an orchestrator keeps traffic off a node still
+// importing its corpus without restarting a process that is merely slow.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "starting"})
+		return
+	}
+	resp := map[string]any{
+		"status": "ready",
+		"uptime": time.Since(s.started).Round(time.Millisecond).String(),
+	}
+	if s.ring != nil {
+		resp["fleet_members"] = len(s.ring.Members())
+		resp["fleet_self"] = s.ring.Self()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	cs := s.cache.Stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -770,6 +819,59 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP serenityd_refinements_outstanding Refinements queued or running right now.\n")
 	fmt.Fprintf(w, "# TYPE serenityd_refinements_outstanding gauge\n")
 	fmt.Fprintf(w, "serenityd_refinements_outstanding %d\n", rs.Outstanding)
+	if s.peers != nil {
+		ps := s.peers.Stats()
+		fmt.Fprintf(w, "# HELP serenityd_peer_hits_total Segment artifacts fetched from a fleet peer instead of a fresh search.\n")
+		fmt.Fprintf(w, "# TYPE serenityd_peer_hits_total counter\n")
+		fmt.Fprintf(w, "serenityd_peer_hits_total %d\n", ps.Hits)
+		fmt.Fprintf(w, "# HELP serenityd_peer_misses_total Peer fetches that came back empty (404, dead peer, breaker, shed); the caller computed locally.\n")
+		fmt.Fprintf(w, "# TYPE serenityd_peer_misses_total counter\n")
+		fmt.Fprintf(w, "serenityd_peer_misses_total %d\n", ps.Misses)
+		fmt.Fprintf(w, "# HELP serenityd_peer_timeouts_total Peer fetch attempts that ran out their per-attempt budget.\n")
+		fmt.Fprintf(w, "# TYPE serenityd_peer_timeouts_total counter\n")
+		fmt.Fprintf(w, "serenityd_peer_timeouts_total %d\n", ps.Timeouts)
+		fmt.Fprintf(w, "# HELP serenityd_peer_replicated_total Locally computed artifacts pushed to their ring owners (write-behind).\n")
+		fmt.Fprintf(w, "# TYPE serenityd_peer_replicated_total counter\n")
+		fmt.Fprintf(w, "serenityd_peer_replicated_total %d\n", ps.Replicated)
+		fmt.Fprintf(w, "# HELP serenityd_peer_replication_dropped_total Replication pushes shed (queue overflow, dead owner); anti-entropy heals them.\n")
+		fmt.Fprintf(w, "# TYPE serenityd_peer_replication_dropped_total counter\n")
+		fmt.Fprintf(w, "serenityd_peer_replication_dropped_total %d\n", ps.ReplicationDropped)
+	}
+	if s.peerSrv != nil {
+		fs := s.peerSrv.Stats()
+		fmt.Fprintf(w, "# HELP serenityd_peer_served_hits_total Peer artifact GETs this node answered with a payload.\n")
+		fmt.Fprintf(w, "# TYPE serenityd_peer_served_hits_total counter\n")
+		fmt.Fprintf(w, "serenityd_peer_served_hits_total %d\n", fs.SegmentHits)
+		fmt.Fprintf(w, "# HELP serenityd_peer_served_misses_total Peer artifact GETs this node answered 404.\n")
+		fmt.Fprintf(w, "# TYPE serenityd_peer_served_misses_total counter\n")
+		fmt.Fprintf(w, "serenityd_peer_served_misses_total %d\n", fs.SegmentMisses)
+		fmt.Fprintf(w, "# HELP serenityd_peer_shed_total Peer requests refused by the peer admission lane (-peer-slots).\n")
+		fmt.Fprintf(w, "# TYPE serenityd_peer_shed_total counter\n")
+		fmt.Fprintf(w, "serenityd_peer_shed_total %d\n", fs.Shed)
+		fmt.Fprintf(w, "# HELP serenityd_peer_sync_records_total Store records streamed out to peers' anti-entropy pulls.\n")
+		fmt.Fprintf(w, "# TYPE serenityd_peer_sync_records_total counter\n")
+		fmt.Fprintf(w, "serenityd_peer_sync_records_total %d\n", fs.SyncRecords)
+	}
+	if s.syncer != nil {
+		ys := s.syncer.Stats()
+		fmt.Fprintf(w, "# HELP serenityd_peer_sync_rounds_total Anti-entropy rounds completed (including no-op ones).\n")
+		fmt.Fprintf(w, "# TYPE serenityd_peer_sync_rounds_total counter\n")
+		fmt.Fprintf(w, "serenityd_peer_sync_rounds_total %d\n", ys.Rounds)
+		fmt.Fprintf(w, "# HELP serenityd_peer_sync_pulled_total Store records imported from peers by anti-entropy.\n")
+		fmt.Fprintf(w, "# TYPE serenityd_peer_sync_pulled_total counter\n")
+		fmt.Fprintf(w, "serenityd_peer_sync_pulled_total %d\n", ys.Pulled)
+		fmt.Fprintf(w, "# HELP serenityd_peer_sync_errors_total Anti-entropy rounds that failed (unreachable peer, alien stream).\n")
+		fmt.Fprintf(w, "# TYPE serenityd_peer_sync_errors_total counter\n")
+		fmt.Fprintf(w, "serenityd_peer_sync_errors_total %d\n", ys.Errors)
+	}
+	if s.ring != nil {
+		fmt.Fprintf(w, "# HELP serenityd_peer_ring_members Fleet membership size, this node included.\n")
+		fmt.Fprintf(w, "# TYPE serenityd_peer_ring_members gauge\n")
+		fmt.Fprintf(w, "serenityd_peer_ring_members %d\n", len(s.ring.Members()))
+		fmt.Fprintf(w, "# HELP serenityd_peer_ring_owned_share Estimated fraction of the keyspace this node owns; far from 1/members means a misbalanced ring.\n")
+		fmt.Fprintf(w, "# TYPE serenityd_peer_ring_owned_share gauge\n")
+		fmt.Fprintf(w, "serenityd_peer_ring_owned_share %.4f\n", s.ring.OwnedShare(4096))
+	}
 	if s.admit != nil {
 		fmt.Fprintf(w, "# HELP serenityd_admission_admitted_total Compile-slot acquisitions granted, per priority class.\n")
 		fmt.Fprintf(w, "# TYPE serenityd_admission_admitted_total counter\n")

@@ -1,0 +1,391 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Peer endpoint paths, shared by Client and Server so the two sides cannot
+// drift apart.
+const (
+	segmentPathPrefix = "/v1/peer/segment/"
+	digestPath        = "/v1/peer/digest"
+	syncPath          = "/v1/peer/sync"
+)
+
+// maxArtifactBytes bounds one fetched artifact body: at 4 bytes per scheduled
+// node this is far beyond any real segment, and it keeps a confused or
+// malicious peer from ballooning a fetch into an allocation incident.
+const maxArtifactBytes = 16 << 20
+
+// ClientOptions tune the fetch path. The zero value is usable: every field
+// falls back to the default documented on it.
+type ClientOptions struct {
+	// Timeout bounds each fetch attempt. The budget exists so a slow peer
+	// costs a small constant instead of the DP time it was trying to save;
+	// default 250ms.
+	Timeout time.Duration
+	// Concurrency bounds in-flight peer fetches. Arrivals beyond the bound
+	// miss immediately rather than queue — queueing behind slow fetches is
+	// exactly the cost bound this client exists to enforce. Default 8.
+	Concurrency int
+	// NegativeTTL is how long a fetched miss (owner answered 404) is
+	// remembered so a storm of identical cold keys costs one round trip, not
+	// one per request. Default 2s.
+	NegativeTTL time.Duration
+	// BreakerBackoff is how long a peer that timed out or refused a
+	// connection is skipped entirely; during the window every fetch routed to
+	// it misses instantly. Default 3s.
+	BreakerBackoff time.Duration
+	// ReplicationQueue bounds the write-behind replication queue; overflow
+	// drops the replication (the owner converges later via anti-entropy).
+	// Default 256.
+	ReplicationQueue int
+	// HTTPClient overrides the transport (tests); nil uses a dedicated
+	// client with sane connection pooling.
+	HTTPClient *http.Client
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.Timeout <= 0 {
+		o.Timeout = 250 * time.Millisecond
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 8
+	}
+	if o.NegativeTTL <= 0 {
+		o.NegativeTTL = 2 * time.Second
+	}
+	if o.BreakerBackoff <= 0 {
+		o.BreakerBackoff = 3 * time.Second
+	}
+	if o.ReplicationQueue <= 0 {
+		o.ReplicationQueue = 256
+	}
+	if o.HTTPClient == nil {
+		o.HTTPClient = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 16,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	return o
+}
+
+// ClientStats is a snapshot of the fetch/replication counters.
+type ClientStats struct {
+	// Hits are fetches that returned an artifact payload; Misses everything
+	// else the compile path asked for (404s, errors, breaker skips, negative
+	// cache, concurrency shedding). Timeouts is the subset of misses whose
+	// attempts ran out the per-attempt budget.
+	Hits     int64
+	Misses   int64
+	Timeouts int64
+	// Replicated counts write-behind artifact pushes accepted by owners;
+	// ReplicationDropped counts pushes shed on queue overflow or shutdown.
+	Replicated         int64
+	ReplicationDropped int64
+}
+
+// replicaPush is one queued write-behind replication.
+type replicaPush struct {
+	key     string
+	payload []byte
+}
+
+// Client is the compile path's peer tier: Fetch asks a key's ring owner for
+// the artifact before the caller falls back to running the DP, and Replicate
+// pushes locally computed non-owned artifacts to their owners in the
+// background. It implements serenity.PeerTier. Safe for concurrent use.
+type Client struct {
+	ring *Ring
+	opts ClientOptions
+	sem  chan struct{}
+
+	mu       sync.Mutex
+	negative map[string]time.Time // key -> expiry of a remembered miss
+	down     map[string]time.Time // peer -> end of its breaker window
+	closed   bool
+
+	pushCh  chan replicaPush
+	pending atomic.Int64 // enqueued replications not yet fully processed
+	wg      sync.WaitGroup
+
+	hits, misses, timeouts atomic.Int64
+	replicated, repDropped atomic.Int64
+}
+
+// NewClient builds the peer fetch client for ring. Close it on shutdown to
+// stop the replication worker.
+func NewClient(ring *Ring, opts ClientOptions) *Client {
+	o := opts.withDefaults()
+	c := &Client{
+		ring:     ring,
+		opts:     o,
+		sem:      make(chan struct{}, o.Concurrency),
+		negative: make(map[string]time.Time),
+		down:     make(map[string]time.Time),
+		pushCh:   make(chan replicaPush, o.ReplicationQueue),
+	}
+	c.wg.Add(1)
+	go c.replicator()
+	return c
+}
+
+// Ring returns the membership the client routes over.
+func (c *Client) Ring() *Ring { return c.ring }
+
+// Owns implements serenity.PeerTier.
+func (c *Client) Owns(key string) bool { return c.ring.Owns(key) }
+
+// Stats returns a snapshot of the client's counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Hits:               c.hits.Load(),
+		Misses:             c.misses.Load(),
+		Timeouts:           c.timeouts.Load(),
+		Replicated:         c.replicated.Load(),
+		ReplicationDropped: c.repDropped.Load(),
+	}
+}
+
+// Fetch implements serenity.PeerTier: it asks key's ring owner for the raw
+// artifact payload. Every failure mode — dead peer, slow peer, 404, overload,
+// shutdown — returns ok=false so the caller computes locally; Fetch never
+// surfaces an error. One transport-level retry, then the peer's breaker
+// trips.
+func (c *Client) Fetch(ctx context.Context, key string) ([]byte, bool) {
+	owner := c.ring.Owner(key)
+	if owner == c.ring.Self() {
+		return nil, false
+	}
+	now := time.Now()
+	c.mu.Lock()
+	if c.closed || now.Before(c.negative[key]) || now.Before(c.down[owner]) {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.mu.Unlock()
+
+	// Bounded concurrency, non-queueing: if every fetch slot is busy the
+	// fleet is already saturating its peer budget, and waiting in line would
+	// add unbounded latency to a path whose whole contract is "cheap or not
+	// at all".
+	select {
+	case c.sem <- struct{}{}:
+	default:
+		c.misses.Add(1)
+		return nil, false
+	}
+	defer func() { <-c.sem }()
+
+	reqURL := owner + segmentPathPrefix + url.PathEscape(key)
+	var lastTimeout bool
+	for attempt := 0; attempt < 2; attempt++ {
+		payload, status, err := c.getOnce(ctx, reqURL)
+		switch {
+		case err == nil && status == http.StatusOK:
+			c.hits.Add(1)
+			return payload, true
+		case err == nil && status == http.StatusNotFound:
+			// The authoritative owner does not have it; nobody does. Remember
+			// the miss so the herd behind this key computes instead of dialing.
+			c.mu.Lock()
+			c.negative[key] = time.Now().Add(c.opts.NegativeTTL)
+			c.pruneNegativeLocked()
+			c.mu.Unlock()
+			c.misses.Add(1)
+			return nil, false
+		case err == nil:
+			// Overload (429) or an unexpected status: one retry, then miss
+			// without tripping the breaker — the peer is alive, just busy.
+			lastTimeout = false
+		default:
+			if ctx.Err() != nil {
+				// The compile itself is done waiting; not the peer's fault.
+				c.misses.Add(1)
+				return nil, false
+			}
+			lastTimeout = true
+			c.timeouts.Add(1)
+		}
+	}
+	if lastTimeout {
+		// Two consecutive transport failures: stop dialing this peer for a
+		// while. Fetches routed to it during the window miss instantly, so a
+		// dead owner costs the fleet one breaker window of round trips, total.
+		c.mu.Lock()
+		c.down[owner] = time.Now().Add(c.opts.BreakerBackoff)
+		c.mu.Unlock()
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// getOnce performs one GET attempt under the per-attempt timeout.
+func (c *Client) getOnce(ctx context.Context, reqURL string) ([]byte, int, error) {
+	attemptCtx, cancel := context.WithTimeout(ctx, c.opts.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(attemptCtx, http.MethodGet, reqURL, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := c.opts.HTTPClient.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, resp.StatusCode, nil
+	}
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, maxArtifactBytes+1))
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(payload) > maxArtifactBytes {
+		return nil, 0, fmt.Errorf("fleet: artifact exceeds %d bytes", maxArtifactBytes)
+	}
+	return payload, http.StatusOK, nil
+}
+
+// pruneNegativeLocked bounds the negative cache; expired entries go first,
+// and if a flood of distinct cold keys outruns expiry the whole map resets —
+// losing remembered misses only costs extra 404s, never correctness.
+func (c *Client) pruneNegativeLocked() {
+	if len(c.negative) < 4096 {
+		return
+	}
+	now := time.Now()
+	for k, exp := range c.negative {
+		if now.After(exp) {
+			delete(c.negative, k)
+		}
+	}
+	if len(c.negative) >= 4096 {
+		c.negative = make(map[string]time.Time)
+	}
+}
+
+// Replicate implements serenity.PeerTier: it enqueues a write-behind push of
+// a locally computed artifact to key's ring owner. Non-blocking — the compile
+// path never waits on replication; overflow is dropped and counted, and
+// anti-entropy heals whatever the drops missed.
+func (c *Client) Replicate(key string, payload []byte) {
+	if c.ring.Owner(key) == c.ring.Self() {
+		return
+	}
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		c.repDropped.Add(1)
+		return
+	}
+	c.pending.Add(1)
+	select {
+	case c.pushCh <- replicaPush{key: key, payload: payload}:
+	default:
+		c.pending.Add(-1)
+		c.repDropped.Add(1)
+	}
+}
+
+// replicator drains the write-behind queue, PUTting each artifact to its
+// owner. Failures are dropped and counted: the artifact still exists locally
+// and in the local store, so the only cost is that the owner converges via
+// anti-entropy instead of immediately.
+func (c *Client) replicator() {
+	defer c.wg.Done()
+	for p := range c.pushCh {
+		c.replicateOne(p)
+		c.pending.Add(-1)
+	}
+}
+
+func (c *Client) replicateOne(p replicaPush) {
+	owner := c.ring.Owner(p.key)
+	if owner == c.ring.Self() {
+		return
+	}
+	c.mu.Lock()
+	down := time.Now().Before(c.down[owner])
+	c.mu.Unlock()
+	if down {
+		c.repDropped.Add(1)
+		return
+	}
+	if err := c.putOnce(owner, p.key, p.payload); err != nil {
+		c.repDropped.Add(1)
+		return
+	}
+	c.replicated.Add(1)
+}
+
+// putOnce performs one replication PUT under the per-attempt timeout.
+func (c *Client) putOnce(owner, key string, payload []byte) error {
+	ctx, cancel := context.WithTimeout(context.Background(), c.opts.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut,
+		owner+segmentPathPrefix+url.PathEscape(key), strings.NewReader(string(payload)))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.opts.HTTPClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("fleet: replication to %s answered %d", owner, resp.StatusCode)
+	}
+	return nil
+}
+
+// Drain blocks until every replication enqueued before the call has been
+// fully attempted (not merely dequeued) — a test and drill barrier, not a
+// production path.
+func (c *Client) Drain() {
+	for {
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed || c.pending.Load() == 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Close stops the replication worker and makes every later Fetch miss and
+// every later Replicate drop. Idempotent.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.pushCh)
+	c.wg.Wait()
+}
+
+var _ interface {
+	Owns(string) bool
+	Fetch(context.Context, string) ([]byte, bool)
+	Replicate(string, []byte)
+} = (*Client)(nil)
+
+// errAlien guards the sync stream decoding paths.
+var errAlien = errors.New("fleet: alien sync stream")

@@ -1,0 +1,340 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/serenity-ml/serenity/internal/store"
+)
+
+// testStore adapts internal/store to the fleet Store interface the way the
+// serenityd side does: first-writer-wins puts, skip-existing imports. No
+// payload validation — these tests move opaque bytes.
+type testStore struct{ s *store.Store }
+
+func (t testStore) GetArtifact(key string) ([]byte, bool) { return t.s.Get(key) }
+
+func (t testStore) PutArtifact(key string, payload []byte) bool {
+	if t.s.Has(key) {
+		return false
+	}
+	return t.s.Put(key, payload) == nil
+}
+
+func (t testStore) KeyHashes() []uint64 { return t.s.KeyHashes() }
+
+func (t testStore) ExportSubset(w io.Writer, want map[uint64]bool) (int, error) {
+	n := 0
+	err := t.s.ExportFiltered(w, func(key string) bool {
+		if want[store.KeyHash(key)] {
+			n++
+			return true
+		}
+		return false
+	})
+	return n, err
+}
+
+func (t testStore) ImportMissing(r io.Reader) (int, error) {
+	added, _, err := t.s.ImportFiltered(r, func(key string, payload []byte) bool {
+		return !t.s.Has(key)
+	})
+	return added, err
+}
+
+// node is one in-process fleet member: a store, a mux, and a live listener.
+type node struct {
+	st  testStore
+	mux *http.ServeMux
+	srv *httptest.Server
+	// requests counts every peer request that reached this node.
+	requests atomic.Int64
+}
+
+func newNode(t *testing.T) *node {
+	t.Helper()
+	s, err := store.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	n := &node{st: testStore{s: s}, mux: http.NewServeMux()}
+	n.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n.requests.Add(1)
+		n.mux.ServeHTTP(w, r)
+	}))
+	t.Cleanup(n.srv.Close)
+	return n
+}
+
+// buildFleet starts n nodes and wires each one's ring + peer server; the
+// rings are built after every listener is up so the member URLs are real.
+func buildFleet(t *testing.T, count int, gate Gate) ([]*node, []*Ring) {
+	t.Helper()
+	nodes := make([]*node, count)
+	members := make([]string, count)
+	for i := range nodes {
+		nodes[i] = newNode(t)
+		members[i] = nodes[i].srv.URL
+	}
+	rings := make([]*Ring, count)
+	for i, n := range nodes {
+		r, err := NewRing(members[i], members, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rings[i] = r
+		NewServer(n.st, r, gate).Register(n.mux)
+	}
+	return nodes, rings
+}
+
+// keyOwnedBy finds a memo-shaped key (pipes, equals signs — the characters
+// that must survive URL escaping) owned by the member at ownerIdx.
+func keyOwnedBy(t *testing.T, r *Ring, owner string, salt int) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		key := fmt.Sprintf("%064x|exact|a=true|t=%d|s=0", i*2654435761+salt, i)
+		if r.Owner(key) == owner {
+			return key
+		}
+	}
+	t.Fatal("could not synthesize a key for the target owner")
+	return ""
+}
+
+func TestClientFetchFromOwner(t *testing.T) {
+	nodes, rings := buildFleet(t, 2, nil)
+	a, b := nodes[0], nodes[1]
+	key := keyOwnedBy(t, rings[0], b.srv.URL, 0)
+	payload := []byte("artifact-bytes-\x00\x01")
+	if err := b.st.s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(rings[0], ClientOptions{})
+	defer c.Close()
+	got, ok := c.Fetch(context.Background(), key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Fetch from owner: ok=%v payload=%q", ok, got)
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 0 {
+		t.Errorf("stats after hit: %+v", st)
+	}
+	// Fetching a key this node owns itself must short-circuit: no peer is
+	// authoritative for it, so there is nobody worth asking.
+	selfKey := keyOwnedBy(t, rings[0], a.srv.URL, 7)
+	if _, ok := c.Fetch(context.Background(), selfKey); ok {
+		t.Fatal("Fetch answered a self-owned key")
+	}
+}
+
+func TestClientNegativeCacheAbsorbsRepeatMisses(t *testing.T) {
+	nodes, rings := buildFleet(t, 2, nil)
+	b := nodes[1]
+	key := keyOwnedBy(t, rings[0], b.srv.URL, 0)
+	c := NewClient(rings[0], ClientOptions{NegativeTTL: time.Minute})
+	defer c.Close()
+	if _, ok := c.Fetch(context.Background(), key); ok {
+		t.Fatal("Fetch found a record nobody stored")
+	}
+	before := b.requests.Load()
+	for i := 0; i < 10; i++ {
+		if _, ok := c.Fetch(context.Background(), key); ok {
+			t.Fatal("negative-cached key turned into a hit")
+		}
+	}
+	if b.requests.Load() != before {
+		t.Errorf("repeat misses dialed the owner %d more times; the negative cache should absorb them",
+			b.requests.Load()-before)
+	}
+	if st := c.Stats(); st.Misses != 11 {
+		t.Errorf("misses = %d, want 11", st.Misses)
+	}
+}
+
+func TestClientBreakerSkipsDeadPeer(t *testing.T) {
+	nodes, rings := buildFleet(t, 2, nil)
+	b := nodes[1]
+	key := keyOwnedBy(t, rings[0], b.srv.URL, 0)
+	b.srv.Close() // the owner is dead before the first fetch
+	c := NewClient(rings[0], ClientOptions{Timeout: 100 * time.Millisecond, BreakerBackoff: time.Minute})
+	defer c.Close()
+	if _, ok := c.Fetch(context.Background(), key); ok {
+		t.Fatal("Fetch succeeded against a dead peer")
+	}
+	afterFirst := c.Stats()
+	if afterFirst.Timeouts == 0 {
+		t.Fatalf("dead peer produced no transport failures: %+v", afterFirst)
+	}
+	// A different key with the same dead owner must now miss instantly via
+	// the breaker — no further dial attempts.
+	key2 := keyOwnedBy(t, rings[0], b.srv.URL, 99)
+	start := time.Now()
+	if _, ok := c.Fetch(context.Background(), key2); ok {
+		t.Fatal("Fetch succeeded against a dead peer")
+	}
+	if elapsed := time.Since(start); elapsed > 50*time.Millisecond {
+		t.Errorf("breaker-window fetch took %v; it should not dial at all", elapsed)
+	}
+	if st := c.Stats(); st.Timeouts != afterFirst.Timeouts {
+		t.Errorf("breaker window still dialed the dead peer: %+v", st)
+	}
+}
+
+func TestClientReplicatesToOwner(t *testing.T) {
+	nodes, rings := buildFleet(t, 2, nil)
+	b := nodes[1]
+	key := keyOwnedBy(t, rings[0], b.srv.URL, 0)
+	payload := []byte("fresh-local-compute")
+	c := NewClient(rings[0], ClientOptions{})
+	defer c.Close()
+	c.Replicate(key, payload)
+	c.Drain()
+	got, ok := b.st.GetArtifact(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("owner never received the replica: ok=%v payload=%q", ok, got)
+	}
+	// First-writer-wins: a second replica with different bytes must not
+	// clobber the established record.
+	c.Replicate(key, []byte("a-different-twin"))
+	c.Drain()
+	got, _ = b.st.GetArtifact(key)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("replication clobbered an established record: %q", got)
+	}
+	if st := c.Stats(); st.Replicated != 2 {
+		t.Errorf("Replicated = %d, want 2 (second push accepted as an idempotent no-op)", st.Replicated)
+	}
+}
+
+func TestGateShedsPeerTraffic(t *testing.T) {
+	denied := Gate(func() (func(), bool) { return nil, false })
+	nodes, rings := buildFleet(t, 2, denied)
+	b := nodes[1]
+	key := keyOwnedBy(t, rings[0], b.srv.URL, 0)
+	if err := b.st.s.Put(key, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(rings[0], ClientOptions{})
+	defer c.Close()
+	// The record exists, but the gate sheds the request: the client must
+	// treat 429 as a miss, not an error and not a breaker trip.
+	if _, ok := c.Fetch(context.Background(), key); ok {
+		t.Fatal("Fetch got through a closed gate")
+	}
+	if st := c.Stats(); st.Misses != 1 || st.Timeouts != 0 {
+		t.Errorf("shed fetch should be a clean miss: %+v", st)
+	}
+}
+
+func TestSyncerConvergesInCappedBatches(t *testing.T) {
+	nodes, rings := buildFleet(t, 2, nil)
+	a, b := nodes[0], nodes[1]
+	const records = 10
+	keys := make([]string, records)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%064x|greedy", i)
+		if err := a.st.s.Put(keys[i], bytes.Repeat([]byte{byte(i)}, 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// B already holds one of the keys with different bytes; sync must leave
+	// it alone (first-writer-wins) and pull only what is missing.
+	if err := b.st.s.Put(keys[3], []byte("established")); err != nil {
+		t.Fatal(err)
+	}
+	sy := NewSyncer(b.st, rings[1], SyncerOptions{Batch: 4})
+	total := 0
+	for round := 0; round < 10 && total < records-1; round++ {
+		n, err := sy.SyncOnce(context.Background(), a.srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n > 4 {
+			t.Fatalf("round pulled %d records; batch cap is 4", n)
+		}
+		total += n
+	}
+	if total != records-1 {
+		t.Fatalf("sync pulled %d records, want %d", total, records-1)
+	}
+	for i, key := range keys {
+		got, ok := b.st.GetArtifact(key)
+		if !ok {
+			t.Fatalf("key %q never converged", key)
+		}
+		if i == 3 {
+			if !bytes.Equal(got, []byte("established")) {
+				t.Fatalf("sync clobbered an established record: %q", got)
+			}
+		} else if !bytes.Equal(got, bytes.Repeat([]byte{byte(i)}, 16)) {
+			t.Fatalf("key %q converged with wrong bytes", key)
+		}
+	}
+	// A fully converged pair must settle to no-op rounds.
+	if n, err := sy.SyncOnce(context.Background(), a.srv.URL); err != nil || n != 0 {
+		t.Fatalf("converged sync round moved %d records (err=%v)", n, err)
+	}
+	if st := sy.Stats(); st.Pulled != int64(records-1) {
+		t.Errorf("syncer stats pulled=%d, want %d", st.Pulled, records-1)
+	}
+}
+
+func TestSyncerBackgroundLoopConverges(t *testing.T) {
+	nodes, rings := buildFleet(t, 2, nil)
+	a, b := nodes[0], nodes[1]
+	for i := 0; i < 5; i++ {
+		if err := a.st.s.Put(fmt.Sprintf("bg-%d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sy := NewSyncer(b.st, rings[1], SyncerOptions{Interval: 10 * time.Millisecond})
+	sy.Start()
+	defer sy.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(b.st.KeyHashes()) == 5 {
+			sy.Stop()
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("background sync never converged; B holds %d records", len(b.st.KeyHashes()))
+}
+
+func TestSyncerSurvivesDeadPeer(t *testing.T) {
+	nodes, rings := buildFleet(t, 2, nil)
+	a := nodes[0]
+	a.srv.Close()
+	sy := NewSyncer(nodes[1].st, rings[1], SyncerOptions{Timeout: 100 * time.Millisecond})
+	if _, err := sy.SyncOnce(context.Background(), a.srv.URL); err == nil {
+		t.Fatal("sync against a dead peer must report the error (the loop counts and moves on)")
+	}
+}
+
+func TestDigestRoundTripAndAlienRejection(t *testing.T) {
+	hashes := []uint64{0, 1, ^uint64(0), 0xdeadbeefcafef00d}
+	var buf bytes.Buffer
+	if err := writeDigest(&buf, hashes); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readDigest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(hashes) {
+		t.Fatalf("digest round trip: %v != %v", got, hashes)
+	}
+	for _, alien := range [][]byte{nil, []byte("x"), []byte("NOPE\x00\x00\x00\x00"), append([]byte("SDG1"), 0xFF, 0xFF, 0xFF, 0xFF)} {
+		if _, err := readDigest(bytes.NewReader(alien)); err == nil {
+			t.Errorf("alien digest %q was accepted", alien)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		// Shaped like real memo keys: hex fingerprint | strategy discriminator.
+		keys[i] = fmt.Sprintf("%064x|exact|a=true|t=1000000000|s=0", i*2654435761)
+	}
+	return keys
+}
+
+func TestRingMembersAgreeOnOwnership(t *testing.T) {
+	members := []string{"http://a:1", "http://b:1", "http://c:1"}
+	rings := make([]*Ring, len(members))
+	for i, self := range members {
+		// Each node gets the membership in a different rotation: flag order
+		// must not matter.
+		rot := append(append([]string(nil), members[i:]...), members[:i]...)
+		r, err := NewRing(self, rot, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rings[i] = r
+	}
+	for _, key := range testKeys(2000) {
+		owner := rings[0].Owner(key)
+		for _, r := range rings[1:] {
+			if got := r.Owner(key); got != owner {
+				t.Fatalf("ring disagreement for %q: %s vs %s", key, owner, got)
+			}
+		}
+		owns := 0
+		for i, r := range rings {
+			if r.Owns(key) {
+				owns++
+				if members[i] != owner {
+					t.Fatalf("node %s claims %q but owner is %s", members[i], key, owner)
+				}
+			}
+		}
+		if owns != 1 {
+			t.Fatalf("key %q claimed by %d nodes, want exactly 1", key, owns)
+		}
+	}
+}
+
+func TestRingNormalizesMembership(t *testing.T) {
+	r1, err := NewRing("http://a:1", []string{" http://b:1/ ", "http://a:1", "http://b:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing("http://a:1/", []string{"http://b:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(r1.Members()) != fmt.Sprint(r2.Members()) {
+		t.Fatalf("normalization differs: %v vs %v", r1.Members(), r2.Members())
+	}
+	for _, key := range testKeys(500) {
+		if r1.Owner(key) != r2.Owner(key) {
+			t.Fatalf("normalized rings disagree on %q", key)
+		}
+	}
+	if _, err := NewRing("", []string{"http://b:1"}, 0); err == nil {
+		t.Fatal("empty self must be rejected")
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	members := []string{"http://a:1", "http://b:1", "http://c:1"}
+	counts := map[string]int{}
+	r, err := NewRing(members[0], members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(6000)
+	for _, key := range keys {
+		counts[r.Owner(key)]++
+	}
+	for _, m := range members {
+		share := float64(counts[m]) / float64(len(keys))
+		if share < 0.15 || share > 0.55 {
+			t.Errorf("member %s owns %.0f%% of the keyspace; want roughly a third", m, 100*share)
+		}
+	}
+	// OwnedShare (the exported gauge) must land in the same ballpark.
+	if share := r.OwnedShare(4096); share < 0.10 || share > 0.60 {
+		t.Errorf("OwnedShare probe answered %.2f for a 3-node ring", share)
+	}
+}
+
+func TestRingSingleNodeOwnsEverything(t *testing.T) {
+	r, err := NewRing("http://solo:1", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range testKeys(200) {
+		if !r.Owns(key) {
+			t.Fatalf("single-node ring does not own %q", key)
+		}
+	}
+	if len(r.Peers()) != 0 {
+		t.Fatalf("single-node ring has peers: %v", r.Peers())
+	}
+}
+
+func TestRingMinimalRemappingOnGrowth(t *testing.T) {
+	three := []string{"http://a:1", "http://b:1", "http://c:1"}
+	four := append(append([]string(nil), three...), "http://d:1")
+	r3, err := NewRing(three[0], three, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := NewRing(three[0], four, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(4000)
+	moved, movedToNew := 0, 0
+	for _, key := range keys {
+		o3, o4 := r3.Owner(key), r4.Owner(key)
+		if o3 != o4 {
+			moved++
+			if o4 == "http://d:1" {
+				movedToNew++
+			}
+		}
+	}
+	// Consistent hashing's whole point: growing 3 -> 4 should move roughly a
+	// quarter of the keyspace, essentially all of it onto the new member.
+	if frac := float64(moved) / float64(len(keys)); frac > 0.45 {
+		t.Errorf("adding one member remapped %.0f%% of keys; consistent hashing should move ~25%%", 100*frac)
+	}
+	if moved > 0 && float64(movedToNew)/float64(moved) < 0.95 {
+		t.Errorf("only %d/%d moved keys landed on the new member", movedToNew, moved)
+	}
+}

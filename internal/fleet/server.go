@@ -1,0 +1,223 @@
+package fleet
+
+import (
+	"encoding/binary"
+	"io"
+	"net/http"
+	"sync/atomic"
+)
+
+// Store is the slice of the artifact store the peer surface needs. The
+// serenityd side adapts its schedule store to this; payloads are opaque bytes
+// here — validation (artifact decode, permutation check, FellBack poison
+// rule) lives with the implementations, so the fleet never has to understand
+// schedules to move them.
+type Store interface {
+	// GetArtifact returns the raw payload stored for key.
+	GetArtifact(key string) ([]byte, bool)
+	// PutArtifact stores a replicated payload under key, first-writer-wins:
+	// an existing record keeps its established bytes. It reports whether the
+	// payload was accepted (false for invalid payloads or existing keys).
+	PutArtifact(key string, payload []byte) bool
+	// KeyHashes returns the store.KeyHash digest of every live key.
+	KeyHashes() []uint64
+	// ExportSubset streams the live records whose key-hash want contains, as
+	// a self-contained store file, and returns how many records it wrote.
+	ExportSubset(w io.Writer, want map[uint64]bool) (int, error)
+	// ImportMissing merges a store stream, skipping keys already present and
+	// payloads that fail validation, and returns how many records it added.
+	ImportMissing(r io.Reader) (added int, err error)
+}
+
+// Gate admits one peer request; ok=false sheds it with 429. The release func
+// must be called when the request finishes. serenityd plugs its admission
+// controller in here so peer traffic has its own lane — a peer fetch must
+// never wait behind a long local DP, and peer floods must never starve
+// interactive compiles.
+type Gate func() (release func(), ok bool)
+
+// ServerStats is a snapshot of the peer-facing counters.
+type ServerStats struct {
+	// SegmentHits/SegmentMisses count artifact GETs answered with a payload
+	// vs. 404. ReplicasAccepted/ReplicasIgnored count artifact PUTs stored
+	// vs. dropped (already present or invalid). SyncRecords counts records
+	// streamed out to peers' anti-entropy pulls; Shed counts requests the
+	// gate refused.
+	SegmentHits     int64
+	SegmentMisses   int64
+	ReplicasAccepted int64
+	ReplicasIgnored int64
+	SyncRecords     int64
+	Shed            int64
+}
+
+// Server is serenityd's peer-facing HTTP surface: artifact get/put for the
+// compile path's fetches and write-behind replication, and digest/sync for
+// the anti-entropy loop. Safe for concurrent use.
+type Server struct {
+	store Store
+	ring  *Ring
+	gate  Gate
+
+	segHits, segMisses       atomic.Int64
+	repAccepted, repIgnored  atomic.Int64
+	syncRecords, shed        atomic.Int64
+}
+
+// NewServer builds the peer surface over store and ring. gate may be nil
+// (no admission control — tests and single-tenant drills).
+func NewServer(store Store, ring *Ring, gate Gate) *Server {
+	return &Server{store: store, ring: ring, gate: gate}
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		SegmentHits:      s.segHits.Load(),
+		SegmentMisses:    s.segMisses.Load(),
+		ReplicasAccepted: s.repAccepted.Load(),
+		ReplicasIgnored:  s.repIgnored.Load(),
+		SyncRecords:      s.syncRecords.Load(),
+		Shed:             s.shed.Load(),
+	}
+}
+
+// Register mounts the peer endpoints on mux.
+func (s *Server) Register(mux *http.ServeMux) {
+	mux.HandleFunc("GET "+segmentPathPrefix+"{key}", s.handleSegmentGet)
+	mux.HandleFunc("PUT "+segmentPathPrefix+"{key}", s.handleSegmentPut)
+	mux.HandleFunc("GET "+digestPath, s.handleDigest)
+	mux.HandleFunc("POST "+syncPath, s.handleSync)
+}
+
+// admit runs the gate; on shed it writes the 429 itself and returns ok=false.
+func (s *Server) admit(w http.ResponseWriter) (func(), bool) {
+	if s.gate == nil {
+		return func() {}, true
+	}
+	release, ok := s.gate()
+	if !ok {
+		s.shed.Add(1)
+		http.Error(w, "peer tier saturated", http.StatusTooManyRequests)
+		return nil, false
+	}
+	return release, true
+}
+
+func (s *Server) handleSegmentGet(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	key := r.PathValue("key")
+	payload, found := s.store.GetArtifact(key)
+	if !found {
+		s.segMisses.Add(1)
+		http.Error(w, "unknown segment", http.StatusNotFound)
+		return
+	}
+	s.segHits.Add(1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(payload)
+}
+
+func (s *Server) handleSegmentPut(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	key := r.PathValue("key")
+	payload, err := io.ReadAll(io.LimitReader(r.Body, maxArtifactBytes+1))
+	if err != nil || len(payload) > maxArtifactBytes || len(payload) == 0 {
+		http.Error(w, "bad artifact body", http.StatusBadRequest)
+		return
+	}
+	if s.store.PutArtifact(key, payload) {
+		s.repAccepted.Add(1)
+	} else {
+		// Already present (first-writer-wins) or failed validation; either
+		// way the replication achieved its goal or never could. 200 in both
+		// cases — a replica push is idempotent fire-and-forget.
+		s.repIgnored.Add(1)
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleDigest(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	writeDigest(w, s.store.KeyHashes())
+}
+
+func (s *Server) handleSync(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	wanted, err := readDigest(r.Body)
+	if err != nil {
+		http.Error(w, "bad digest body", http.StatusBadRequest)
+		return
+	}
+	want := make(map[uint64]bool, len(wanted))
+	for _, h := range wanted {
+		want[h] = true
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	n, _ := s.store.ExportSubset(w, want)
+	s.syncRecords.Add(int64(n))
+}
+
+// Digest wire format: 4-byte magic "SDG1" | uint32 LE count | count × uint64
+// LE key-hashes. Used for both the digest response and the sync pull request
+// body (the hashes the requester wants).
+var digestMagic = [4]byte{'S', 'D', 'G', '1'}
+
+// maxDigestEntries bounds one digest at 2M keys (16 MiB) so an alien or
+// malicious stream cannot balloon into an allocation incident.
+const maxDigestEntries = 1 << 21
+
+func writeDigest(w io.Writer, hashes []uint64) error {
+	hdr := make([]byte, 8)
+	copy(hdr, digestMagic[:])
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(hashes)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	buf := make([]byte, 8*len(hashes))
+	for i, h := range hashes {
+		binary.LittleEndian.PutUint64(buf[8*i:], h)
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func readDigest(r io.Reader) ([]uint64, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, errAlien
+	}
+	if [4]byte(hdr[:4]) != digestMagic {
+		return nil, errAlien
+	}
+	count := binary.LittleEndian.Uint32(hdr[4:])
+	if count > maxDigestEntries {
+		return nil, errAlien
+	}
+	buf := make([]byte, 8*count)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, errAlien
+	}
+	out := make([]uint64, count)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(buf[8*i:])
+	}
+	return out, nil
+}

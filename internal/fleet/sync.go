@@ -1,0 +1,210 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SyncerOptions tune the anti-entropy loop. The zero value is usable.
+type SyncerOptions struct {
+	// Interval between rounds; each round talks to exactly one peer. Jittered
+	// ±20% so a fleet restarted together does not synchronize its pulls.
+	// Default 15s.
+	Interval time.Duration
+	// Batch caps the records pulled per round. A rebooted node converges over
+	// several rounds instead of slamming one peer for the whole corpus — the
+	// no-thundering-herd rule. Default 512.
+	Batch int
+	// Timeout bounds each HTTP call. Sync moves bulk in the background, so it
+	// gets a far more lenient budget than the compile path's fetches.
+	// Default 10s.
+	Timeout time.Duration
+	// HTTPClient overrides the transport (tests).
+	HTTPClient *http.Client
+}
+
+func (o SyncerOptions) withDefaults() SyncerOptions {
+	if o.Interval <= 0 {
+		o.Interval = 15 * time.Second
+	}
+	if o.Batch <= 0 {
+		o.Batch = 512
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 10 * time.Second
+	}
+	if o.HTTPClient == nil {
+		o.HTTPClient = &http.Client{}
+	}
+	return o
+}
+
+// SyncerStats is a snapshot of the anti-entropy counters.
+type SyncerStats struct {
+	// Rounds counts completed peer exchanges (including no-op ones); Pulled
+	// the records imported from peers; Errors rounds that failed (unreachable
+	// peer, alien stream).
+	Rounds int64
+	Pulled int64
+	Errors int64
+}
+
+// Syncer is the pull-based anti-entropy loop: every interval it asks the next
+// peer (round-robin) for its key digest, diffs against the local store, and
+// pulls a capped batch of the records it is missing. Convergence is eventual
+// and deliberately unhurried — the compile path's owner fetches serve the
+// latency-sensitive traffic; the syncer's job is that a rebooted, rejoined,
+// or drop-afflicted node ends up with the full corpus anyway.
+type Syncer struct {
+	store Store
+	ring  *Ring
+	opts  SyncerOptions
+
+	next   int // round-robin cursor over ring.Peers()
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	once   sync.Once
+
+	rounds, pulled, errors atomic.Int64
+}
+
+// NewSyncer builds the anti-entropy loop over store and ring. Call Start to
+// run it; SyncOnce works without Start for drills and tests.
+func NewSyncer(store Store, ring *Ring, opts SyncerOptions) *Syncer {
+	return &Syncer{store: store, ring: ring, opts: opts.withDefaults()}
+}
+
+// Stats returns a snapshot of the syncer's counters.
+func (s *Syncer) Stats() SyncerStats {
+	return SyncerStats{Rounds: s.rounds.Load(), Pulled: s.pulled.Load(), Errors: s.errors.Load()}
+}
+
+// Start launches the background loop. A ring with no peers makes Start a
+// no-op. Stop it with Stop.
+func (s *Syncer) Start() {
+	if len(s.ring.Peers()) == 0 {
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.cancel = cancel
+	s.wg.Add(1)
+	go s.loop(ctx)
+}
+
+// Stop halts the loop and waits for an in-flight round to finish. Idempotent;
+// safe to call even if Start never ran.
+func (s *Syncer) Stop() {
+	s.once.Do(func() {
+		if s.cancel != nil {
+			s.cancel()
+		}
+		s.wg.Wait()
+	})
+}
+
+func (s *Syncer) loop(ctx context.Context) {
+	defer s.wg.Done()
+	rng := rand.New(rand.NewSource(int64(hash64(s.ring.Self()))))
+	for {
+		// ±20% jitter, seeded from the member address so each node wanders
+		// its own schedule: a fleet restarted together must not line up its
+		// pulls on the same peer at the same instant.
+		d := s.opts.Interval + time.Duration((rng.Float64()-0.5)*0.4*float64(s.opts.Interval))
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(d):
+		}
+		peers := s.ring.Peers()
+		peer := peers[s.next%len(peers)]
+		s.next++
+		if _, err := s.SyncOnce(ctx, peer); err != nil {
+			s.errors.Add(1)
+		}
+		s.rounds.Add(1)
+	}
+}
+
+// SyncOnce performs one digest-diff-pull exchange with peer and returns the
+// number of records imported. Exported so drills and shutdown paths can force
+// a deterministic convergence step.
+func (s *Syncer) SyncOnce(ctx context.Context, peer string) (int, error) {
+	theirs, err := s.fetchDigest(ctx, peer)
+	if err != nil {
+		return 0, err
+	}
+	mine := make(map[uint64]bool, 1024)
+	for _, h := range s.store.KeyHashes() {
+		mine[h] = true
+	}
+	missing := make([]uint64, 0, 64)
+	for _, h := range theirs {
+		if !mine[h] {
+			missing = append(missing, h)
+			if len(missing) >= s.opts.Batch {
+				break // the rest converges on later rounds
+			}
+		}
+	}
+	if len(missing) == 0 {
+		return 0, nil
+	}
+	added, err := s.pull(ctx, peer, missing)
+	s.pulled.Add(int64(added))
+	return added, err
+}
+
+// fetchDigest GETs peer's key digest.
+func (s *Syncer) fetchDigest(ctx context.Context, peer string) ([]uint64, error) {
+	callCtx, cancel := context.WithTimeout(ctx, s.opts.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(callCtx, http.MethodGet, peer+digestPath, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.opts.HTTPClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("fleet: digest from %s answered %d", peer, resp.StatusCode)
+	}
+	return readDigest(resp.Body)
+}
+
+// pull POSTs the wanted hashes to peer and imports the record stream it
+// answers with. The store's ImportMissing skips keys that arrived locally in
+// the meantime and payloads that fail validation, so a stale or lying peer
+// can waste a round but never poison the store.
+func (s *Syncer) pull(ctx context.Context, peer string, want []uint64) (int, error) {
+	var body bytes.Buffer
+	if err := writeDigest(&body, want); err != nil {
+		return 0, err
+	}
+	callCtx, cancel := context.WithTimeout(ctx, s.opts.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(callCtx, http.MethodPost, peer+syncPath, &body)
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := s.opts.HTTPClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return 0, fmt.Errorf("fleet: sync pull from %s answered %d", peer, resp.StatusCode)
+	}
+	return s.store.ImportMissing(resp.Body)
+}

@@ -98,6 +98,26 @@ func maybeSync(f *os.File) error {
 // ErrClosed is returned by operations on a closed store.
 var ErrClosed = errors.New("store: closed")
 
+// KeyHash is the 64-bit digest of one record key used by the fleet's
+// anti-entropy exchange: peers compare sets of key hashes instead of shipping
+// full key lists, so the hash must be identical on every node. FNV-1a with a
+// splitmix64 finalizer — the finalizer matters because raw FNV of the short
+// structured keys serenity uses (hex fingerprint + strategy discriminator)
+// clusters in the low bits.
+func KeyHash(key string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
 // ErrReadOnly is returned by mutating operations on a store opened with
 // OpenReadOnly.
 var ErrReadOnly = errors.New("store: opened read-only")
@@ -489,6 +509,33 @@ func (s *Store) Put(key string, payload []byte) error {
 	return nil
 }
 
+// Has reports whether key is currently retrievable, without touching recency
+// or the hit/miss counters — membership probes (replication receivers, the
+// anti-entropy import filter) must not perturb the LRU order lookups see.
+func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	_, exists := s.items[key]
+	return exists
+}
+
+// KeyHashes returns the KeyHash of every live key, unordered. This is the
+// compact digest two peers exchange during anti-entropy: comparing hash sets
+// costs 8 bytes per record instead of shipping every key, and the requester
+// then pulls only the records whose hashes it lacks.
+func (s *Store) KeyHashes() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]uint64, 0, len(s.items))
+	for key := range s.items {
+		out = append(out, KeyHash(key))
+	}
+	return out
+}
+
 // Delete removes key from the live set (its file space becomes dead until
 // Compact) and reports whether it was present.
 func (s *Store) Delete(key string) bool {
@@ -695,6 +742,14 @@ func (s *Store) Verify() (ok, corrupt int) {
 // the recency order. The result is a valid store file on its own — fleet
 // pre-warming is copying one node's export into another node's store.
 func (s *Store) Export(w io.Writer) error {
+	return s.ExportFiltered(w, nil)
+}
+
+// ExportFiltered is Export restricted to the live records whose key keep
+// accepts (nil keeps everything). The fleet's anti-entropy responder uses it
+// to stream exactly the records a peer's digest reported missing, in the same
+// self-contained store-file format Export writes.
+func (s *Store) ExportFiltered(w io.Writer, keep func(key string) bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -706,6 +761,9 @@ func (s *Store) Export(w io.Writer) error {
 	}
 	for el := s.ll.Back(); el != nil; el = el.Prev() {
 		r := el.Value.(*rec)
+		if keep != nil && !keep(r.key) {
+			continue
+		}
 		buf := make([]byte, r.size)
 		if _, err := s.f.ReadAt(buf, r.off); err != nil {
 			s.corrupt++
@@ -729,6 +787,15 @@ func (s *Store) Export(w io.Writer) error {
 // torn tail stops the import without failing it. Only a missing or alien
 // header makes Import return an error.
 func (s *Store) Import(r io.Reader) (added int, corrupt int64, err error) {
+	return s.ImportFiltered(r, nil)
+}
+
+// ImportFiltered is Import with a per-record acceptance gate: records accept
+// rejects are skipped without being counted as corrupt (nil accepts
+// everything). The fleet's anti-entropy receiver uses it to take only records
+// it is missing and whose payloads decode, so a convergence pull can never
+// clobber an established local artifact with a byte-different twin.
+func (s *Store) ImportFiltered(r io.Reader, accept func(key string, payload []byte) bool) (added int, corrupt int64, err error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	var hdr [headerSize]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
@@ -744,6 +811,9 @@ func (s *Store) Import(r io.Reader) (added int, corrupt int64, err error) {
 		}
 		if !ok {
 			corrupt++
+			continue
+		}
+		if accept != nil && !accept(key, payload) {
 			continue
 		}
 		if err := s.Put(key, payload); err != nil {

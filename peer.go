@@ -1,0 +1,138 @@
+package serenity
+
+import (
+	"context"
+	"io"
+
+	"github.com/serenity-ml/serenity/internal/store"
+)
+
+// PeerTier is the distributed tier of the segment memo hierarchy: a fleet of
+// processes sharing one corpus of per-segment artifacts, so each distinct
+// fingerprint pays its DP once globally. internal/fleet provides the
+// implementation (consistent-hash ring + bounded HTTP client); the Pipeline
+// only needs these three operations:
+//
+//   - Owns gates the fetch: only keys another member authoritatively owns are
+//     worth a round trip (a single-node fleet owns everything, which disables
+//     the tier by construction).
+//   - Fetch asks the owner for the raw artifact payload. It must be cheap or
+//     absent: every failure mode returns ok=false and the caller computes
+//     locally, exactly as a fleetless Pipeline would.
+//   - Replicate pushes a freshly computed non-owned artifact toward its
+//     owner, asynchronously; the compile path never waits on it.
+//
+// Payloads cross the wire in the MarshalSegmentArtifact encoding and are
+// re-validated on arrival — decode, poison rule, permutation check — so a
+// confused peer degrades the fleet to local compute, never to a wrong
+// schedule.
+type PeerTier interface {
+	Owns(key string) bool
+	Fetch(ctx context.Context, key string) ([]byte, bool)
+	Replicate(key string, payload []byte)
+}
+
+// decodePeerArtifact validates a payload that arrived from a peer exactly as
+// hard as a disk artifact is validated on load: decode (which enforces the
+// version and the never-persist-degraded rule) plus the full permutation
+// check against the segment's node count.
+func decodePeerArtifact(payload []byte, nodes int) (SearchResult, bool) {
+	sr, err := UnmarshalSegmentArtifact(payload)
+	if err != nil || sr.FellBack || !validPermutation(sr.Order, nodes) {
+		return SearchResult{}, false
+	}
+	return sr, true
+}
+
+// artifactSelfConsistent reports whether a payload decodes to a structurally
+// valid artifact on its own terms — a permutation of exactly its own length.
+// The replication and sync receivers run this gate: they do not know the
+// segment's node count (only a later lookup does), but an artifact whose
+// order is not a permutation of anything can be rejected before it ever
+// occupies store space.
+func artifactSelfConsistent(payload []byte) bool {
+	sr, err := UnmarshalSegmentArtifact(payload)
+	return err == nil && !sr.FellBack && validPermutation(sr.Order, len(sr.Order))
+}
+
+// The methods below adapt a ScheduleStore to the fleet's Store interface
+// (internal/fleet.Server and Syncer), making the persistent tier double as
+// the fleet-visible artifact corpus. All of them are inert on a closed store,
+// like every other ScheduleStore operation.
+
+// GetArtifact returns the raw payload stored for key, bypassing the memo
+// hierarchy's lookup accounting — peer traffic must not skew the disk-tier
+// hit rate operators alert on.
+func (ss *ScheduleStore) GetArtifact(key string) ([]byte, bool) {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	if ss.closed {
+		return nil, false
+	}
+	return ss.st.Get(key)
+}
+
+// PutArtifact stores a payload replicated from a peer, first-writer-wins: an
+// existing record keeps its established bytes, so replication can never
+// change an answer a client has already seen. Invalid payloads are refused.
+// The write is synchronous — replication arrives on peer-facing handlers,
+// not the compile hot path.
+func (ss *ScheduleStore) PutArtifact(key string, payload []byte) bool {
+	if !artifactSelfConsistent(payload) {
+		return false
+	}
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	if ss.closed {
+		return false
+	}
+	if ss.st.Has(key) {
+		return false
+	}
+	return ss.st.Put(key, payload) == nil
+}
+
+// KeyHashes returns the anti-entropy digest of the stored artifacts.
+func (ss *ScheduleStore) KeyHashes() []uint64 {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	if ss.closed {
+		return nil
+	}
+	return ss.st.KeyHashes()
+}
+
+// ExportSubset streams the stored artifacts whose key-hash want contains, as
+// a self-contained store file, returning how many records it wrote.
+func (ss *ScheduleStore) ExportSubset(w io.Writer, want map[uint64]bool) (int, error) {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	if ss.closed {
+		return 0, nil
+	}
+	n := 0
+	err := ss.st.ExportFiltered(w, func(key string) bool {
+		if want[store.KeyHash(key)] {
+			n++
+			return true
+		}
+		return false
+	})
+	return n, err
+}
+
+// ImportMissing merges an anti-entropy stream: records for keys already
+// present are skipped (first-writer-wins), payloads that fail artifact
+// validation are skipped, and corrupt records are tolerated exactly as a
+// store Open tolerates them. Returns how many records were added.
+func (ss *ScheduleStore) ImportMissing(r io.Reader) (int, error) {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	if ss.closed {
+		return 0, nil
+	}
+	added, _, err := ss.st.ImportFiltered(r, func(key string, payload []byte) bool {
+		return !ss.st.Has(key) && artifactSelfConsistent(payload)
+	})
+	return added, err
+}

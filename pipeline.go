@@ -57,6 +57,14 @@ type Pipeline struct {
 	// never-store-degraded rule are exactly the SegmentMemo's; see
 	// ScheduleStore.
 	Store *ScheduleStore
+	// Peers, when non-nil, is the fleet tier beneath memory and disk: on a
+	// local miss of a key another fleet member owns, the artifact is fetched
+	// from the owner (validated like a disk artifact), and fresh local
+	// computes of non-owned keys are replicated to their owner write-behind.
+	// Every fleet failure mode degrades to local compute. Only consulted
+	// when a SegmentMemo or Store is installed (the fleet tier needs a local
+	// tier to promote fetched artifacts into). See PeerTier.
+	Peers PeerTier
 	// RefinePool, when non-nil, makes degraded segment results provisional:
 	// whenever a memoizable segment falls back, its exact re-search is
 	// enqueued here and the optimal result is written through the memo
@@ -211,7 +219,7 @@ func (p *Pipeline) Run(ctx context.Context, g *Graph) (*Result, error) {
 	// not expose a MemoKey). Keys are computed up front so the per-segment
 	// workers do no fingerprinting of their own.
 	var memoKeys []string
-	var memHits, diskHits, freshStates, refined atomic.Int64
+	var memHits, diskHits, peerHits, freshStates, refined atomic.Int64
 	var refiner Refiner
 	if p.RefinePool != nil {
 		if rf, ok := p.Searcher.(Refiner); ok {
@@ -251,15 +259,17 @@ func (p *Pipeline) Run(ctx context.Context, g *Graph) (*Result, error) {
 		tier := memoTierMiss
 		if memoKeys != nil {
 			if p.SegmentMemo != nil {
-				sr, tier, err = p.SegmentMemo.do(ctx, memoKeys[idx], p.Store, nodes, compute)
+				sr, tier, err = p.SegmentMemo.do(ctx, memoKeys[idx], p.Store, p.Peers, nodes, compute)
 			} else {
-				sr, tier, err = p.Store.lookupOrCompute(memoKeys[idx], nodes, compute)
+				sr, tier, err = p.Store.lookupOrCompute(ctx, memoKeys[idx], p.Peers, nodes, compute)
 			}
 			switch tier {
 			case memoTierMemory:
 				memHits.Add(1)
 			case memoTierDisk:
 				diskHits.Add(1)
+			case memoTierPeer:
+				peerHits.Add(1)
 			}
 		} else {
 			sr, err = compute()
@@ -324,8 +334,9 @@ func (p *Pipeline) Run(ctx context.Context, g *Graph) (*Result, error) {
 			res.Fallbacks++
 		}
 	}
-	res.SegmentMemoHits = int(memHits.Load() + diskHits.Load())
+	res.SegmentMemoHits = int(memHits.Load() + diskHits.Load() + peerHits.Load())
 	res.SegmentMemoDiskHits = int(diskHits.Load())
+	res.SegmentMemoPeerHits = int(peerHits.Load())
 	res.RefinementsQueued = int(refined.Load())
 	res.FreshStatesExplored = freshStates.Load()
 	res.Stages.Search = time.Since(searchStart)

@@ -60,6 +60,7 @@ type SegmentMemo struct {
 
 	hits     atomic.Int64
 	diskHits atomic.Int64
+	peerHits atomic.Int64
 	misses   atomic.Int64
 	errors   atomic.Int64
 	replaced atomic.Int64
@@ -76,6 +77,9 @@ const (
 	memoTierMemory
 	// memoTierDisk: loaded and validated from the persistent ScheduleStore.
 	memoTierDisk
+	// memoTierPeer: fetched from the key's fleet owner and validated; the
+	// segment's DP ran once somewhere in the fleet, just not here.
+	memoTierPeer
 )
 
 // memoLoad is a flight's outcome: the result plus which tier the leader got
@@ -83,6 +87,7 @@ const (
 type memoLoad struct {
 	sr       SearchResult
 	fromDisk bool
+	fromPeer bool
 }
 
 // NewSegmentMemo returns a memo holding at most capacity segment results;
@@ -102,9 +107,12 @@ type SegmentMemoStats struct {
 	Hits   int64
 	Misses int64
 	// DiskHits is the subset of Hits answered by the persistent tier (a
-	// ScheduleStore layered under this memo); Hits - DiskHits were served
-	// from memory or a shared in-flight search.
+	// ScheduleStore layered under this memo); PeerHits the subset answered
+	// by the fleet tier (an artifact fetched from the key's owner and
+	// validated). Hits - DiskHits - PeerHits were served from memory or a
+	// shared in-flight search.
 	DiskHits int64
+	PeerHits int64
 	// Errors counts lookups that resolved with an error — canceled waiters,
 	// failed searches, and followers of a failed flight. An errored lookup is
 	// neither a Hit nor a Miss: nothing was served and no result was stored.
@@ -122,6 +130,7 @@ func (m *SegmentMemo) Stats() SegmentMemoStats {
 		Hits:     m.hits.Load(),
 		Misses:   m.misses.Load(),
 		DiskHits: m.diskHits.Load(),
+		PeerHits: m.peerHits.Load(),
 		Errors:   m.errors.Load(),
 		Replaced: m.replaced.Load(),
 		Entries:  m.store.Len(),
@@ -129,20 +138,27 @@ func (m *SegmentMemo) Stats() SegmentMemoStats {
 }
 
 // do returns the result for key, consulting the in-memory store, then the
-// persistent tier (disk, when non-nil), then any in-flight computation, then
-// running compute. The returned tier reports how the result arrived:
-// anything but memoTierMiss means this caller ran no search. nodes is the
-// segment's node count, used to validate disk artifacts before trusting
-// them.
+// persistent tier (disk, when non-nil), then the fleet tier (peers, when
+// non-nil), then any in-flight computation, then running compute. The
+// returned tier reports how the result arrived: anything but memoTierMiss
+// means this caller ran no search. nodes is the segment's node count, used to
+// validate disk and peer artifacts before trusting them.
 //
 // Errors are never stored; context errors follow cache.Group's retry
 // contract. Storable results enter the memory store (and the write-behind
 // disk queue) inside the flight — before followers are released and before
 // the flight is torn down — so a caller arriving as the leader finishes can
 // never slip between the closed flight and the not-yet-written store and
-// redo the search. The disk lookup also runs inside the flight: concurrent
-// lookups of one cold key cost one disk read, not N.
-func (m *SegmentMemo) do(ctx context.Context, key string, disk *ScheduleStore, nodes int, compute func() (SearchResult, error)) (SearchResult, memoTier, error) {
+// redo the search. The disk lookup and the peer fetch also run inside the
+// flight: concurrent lookups of one cold key cost one disk read and at most
+// one peer round trip, not N.
+//
+// Peer artifacts pass the same validation disk artifacts pass on load; a
+// validated fetch is promoted to memory AND written through to disk, so the
+// fleet corpus a node pulls from survives its own restarts. A fresh compute
+// of a key some other member owns replicates the artifact toward the owner,
+// write-behind — the compile path never waits on the fleet.
+func (m *SegmentMemo) do(ctx context.Context, key string, disk *ScheduleStore, peers PeerTier, nodes int, compute func() (SearchResult, error)) (SearchResult, memoTier, error) {
 	if sr, ok := m.store.Get(key); ok {
 		m.hits.Add(1)
 		return sr, memoTierMemory, nil
@@ -156,11 +172,27 @@ func (m *SegmentMemo) do(ctx context.Context, key string, disk *ScheduleStore, n
 				return memoLoad{sr: sr, fromDisk: true}, nil
 			}
 		}
+		if peers != nil && !peers.Owns(key) {
+			if payload, ok := peers.Fetch(ctx, key); ok {
+				if sr, ok := decodePeerArtifact(payload, nodes); ok {
+					m.store.Put(key, sr)
+					if disk != nil {
+						disk.putAsync(key, sr)
+					}
+					return memoLoad{sr: sr, fromPeer: true}, nil
+				}
+			}
+		}
 		sr, err := compute()
 		if err == nil && !sr.FellBack {
 			m.store.Put(key, sr)
 			if disk != nil {
 				disk.putAsync(key, sr)
+			}
+			if peers != nil && !peers.Owns(key) {
+				if payload, perr := MarshalSegmentArtifact(sr); perr == nil {
+					peers.Replicate(key, payload)
+				}
 			}
 		}
 		return memoLoad{sr: sr}, err
@@ -181,6 +213,10 @@ func (m *SegmentMemo) do(ctx context.Context, key string, disk *ScheduleStore, n
 		m.hits.Add(1)
 		m.diskHits.Add(1)
 		return v.sr, memoTierDisk, nil
+	case v.fromPeer:
+		m.hits.Add(1)
+		m.peerHits.Add(1)
+		return v.sr, memoTierPeer, nil
 	}
 	m.misses.Add(1)
 	return v.sr, memoTierMiss, nil

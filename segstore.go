@@ -1,6 +1,7 @@
 package serenity
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -384,16 +385,31 @@ func (ss *ScheduleStore) Stats() StoreStats {
 }
 
 // lookupOrCompute is the store-only lookup path for Pipelines running with a
-// ScheduleStore but no SegmentMemo: disk hit, else compute and write
-// through. No singleflight — that is the memo's job; without one, concurrent
-// identical segments each pay (or each disk-hit) on their own.
-func (ss *ScheduleStore) lookupOrCompute(key string, nodes int, compute func() (SearchResult, error)) (SearchResult, memoTier, error) {
+// ScheduleStore but no SegmentMemo: disk hit, else peer fetch (when a fleet
+// tier is installed), else compute and write through. No singleflight — that
+// is the memo's job; without one, concurrent identical segments each pay (or
+// each disk-hit) on their own. Peer artifacts pass the same validation the
+// memo path applies, and fresh non-owned computes replicate to their owner.
+func (ss *ScheduleStore) lookupOrCompute(ctx context.Context, key string, peers PeerTier, nodes int, compute func() (SearchResult, error)) (SearchResult, memoTier, error) {
 	if sr, ok := ss.get(key, nodes); ok {
 		return sr, memoTierDisk, nil
+	}
+	if peers != nil && !peers.Owns(key) {
+		if payload, ok := peers.Fetch(ctx, key); ok {
+			if sr, ok := decodePeerArtifact(payload, nodes); ok {
+				ss.putAsync(key, sr)
+				return sr, memoTierPeer, nil
+			}
+		}
 	}
 	sr, err := compute()
 	if err == nil && !sr.FellBack {
 		ss.putAsync(key, sr)
+		if peers != nil && !peers.Owns(key) {
+			if payload, perr := MarshalSegmentArtifact(sr); perr == nil {
+				peers.Replicate(key, payload)
+			}
+		}
 	}
 	return sr, memoTierMiss, err
 }

@@ -274,6 +274,11 @@ type Result struct {
 	// promoted from disk. SegmentMemoHits - SegmentMemoDiskHits were served
 	// from memory. Always zero without a store.
 	SegmentMemoDiskHits int
+	// SegmentMemoPeerHits is the subset of SegmentMemoHits answered by the
+	// fleet tier (Pipeline.Peers): artifacts fetched from the key's owning
+	// peer, validated, and promoted into the local tiers. Always zero
+	// without a fleet.
+	SegmentMemoPeerHits int
 	// Stages breaks the compile time down per pipeline stage.
 	Stages StageTimings
 	// SchedulingTime is the end-to-end compile time.
