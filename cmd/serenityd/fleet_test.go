@@ -2,14 +2,19 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
+	"net/http/httptest"
+	"net/url"
 	"reflect"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	serenity "github.com/serenity-ml/serenity"
+	"github.com/serenity-ml/serenity/internal/fleet"
 )
 
 // testFleet builds an n-node in-process fleet with the drill's constructor
@@ -175,6 +180,260 @@ func TestReadyzReportsFleetMembership(t *testing.T) {
 	}
 	if body.Status != "ready" || body.FleetMembers != 3 || body.FleetSelf == "" {
 		t.Errorf("readyz payload %s, want status=ready members=3 self set", data)
+	}
+}
+
+// adminCall hits a fleet admin endpoint on a node and returns status + body.
+func adminCall(t *testing.T, node *drillNode, method, path string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, node.ts.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := node.ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, data
+}
+
+// TestFleetAdminJoinLeave: membership is editable per node at runtime. A
+// joined-but-dead member grows the ring, gets discovered by the prober, and
+// is routed around; leaving it shrinks the ring and forgets its health.
+func TestFleetAdminJoinLeave(t *testing.T) {
+	nodes := testFleet(t, 2)
+	a, b := nodes[0], nodes[1]
+
+	code, data := adminCall(t, a, http.MethodGet, "/admin/fleet")
+	if code != http.StatusOK {
+		t.Fatalf("GET /admin/fleet = %d: %s", code, data)
+	}
+	var view struct {
+		Self    string            `json:"self"`
+		Members []string          `json:"members"`
+		States  map[string]string `json:"states"`
+	}
+	if err := json.Unmarshal(data, &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Self != a.ts.URL || len(view.Members) != 2 {
+		t.Fatalf("fleet view %s, want self=%s and 2 members", data, a.ts.URL)
+	}
+	if view.States[b.ts.URL] != "alive" {
+		t.Errorf("peer B state %q, want alive", view.States[b.ts.URL])
+	}
+
+	// Join a peer that is already a corpse: the ring grows immediately, the
+	// prober discovers the dead socket, and compiles route around it.
+	ghost := httptest.NewServer(http.NotFoundHandler())
+	ghostURL := ghost.URL
+	ghost.Close()
+	code, data = adminCall(t, a, http.MethodPost, "/admin/fleet/join?peer="+url.QueryEscape(ghostURL))
+	if code != http.StatusOK {
+		t.Fatalf("join = %d: %s", code, data)
+	}
+	if got := metricValue(t, a.ts, "serenityd_peer_ring_members"); got != 3 {
+		t.Errorf("ring members after join = %v, want 3", got)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for a.s.health.State(ghostURL) != fleet.StateDead {
+		if time.Now().After(deadline) {
+			t.Fatalf("prober never marked the joined corpse dead (state %s)", a.s.health.State(ghostURL))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if sr := fleetPost(t, a, graphBody(t, smallCell(61))); sr.Quality != serenity.QualityOptimal {
+		t.Errorf("compile with a dead member degraded quality to %q", sr.Quality)
+	}
+
+	// Error contract: join without ?peer=, leaving yourself, leaving a stranger.
+	if code, _ = adminCall(t, a, http.MethodPost, "/admin/fleet/join"); code != http.StatusBadRequest {
+		t.Errorf("join without peer = %d, want 400", code)
+	}
+	if code, _ = adminCall(t, a, http.MethodPost, "/admin/fleet/leave?peer="+url.QueryEscape(a.ts.URL)); code != http.StatusBadRequest {
+		t.Errorf("self-leave = %d, want 400", code)
+	}
+	if code, _ = adminCall(t, a, http.MethodPost, "/admin/fleet/leave?peer="+url.QueryEscape("http://127.0.0.1:1/nobody")); code != http.StatusNotFound {
+		t.Errorf("leave of a non-member = %d, want 404", code)
+	}
+
+	// Leave the corpse: the ring shrinks back and health stops tracking it
+	// (untracked members read alive by design).
+	code, data = adminCall(t, a, http.MethodPost, "/admin/fleet/leave?peer="+url.QueryEscape(ghostURL))
+	if code != http.StatusOK {
+		t.Fatalf("leave = %d: %s", code, data)
+	}
+	if got := metricValue(t, a.ts, "serenityd_peer_ring_members"); got != 2 {
+		t.Errorf("ring members after leave = %v, want 2", got)
+	}
+	if st := a.s.health.State(ghostURL); st != fleet.StateAlive {
+		t.Errorf("departed member still tracked as %s; forgotten members read alive", st)
+	}
+}
+
+// newJoiner stands up a drill-style node that is NOT ready yet, with a ring
+// spanning the existing fleet plus itself — the state a production joiner is
+// in between its listener coming up and its join pre-stream finishing.
+// onRound observes every pre-stream exchange from the syncing goroutine.
+func newJoiner(t *testing.T, existing []*drillNode, onRound func(peer string, added int, err error)) *drillNode {
+	t.Helper()
+	opts := serenity.DefaultOptions()
+	opts.StepTimeout = 500 * time.Millisecond
+	opts.Parallelism = 4
+
+	var handler atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h, _ := handler.Load().(http.Handler)
+		if h == nil {
+			http.Error(w, "booting", http.StatusServiceUnavailable)
+			return
+		}
+		h.ServeHTTP(w, r)
+	}))
+	node := &drillNode{ts: ts}
+	t.Cleanup(node.close)
+
+	store, err := serenity.OpenScheduleStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	urls := []string{ts.URL}
+	for _, n := range existing {
+		urls = append(urls, n.ts.URL)
+	}
+	ring, err := fleet.NewRing(ts.URL, urls, fleet.DefaultVirtualNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(opts, 64)
+	s.segMemo = serenity.NewSegmentMemo(4096)
+	s.store = store
+	s.ring.Store(ring)
+	s.peerVnodes = fleet.DefaultVirtualNodes
+	node.fault = fleet.NewFaultTransport(nil, 99)
+	hc := &http.Client{Transport: node.fault}
+	s.health = fleet.NewHealth(ring.Peers(), fleet.HealthOptions{
+		Interval:   50 * time.Millisecond,
+		Timeout:    500 * time.Millisecond,
+		DeadAfter:  2,
+		ProbePath:  "/readyz",
+		HTTPClient: hc,
+	})
+	s.peers = fleet.NewClient(ring, fleet.ClientOptions{
+		Timeout:    2 * time.Second,
+		HTTPClient: hc,
+		Health:     s.health,
+	})
+	s.peerSrv = fleet.NewServer(store, ring, peerGate(8))
+	// Tiny batches force the pre-stream through several exchanges, so the
+	// mid-stream readiness probe in the test has a window to observe.
+	s.syncer = fleet.NewSyncer(store, ring, fleet.SyncerOptions{
+		Batch:      4,
+		HTTPClient: hc,
+		Health:     s.health,
+		OnRound:    onRound,
+	})
+	// Deliberately NOT ready: main.go flips ready only after the pre-stream
+	// completes, and this helper replicates that ordering exactly.
+	node.s = s
+	handler.Store(s.handler())
+	s.health.Start()
+	return node
+}
+
+// TestFleetJoinHandoff certifies the join choreography: the joiner's /readyz
+// answers 503 throughout the pre-stream (holding it out of every prober's
+// routing), and once ready it serves the warm corpus with zero fresh DP work.
+func TestFleetJoinHandoff(t *testing.T) {
+	nodes := testFleet(t, 2)
+	a := nodes[0]
+
+	graphs := [][]byte{
+		graphBody(t, smallCell(51)),
+		graphBody(t, smallCell(52)),
+		graphBody(t, serenity.SwiftNetCellA()),
+	}
+	orders := make([][]int, len(graphs))
+	for i, g := range graphs {
+		orders[i] = fleetPost(t, a, g).Order
+	}
+	a.s.peers.Drain()
+
+	var joinerURL atomic.Value
+	var midStreamNotReady atomic.Bool
+	var rounds atomic.Int64
+	onRound := func(peer string, added int, err error) {
+		rounds.Add(1)
+		tsURL, _ := joinerURL.Load().(string)
+		if tsURL == "" {
+			return
+		}
+		resp, err2 := http.Get(tsURL + "/readyz")
+		if err2 != nil {
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			midStreamNotReady.Store(true)
+		}
+	}
+	j := newJoiner(t, nodes, onRound)
+	joinerURL.Store(j.ts.URL)
+
+	// Announce the joiner to both members. Its listener is up but /readyz
+	// answers 503, so their probers keep it out of routing while it streams.
+	for _, n := range nodes {
+		code, data := adminCall(t, n, http.MethodPost, "/admin/fleet/join?peer="+url.QueryEscape(j.ts.URL))
+		if code != http.StatusOK {
+			t.Fatalf("join on %s = %d: %s", n.ts.URL, code, data)
+		}
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for a.s.health.State(j.ts.URL) == fleet.StateAlive {
+		if time.Now().After(deadline) {
+			t.Fatal("A never noticed the joiner is not ready; probes must target /readyz")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	pulled, err := j.s.syncer.Converge(ctx)
+	if err != nil {
+		t.Fatalf("join pre-stream: %v", err)
+	}
+	if pulled == 0 {
+		t.Fatal("join pre-stream imported nothing; the warm corpus should flow before readiness")
+	}
+	if rounds.Load() == 0 {
+		t.Fatal("OnRound never fired during the pre-stream")
+	}
+	if !midStreamNotReady.Load() {
+		t.Error("joiner answered /readyz 200 mid-pre-stream; readiness must wait for convergence")
+	}
+
+	j.s.ready.Store(true)
+	for a.s.health.State(j.ts.URL) != fleet.StateAlive {
+		if time.Now().After(deadline) {
+			t.Fatal("A never revived the joiner after it turned ready")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The joiner now owns its keyspace share and answers the warm corpus
+	// bit-identically with ZERO fresh DP states — the handoff delivered
+	// everything before the first request arrived.
+	for i, g := range graphs {
+		sr := fleetPost(t, j, g)
+		if !reflect.DeepEqual(sr.Order, orders[i]) {
+			t.Errorf("graph %d: joiner order %v diverged from %v", i, sr.Order, orders[i])
+		}
+	}
+	if fresh := j.s.states.Load(); fresh != 0 {
+		t.Errorf("joiner explored %d fresh DP states; the pre-stream should have delivered the corpus", fresh)
 	}
 }
 

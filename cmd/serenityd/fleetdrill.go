@@ -22,6 +22,9 @@ type drillNode struct {
 	s   *server
 	ts  *httptest.Server
 	dir string
+	// fault fronts every outbound fleet path (fetch, replication, sync,
+	// probes), so the drill partitions and heals nodes with rule edits.
+	fault *fleet.FaultTransport
 }
 
 // newDrillFleet stands up n serenityd instances, each with its own segment
@@ -62,17 +65,45 @@ func newDrillFleet(opts serenity.Options, n int) ([]*drillNode, error) {
 		s := newServer(opts, 64)
 		s.segMemo = serenity.NewSegmentMemo(4096)
 		s.store = store
-		s.ring = ring
+		s.ring.Store(ring)
+		s.peerVnodes = fleet.DefaultVirtualNodes
+		node.fault = fleet.NewFaultTransport(nil, int64(i+1))
+		hc := &http.Client{Transport: node.fault}
+		// Fast probes so failure detection converges in drill time, probing
+		// /readyz the way production does.
+		s.health = fleet.NewHealth(ring.Peers(), fleet.HealthOptions{
+			Interval:   50 * time.Millisecond,
+			Timeout:    500 * time.Millisecond,
+			DeadAfter:  2,
+			ProbePath:  "/readyz",
+			HTTPClient: hc,
+		})
 		// Generous fetch budget: the drill proves correctness, not latency,
 		// and a loaded CI machine must not flake it on a slow scheduler tick.
-		s.peers = fleet.NewClient(ring, fleet.ClientOptions{Timeout: 2 * time.Second})
+		s.peers = fleet.NewClient(ring, fleet.ClientOptions{
+			Timeout:    2 * time.Second,
+			HTTPClient: hc,
+			Health:     s.health,
+		})
 		s.peerSrv = fleet.NewServer(store, ring, peerGate(8))
 		// No background loop: the drill drives anti-entropy deterministically
 		// through SyncOnce.
-		s.syncer = fleet.NewSyncer(store, ring, fleet.SyncerOptions{Batch: 64})
+		s.syncer = fleet.NewSyncer(store, ring, fleet.SyncerOptions{
+			Batch:      64,
+			HTTPClient: hc,
+			Health:     s.health,
+		})
 		s.ready.Store(true)
 		node.s = s
 		handlers[i].Store(s.handler())
+	}
+	// Probers start only after EVERY node's handler is live: a probe landing
+	// on a still-booting handler reads 503 and would boot the fleet into
+	// false suspects.
+	for _, node := range nodes {
+		if node.s != nil && node.s.health != nil {
+			node.s.health.Start()
+		}
 	}
 	return nodes, nil
 }
@@ -122,6 +153,13 @@ func drillPost(ts *httptest.Server, body []byte) (*scheduleResponse, error) {
 //  3. Dead-owner degradation — node A is killed outright; a graph nobody has
 //     compiled still gets an exact schedule from node B (peer fetches time
 //     out, the DP runs locally, no client-visible error).
+//  4. Health-driven failover — B's prober marks the killed node dead; the
+//     NEXT unseen graph compiles with zero new peer timeouts, because dead
+//     owners are skipped outright and their keys fail over to live members.
+//  5. Partition and rejoin — B and C are cut apart by the fault transports;
+//     B still compiles exactly during the partition, and after the cut heals
+//     the two views revive each other, C converges the partition-era corpus
+//     via anti-entropy, and C replays it with zero fresh DP states.
 func runFleetDrill(opts serenity.Options, out io.Writer) error {
 	bodies, err := loadgenWorkload()
 	if err != nil {
@@ -140,7 +178,7 @@ func runFleetDrill(opts serenity.Options, out io.Writer) error {
 	}
 	a, b, c := nodes[0], nodes[1], nodes[2]
 	fmt.Fprintf(out, "fleet drill: 3 nodes, %d graphs; shares A=%.2f B=%.2f C=%.2f\n",
-		len(bodies), a.s.ring.OwnedShare(4096), b.s.ring.OwnedShare(4096), c.s.ring.OwnedShare(4096))
+		len(bodies), a.s.ring.Load().OwnedShare(4096), b.s.ring.Load().OwnedShare(4096), c.s.ring.Load().OwnedShare(4096))
 
 	// Pass 1: node A pays for the corpus.
 	start := time.Now()
@@ -228,6 +266,88 @@ func runFleetDrill(opts serenity.Options, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "fleet drill: killed node A; node B compiled an unseen graph locally (%d fresh states, quality %s, no error)\n",
 		b.s.states.Load(), sr.Quality)
+
+	// Health-driven failover: once B's prober marks A dead, unseen graphs
+	// stop paying even the discovery timeout — dead owners are skipped, not
+	// dialed, and their keys fail over to live ring points.
+	waitState := func(viewer *drillNode, peer string, want fleet.State) error {
+		deadline := time.Now().Add(15 * time.Second)
+		for viewer.s.health.State(peer) != want {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("fleet drill: %s never saw %s reach %s (stuck at %s)",
+					viewer.ts.URL, peer, want, viewer.s.health.State(peer))
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		return nil
+	}
+	if err := waitState(b, a.ts.URL, fleet.StateDead); err != nil {
+		return err
+	}
+	timeoutsBefore := b.s.peers.Stats().Timeouts
+	failover := serenity.RandWireCell("rw-fleet-drill-failover", 24, 4, 0.75, 101, 16, 8)
+	buf.Reset()
+	if err := serenity.WriteGraphJSON(&buf, failover); err != nil {
+		return err
+	}
+	fsr, err := drillPost(b.ts, buf.Bytes())
+	if err != nil {
+		return fmt.Errorf("fleet drill: post-failover compile surfaced an error: %w", err)
+	}
+	if fsr.Quality != serenity.QualityOptimal {
+		return fmt.Errorf("fleet drill: post-failover compile degraded quality to %q", fsr.Quality)
+	}
+	if d := b.s.peers.Stats().Timeouts - timeoutsBefore; d != 0 {
+		return fmt.Errorf("fleet drill: post-failover compile burned %d peer timeouts; a dead owner must be skipped, not dialed", d)
+	}
+	fmt.Fprintf(out, "fleet drill: B marked A dead and compiled another unseen graph with 0 new peer timeouts (%d failovers routed)\n",
+		b.s.peers.Stats().Failovers)
+
+	// Partition and rejoin: cut B and C apart (both directions), compile on B
+	// mid-partition, heal, wait for the views to revive, and converge C.
+	b.fault.Partition(c.ts.URL)
+	c.fault.Partition(b.ts.URL)
+	if err := waitState(b, c.ts.URL, fleet.StateDead); err != nil {
+		return err
+	}
+	parted := serenity.RandWireCell("rw-fleet-drill-partition", 24, 4, 0.75, 103, 16, 8)
+	buf.Reset()
+	if err := serenity.WriteGraphJSON(&buf, parted); err != nil {
+		return err
+	}
+	psr, err := drillPost(b.ts, buf.Bytes())
+	if err != nil {
+		return fmt.Errorf("fleet drill: mid-partition compile surfaced an error: %w", err)
+	}
+	b.fault.Heal(c.ts.URL)
+	c.fault.Heal(b.ts.URL)
+	if err := waitState(b, c.ts.URL, fleet.StateAlive); err != nil {
+		return err
+	}
+	cPulled := 0
+	for rounds := 0; rounds < 64; rounds++ {
+		n, err := c.s.syncer.SyncOnce(context.Background(), b.ts.URL)
+		if err != nil {
+			return fmt.Errorf("fleet drill: post-heal anti-entropy: %w", err)
+		}
+		cPulled += n
+		if n == 0 {
+			break
+		}
+	}
+	statesBefore := c.s.states.Load()
+	crs, err := drillPost(c.ts, buf.Bytes())
+	if err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(crs.Order, psr.Order) {
+		return fmt.Errorf("fleet drill: C's post-heal schedule diverged from B's mid-partition one")
+	}
+	if d := c.s.states.Load() - statesBefore; d != 0 {
+		return fmt.Errorf("fleet drill: C re-explored %d DP states for a corpus anti-entropy already delivered", d)
+	}
+	fmt.Fprintf(out, "fleet drill: partition healed; C pulled %d records and replayed the partition-era graph with 0 fresh DP states\n",
+		cPulled)
 	fmt.Fprintln(out, "fleet drill: PASS")
 	return nil
 }

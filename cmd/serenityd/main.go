@@ -84,6 +84,22 @@
 // finish, so load balancers can hold traffic off a booting node (/healthz
 // stays a pure liveness probe).
 //
+// Membership is dynamic: a background health prober (-peer-probe-interval,
+// -peer-probe-timeout) heartbeats every peer's /readyz and drives it through
+// alive -> suspect (-peer-suspect-after failures; the fetch path skips it
+// immediately, so a freshly dead owner stops costing timeouts after its FIRST
+// failure) -> dead (-peer-dead-after; every path routes around it and its
+// keys fail over to the next live ring point, identically on every node) and
+// back (-peer-revive-after successes). Fetch outcomes feed the same detector,
+// so discovery does not wait for the next probe tick. POST
+// /admin/fleet/join?peer=URL and /admin/fleet/leave?peer=URL edit this node's
+// membership view without a restart (GET /admin/fleet shows it); a booting
+// node pre-streams the fleet corpus to convergence before reporting ready
+// (-peer-join-sync, bounded by -peer-join-timeout), so the moment it takes
+// ownership it serves its keys with zero fresh DP searches. Per-peer health
+// is exported as serenityd_peer_state{peer,state} gauges plus probe/failover
+// counters on /metrics and in the /readyz payload.
+//
 // Example:
 //
 //	graphgen -net swiftnet-a -o model.json   # any JSON IR producer works
@@ -142,6 +158,13 @@ func main() {
 	peerSlots := flag.Int("peer-slots", 4, "concurrently served peer requests, a dedicated admission lane apart from -compile-slots (0 = unlimited)")
 	peerSyncInterval := flag.Duration("peer-sync-interval", 15*time.Second, "anti-entropy round interval, jittered per node (0 disables the background sync loop)")
 	peerSyncBatch := flag.Int("peer-sync-batch", 512, "max store records pulled per anti-entropy round; a rebooted node converges over several rounds instead of thundering onto one peer")
+	peerProbeInterval := flag.Duration("peer-probe-interval", 2*time.Second, "health probe round interval, jittered per node (0 disables health-driven failover; the fleet falls back to breaker-only protection)")
+	peerProbeTimeout := flag.Duration("peer-probe-timeout", 500*time.Millisecond, "budget for one health probe against a peer's /readyz")
+	peerSuspectAfter := flag.Int("peer-suspect-after", 1, "consecutive probe/fetch failures before a peer is suspect (skipped by the fetch path)")
+	peerDeadAfter := flag.Int("peer-dead-after", 3, "consecutive failures before a peer is dead (skipped by every path; its keys fail over)")
+	peerReviveAfter := flag.Int("peer-revive-after", 1, "consecutive probe successes before a suspect or dead peer is alive again")
+	peerJoinSync := flag.Bool("peer-join-sync", true, "pre-stream the fleet corpus (anti-entropy until convergence) before reporting ready, so a joining node serves its owned keys without re-running DPs")
+	peerJoinTimeout := flag.Duration("peer-join-timeout", 30*time.Second, "bound on the join pre-stream; on expiry the node goes ready with whatever converged (anti-entropy finishes the rest in the background)")
 	loadgen := flag.Bool("loadgen", false, "run the load generator against an in-process server instead of serving")
 	loadN := flag.Int("loadgen-n", 200, "loadgen: total requests")
 	loadC := flag.Int("loadgen-c", 16, "loadgen: concurrent clients")
@@ -217,22 +240,46 @@ func main() {
 			fmt.Fprintln(os.Stderr, "serenityd:", err)
 			os.Exit(2)
 		}
-		s.ring = ring
+		s.ring.Store(ring)
+		s.peerVnodes = *peerVnodes
+		if *peerProbeInterval > 0 {
+			// Probes target /readyz, not the fleet ping: a node pre-streaming
+			// its corpus answers 503 and therefore takes no ownership until
+			// its join handoff completes.
+			s.health = fleet.NewHealth(ring.Peers(), fleet.HealthOptions{
+				Interval:     *peerProbeInterval,
+				Timeout:      *peerProbeTimeout,
+				SuspectAfter: *peerSuspectAfter,
+				DeadAfter:    *peerDeadAfter,
+				ReviveAfter:  *peerReviveAfter,
+				ProbePath:    "/readyz",
+				OnTransition: func(peer string, from, to fleet.State) {
+					log.Printf("serenityd fleet: peer %s %s -> %s", peer, from, to)
+				},
+			})
+		}
 		s.peers = fleet.NewClient(ring, fleet.ClientOptions{
 			Timeout:     *peerTimeout,
 			Concurrency: *peerConcurrency,
+			Health:      s.health,
 		})
 		var gate fleet.Gate
 		if *peerSlots > 0 {
 			gate = peerGate(*peerSlots)
 		}
 		s.peerSrv = fleet.NewServer(s.store, ring, gate)
-		if *peerSyncInterval > 0 && len(ring.Peers()) > 0 {
+		if *peerSyncInterval > 0 {
+			// The loop starts even on a currently peerless node: admin join can
+			// add members later, and the loop idles until one exists.
 			s.syncer = fleet.NewSyncer(s.store, ring, fleet.SyncerOptions{
 				Interval: *peerSyncInterval,
 				Batch:    *peerSyncBatch,
+				Health:   s.health,
 			})
 			s.syncer.Start()
+		}
+		if s.health != nil {
+			s.health.Start()
 		}
 		log.Printf("serenityd fleet: %d members, self %s owns ~%.1f%% of the keyspace",
 			len(ring.Members()), ring.Self(), 100*ring.OwnedShare(4096))
@@ -255,7 +302,11 @@ func main() {
 		s.refine = serenity.NewRefinePool(s.segMemo, s.store, ropts)
 	}
 
-	s.ready.Store(true)
+	// The serve path flips readiness only after the join pre-stream (below);
+	// the loadgen modes have no probers pointed at them and go ready here.
+	if *loadgen || *loadgenFleet {
+		s.ready.Store(true)
+	}
 
 	if *loadgenFleet {
 		// The drill builds its own 3-node fleet; the server assembled above
@@ -300,6 +351,24 @@ func main() {
 	defer stop()
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.ListenAndServe() }()
+	// Join handoff: with the listener up (so /readyz answers 503 and peers'
+	// probes see a node that exists but must not take ownership yet), pull the
+	// fleet corpus to convergence BEFORE going ready. The moment peers start
+	// routing this node's keys at it, it serves them from its store instead of
+	// re-running their DPs. A fresh single-node fleet converges instantly; on
+	// pre-stream timeout the node goes ready anyway and background anti-entropy
+	// finishes the job.
+	if s.syncer != nil && *peerJoinSync {
+		joinCtx, cancelJoin := context.WithTimeout(ctx, *peerJoinTimeout)
+		pulled, err := s.syncer.Converge(joinCtx)
+		cancelJoin()
+		if err != nil {
+			log.Printf("serenityd fleet: join pre-stream incomplete after %d records: %v (anti-entropy continues in the background)", pulled, err)
+		} else if pulled > 0 {
+			log.Printf("serenityd fleet: join pre-stream imported %d records; serving warm", pulled)
+		}
+	}
+	s.ready.Store(true)
 	select {
 	case err := <-serveErr:
 		closeFleet(s)
@@ -345,6 +414,12 @@ func splitPeers(list string) []string {
 // client. It must precede closeRefine/closeStore so no fleet-driven write
 // lands on a store that has already shut down.
 func closeFleet(s *server) {
+	if s.health != nil {
+		s.health.Stop()
+		hs := s.health.Stats()
+		log.Printf("serenityd: health prober stopped: %d probes, %d failures, %d transitions",
+			hs.Probes, hs.Failures, hs.Transitions)
+	}
 	if s.syncer != nil {
 		s.syncer.Stop()
 		ys := s.syncer.Stats()

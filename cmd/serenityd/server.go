@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -126,14 +127,22 @@ type server struct {
 	// class). See serenity.RefinePool.
 	refine *serenity.RefinePool
 	// Fleet tier (-peers/-peer-addr), all nil on a fleetless server: ring is
-	// the consistent-hash membership; peers the bounded fetch/replication
+	// the consistent-hash membership (an atomic pointer — admin join/leave
+	// swaps it under live traffic); peers the bounded fetch/replication
 	// client the pipeline consults as its PeerTier; peerSrv the peer-facing
 	// HTTP surface (artifact get/put, digest, sync) mounted on the same mux;
-	// syncer the background anti-entropy loop. See internal/fleet.
-	ring    *fleet.Ring
+	// syncer the background anti-entropy loop; health the per-peer liveness
+	// view driving failover routing. See internal/fleet.
+	ring    atomic.Pointer[fleet.Ring]
 	peers   *fleet.Client
 	peerSrv *fleet.Server
 	syncer  *fleet.Syncer
+	health  *fleet.Health
+	// peerVnodes is remembered so admin join/leave rebuilds rings with the
+	// same virtual-node count every other member uses; fleetMu serializes
+	// concurrent membership edits.
+	peerVnodes int
+	fleetMu    sync.Mutex
 	// ready flips once boot completed: store warm-started and the fleet ring
 	// (when configured) wired. /readyz answers 503 until then so a load
 	// balancer holds traffic off a node still importing its corpus, while
@@ -197,8 +206,115 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	if s.peerSrv != nil {
 		s.peerSrv.Register(mux)
+		mux.HandleFunc("GET /admin/fleet", s.handleFleetGet)
+		mux.HandleFunc("POST /admin/fleet/join", s.handleFleetJoin)
+		mux.HandleFunc("POST /admin/fleet/leave", s.handleFleetLeave)
 	}
 	return mux
+}
+
+// applyRing swaps the fleet membership everywhere it is consulted: the
+// pipeline's routing (peers), the peer surface, the anti-entropy loop, and
+// the health view. Callers hold fleetMu.
+func (s *server) applyRing(r *fleet.Ring) {
+	s.ring.Store(r)
+	if s.peers != nil {
+		s.peers.UpdateRing(r)
+	}
+	if s.peerSrv != nil {
+		s.peerSrv.UpdateRing(r)
+	}
+	if s.syncer != nil {
+		s.syncer.UpdateRing(r)
+	}
+	if s.health != nil {
+		s.health.SetMembers(r.Peers())
+	}
+}
+
+// fleetStatus is the admin view of the membership: every member plus the
+// health state this node currently holds for it.
+func (s *server) fleetStatus() map[string]any {
+	r := s.ring.Load()
+	states := map[string]string{r.Self(): "self"}
+	for _, p := range r.Peers() {
+		if s.health != nil {
+			states[p] = s.health.State(p).String()
+		} else {
+			states[p] = "untracked"
+		}
+	}
+	return map[string]any{
+		"self":    r.Self(),
+		"members": r.Members(),
+		"states":  states,
+	}
+}
+
+func (s *server) handleFleetGet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.fleetStatus())
+}
+
+// handleFleetJoin adds ?peer= to this node's membership view without a
+// restart. The new member starts Alive and immediately owns its share of the
+// keyspace; call the same endpoint on every other member (or let the joiner
+// announce itself) — membership is a per-node view, deliberately without a
+// consensus layer, exactly like the -peers flag it extends.
+func (s *server) handleFleetJoin(w http.ResponseWriter, r *http.Request) {
+	peer := strings.TrimSpace(r.URL.Query().Get("peer"))
+	if peer == "" {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("join needs ?peer=<base URL>"))
+		return
+	}
+	s.fleetMu.Lock()
+	defer s.fleetMu.Unlock()
+	cur := s.ring.Load()
+	next, err := fleet.NewRing(cur.Self(), append(cur.Members(), peer), s.peerVnodes)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("join %q: %w", peer, err))
+		return
+	}
+	s.applyRing(next)
+	writeJSON(w, http.StatusOK, s.fleetStatus())
+}
+
+// handleFleetLeave removes ?peer= from this node's membership view; its keys
+// fail over to the surviving ring points permanently (a health-driven
+// failover, by contrast, unwinds on revival). A node cannot remove itself —
+// shut it down instead.
+func (s *server) handleFleetLeave(w http.ResponseWriter, r *http.Request) {
+	peer := strings.TrimSuffix(strings.TrimSpace(r.URL.Query().Get("peer")), "/")
+	if peer == "" {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("leave needs ?peer=<base URL>"))
+		return
+	}
+	s.fleetMu.Lock()
+	defer s.fleetMu.Unlock()
+	cur := s.ring.Load()
+	if peer == cur.Self() {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("a node cannot leave its own fleet view; stop the process instead"))
+		return
+	}
+	var rest []string
+	found := false
+	for _, m := range cur.Members() {
+		if m == peer {
+			found = true
+			continue
+		}
+		rest = append(rest, m)
+	}
+	if !found {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("%q is not a fleet member", peer))
+		return
+	}
+	next, err := fleet.NewRing(cur.Self(), rest, s.peerVnodes)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, fmt.Errorf("leave %q: %w", peer, err))
+		return
+	}
+	s.applyRing(next)
+	writeJSON(w, http.StatusOK, s.fleetStatus())
 }
 
 func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
@@ -690,9 +806,16 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		"status": "ready",
 		"uptime": time.Since(s.started).Round(time.Millisecond).String(),
 	}
-	if s.ring != nil {
-		resp["fleet_members"] = len(s.ring.Members())
-		resp["fleet_self"] = s.ring.Self()
+	if ring := s.ring.Load(); ring != nil {
+		resp["fleet_members"] = len(ring.Members())
+		resp["fleet_self"] = ring.Self()
+		if s.health != nil {
+			states := map[string]string{}
+			for peer, st := range s.health.Snapshot() {
+				states[peer] = st.String()
+			}
+			resp["peer_states"] = states
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -836,6 +959,33 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# HELP serenityd_peer_replication_dropped_total Replication pushes shed (queue overflow, dead owner); anti-entropy heals them.\n")
 		fmt.Fprintf(w, "# TYPE serenityd_peer_replication_dropped_total counter\n")
 		fmt.Fprintf(w, "serenityd_peer_replication_dropped_total %d\n", ps.ReplicationDropped)
+		fmt.Fprintf(w, "# HELP serenityd_peer_failovers_total Fetches and replications routed to a failover owner because the primary was unhealthy.\n")
+		fmt.Fprintf(w, "# TYPE serenityd_peer_failovers_total counter\n")
+		fmt.Fprintf(w, "serenityd_peer_failovers_total %d\n", ps.Failovers)
+	}
+	if s.health != nil {
+		snap := s.health.Snapshot()
+		fmt.Fprintf(w, "# HELP serenityd_peer_state Per-peer health as seen from this node: 1 for the current state, 0 otherwise.\n")
+		fmt.Fprintf(w, "# TYPE serenityd_peer_state gauge\n")
+		for _, peer := range s.health.Members() {
+			for _, st := range fleet.States {
+				v := 0
+				if snap[peer] == st {
+					v = 1
+				}
+				fmt.Fprintf(w, "serenityd_peer_state{peer=%q,state=%q} %d\n", peer, st, v)
+			}
+		}
+		hs := s.health.Stats()
+		fmt.Fprintf(w, "# HELP serenityd_peer_probes_total Health probe attempts against fleet peers.\n")
+		fmt.Fprintf(w, "# TYPE serenityd_peer_probes_total counter\n")
+		fmt.Fprintf(w, "serenityd_peer_probes_total %d\n", hs.Probes)
+		fmt.Fprintf(w, "# HELP serenityd_peer_probe_failures_total Health probes that failed (error, timeout, non-2xx).\n")
+		fmt.Fprintf(w, "# TYPE serenityd_peer_probe_failures_total counter\n")
+		fmt.Fprintf(w, "serenityd_peer_probe_failures_total %d\n", hs.Failures)
+		fmt.Fprintf(w, "# HELP serenityd_peer_transitions_total Health state changes (demotions and revivals), from probes and fetch outcomes alike.\n")
+		fmt.Fprintf(w, "# TYPE serenityd_peer_transitions_total counter\n")
+		fmt.Fprintf(w, "serenityd_peer_transitions_total %d\n", hs.Transitions)
 	}
 	if s.peerSrv != nil {
 		fs := s.peerSrv.Stats()
@@ -864,13 +1014,13 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# TYPE serenityd_peer_sync_errors_total counter\n")
 		fmt.Fprintf(w, "serenityd_peer_sync_errors_total %d\n", ys.Errors)
 	}
-	if s.ring != nil {
+	if ring := s.ring.Load(); ring != nil {
 		fmt.Fprintf(w, "# HELP serenityd_peer_ring_members Fleet membership size, this node included.\n")
 		fmt.Fprintf(w, "# TYPE serenityd_peer_ring_members gauge\n")
-		fmt.Fprintf(w, "serenityd_peer_ring_members %d\n", len(s.ring.Members()))
+		fmt.Fprintf(w, "serenityd_peer_ring_members %d\n", len(ring.Members()))
 		fmt.Fprintf(w, "# HELP serenityd_peer_ring_owned_share Estimated fraction of the keyspace this node owns; far from 1/members means a misbalanced ring.\n")
 		fmt.Fprintf(w, "# TYPE serenityd_peer_ring_owned_share gauge\n")
-		fmt.Fprintf(w, "serenityd_peer_ring_owned_share %.4f\n", s.ring.OwnedShare(4096))
+		fmt.Fprintf(w, "serenityd_peer_ring_owned_share %.4f\n", ring.OwnedShare(4096))
 	}
 	if s.admit != nil {
 		fmt.Fprintf(w, "# HELP serenityd_admission_admitted_total Compile-slot acquisitions granted, per priority class.\n")

@@ -19,6 +19,10 @@ const (
 	segmentPathPrefix = "/v1/peer/segment/"
 	digestPath        = "/v1/peer/digest"
 	syncPath          = "/v1/peer/sync"
+	// PingPath is the fleet-native liveness probe target: ungated, bodyless,
+	// 204. Health probes default to it; serenityd points them at /readyz
+	// instead so readiness (including join pre-streaming) gates ownership.
+	PingPath = "/v1/peer/ping"
 )
 
 // maxArtifactBytes bounds one fetched artifact body: at 4 bytes per scheduled
@@ -52,6 +56,14 @@ type ClientOptions struct {
 	// HTTPClient overrides the transport (tests); nil uses a dedicated
 	// client with sane connection pooling.
 	HTTPClient *http.Client
+	// Health, when non-nil, is the member health view driving failover
+	// routing: fetches skip any owner that is not Alive and go straight to
+	// the next live ring point (a dead owner costs zero added latency once
+	// its first probe or fetch fails), replication reroutes only around Dead
+	// owners (a Suspect blip is still worth one cheap push), and every
+	// transport outcome this client observes is fed back into the view. Nil
+	// preserves the static PR-7 behavior: breaker-only protection.
+	Health *Health
 }
 
 func (o ClientOptions) withDefaults() ClientOptions {
@@ -88,6 +100,9 @@ type ClientStats struct {
 	Hits     int64
 	Misses   int64
 	Timeouts int64
+	// Failovers counts fetches and replications routed to a failover owner
+	// because the key's primary owner was not healthy enough for that path.
+	Failovers int64
 	// Replicated counts write-behind artifact pushes accepted by owners;
 	// ReplicationDropped counts pushes shed on queue overflow or shutdown.
 	Replicated         int64
@@ -105,7 +120,7 @@ type replicaPush struct {
 // pushes locally computed non-owned artifacts to their owners in the
 // background. It implements serenity.PeerTier. Safe for concurrent use.
 type Client struct {
-	ring *Ring
+	ring atomic.Pointer[Ring]
 	opts ClientOptions
 	sem  chan struct{}
 
@@ -119,6 +134,7 @@ type Client struct {
 	wg      sync.WaitGroup
 
 	hits, misses, timeouts atomic.Int64
+	failovers              atomic.Int64
 	replicated, repDropped atomic.Int64
 }
 
@@ -127,23 +143,53 @@ type Client struct {
 func NewClient(ring *Ring, opts ClientOptions) *Client {
 	o := opts.withDefaults()
 	c := &Client{
-		ring:     ring,
 		opts:     o,
 		sem:      make(chan struct{}, o.Concurrency),
 		negative: make(map[string]time.Time),
 		down:     make(map[string]time.Time),
 		pushCh:   make(chan replicaPush, o.ReplicationQueue),
 	}
+	c.ring.Store(ring)
 	c.wg.Add(1)
 	go c.replicator()
 	return c
 }
 
-// Ring returns the membership the client routes over.
-func (c *Client) Ring() *Ring { return c.ring }
+// Ring returns the membership the client currently routes over.
+func (c *Client) Ring() *Ring { return c.ring.Load() }
 
-// Owns implements serenity.PeerTier.
-func (c *Client) Owns(key string) bool { return c.ring.Owns(key) }
+// UpdateRing swaps the membership the client routes over — a join or leave
+// took effect. In-flight fetches finish against the old ring; that is safe
+// because any owner answers only from its store and a misrouted fetch is at
+// worst a 404 miss.
+func (c *Client) UpdateRing(r *Ring) { c.ring.Store(r) }
+
+// fetchOwner resolves key's owner for the latency-sensitive fetch path:
+// with a health view, the first Alive member in failover order (counting a
+// reroute); without one, the static ring owner.
+func (c *Client) fetchOwner(r *Ring, key string) string {
+	if c.opts.Health == nil {
+		return r.Owner(key)
+	}
+	owner := r.LiveOwner(key, c.opts.Health.Live)
+	if owner != r.Owner(key) {
+		c.failovers.Add(1)
+	}
+	return owner
+}
+
+// Owns implements serenity.PeerTier: whether this node is key's CURRENT
+// authoritative owner — the static ring owner, unless health failed
+// ownership over to this node. A compile miss on a key this node owns runs
+// the DP locally and serves peers afterward, which is exactly what
+// ownership failover means.
+func (c *Client) Owns(key string) bool {
+	r := c.ring.Load()
+	if c.opts.Health == nil {
+		return r.Owns(key)
+	}
+	return r.LiveOwner(key, c.opts.Health.Live) == r.Self()
+}
 
 // Stats returns a snapshot of the client's counters.
 func (c *Client) Stats() ClientStats {
@@ -151,6 +197,7 @@ func (c *Client) Stats() ClientStats {
 		Hits:               c.hits.Load(),
 		Misses:             c.misses.Load(),
 		Timeouts:           c.timeouts.Load(),
+		Failovers:          c.failovers.Load(),
 		Replicated:         c.replicated.Load(),
 		ReplicationDropped: c.repDropped.Load(),
 	}
@@ -162,8 +209,9 @@ func (c *Client) Stats() ClientStats {
 // surfaces an error. One transport-level retry, then the peer's breaker
 // trips.
 func (c *Client) Fetch(ctx context.Context, key string) ([]byte, bool) {
-	owner := c.ring.Owner(key)
-	if owner == c.ring.Self() {
+	r := c.ring.Load()
+	owner := c.fetchOwner(r, key)
+	if owner == r.Self() {
 		return nil, false
 	}
 	now := time.Now()
@@ -194,6 +242,9 @@ func (c *Client) Fetch(ctx context.Context, key string) ([]byte, bool) {
 		switch {
 		case err == nil && status == http.StatusOK:
 			c.hits.Add(1)
+			if c.opts.Health != nil {
+				c.opts.Health.ReportSuccess(owner)
+			}
 			return payload, true
 		case err == nil && status == http.StatusNotFound:
 			// The authoritative owner does not have it; nobody does. Remember
@@ -216,6 +267,12 @@ func (c *Client) Fetch(ctx context.Context, key string) ([]byte, bool) {
 			}
 			lastTimeout = true
 			c.timeouts.Add(1)
+			if c.opts.Health != nil {
+				// Feed the detector immediately: with SuspectAfter 1 the very
+				// next fetch routed at this owner already fails over, so a
+				// dead owner costs the fleet exactly one timeout, total.
+				c.opts.Health.ReportFailure(owner)
+			}
 		}
 	}
 	if lastTimeout {
@@ -280,7 +337,7 @@ func (c *Client) pruneNegativeLocked() {
 // path never waits on replication; overflow is dropped and counted, and
 // anti-entropy heals whatever the drops missed.
 func (c *Client) Replicate(key string, payload []byte) {
-	if c.ring.Owner(key) == c.ring.Self() {
+	if r := c.ring.Load(); r.Owner(key) == r.Self() {
 		return
 	}
 	c.mu.Lock()
@@ -312,8 +369,19 @@ func (c *Client) replicator() {
 }
 
 func (c *Client) replicateOne(p replicaPush) {
-	owner := c.ring.Owner(p.key)
-	if owner == c.ring.Self() {
+	r := c.ring.Load()
+	owner := r.Owner(p.key)
+	if c.opts.Health != nil && !c.opts.Health.Reachable(owner) {
+		// The owner is Dead: push to the failover owner instead, so the keys
+		// a dead member would have held keep converging onto the member that
+		// is actually serving them. A merely Suspect owner still gets the
+		// push — a blip is cheaper to retry than to route around.
+		if lo := r.LiveOwner(p.key, c.opts.Health.Reachable); lo != owner {
+			c.failovers.Add(1)
+			owner = lo
+		}
+	}
+	if owner == r.Self() {
 		return
 	}
 	c.mu.Lock()

@@ -1,0 +1,191 @@
+package fleet
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// faultClient wraps srv behind a FaultTransport-backed http.Client.
+func faultClient(seed int64) (*FaultTransport, *http.Client) {
+	ft := NewFaultTransport(nil, seed)
+	return ft, &http.Client{Transport: ft}
+}
+
+func TestFaultTransportPassthrough(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+	_, hc := faultClient(1)
+	resp, err := hc.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || string(body) != "ok" {
+		t.Fatalf("passthrough answered %d %q", resp.StatusCode, body)
+	}
+}
+
+func TestFaultTransportPartitionAndHeal(t *testing.T) {
+	var served int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served++
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer srv.Close()
+	ft, hc := faultClient(1)
+	ft.Partition(srv.URL)
+	if _, err := hc.Get(srv.URL); err == nil {
+		t.Fatal("partitioned peer answered")
+	}
+	if served != 0 {
+		t.Fatal("the request crossed the partition")
+	}
+	ft.Heal(srv.URL)
+	if _, err := hc.Get(srv.URL); err != nil {
+		t.Fatalf("healed peer still unreachable: %v", err)
+	}
+	if st := ft.Stats(); st.Dropped != 1 {
+		t.Errorf("Dropped=%d, want 1", st.Dropped)
+	}
+}
+
+func TestFaultTransportIsolateAndRejoin(t *testing.T) {
+	a := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer a.Close()
+	b := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer b.Close()
+	ft, hc := faultClient(1)
+	ft.Isolate()
+	if _, err := hc.Get(a.URL); err == nil {
+		t.Fatal("isolated node reached peer a")
+	}
+	if _, err := hc.Get(b.URL); err == nil {
+		t.Fatal("isolated node reached peer b")
+	}
+	ft.Rejoin()
+	if _, err := hc.Get(a.URL); err != nil {
+		t.Fatalf("rejoin did not restore a: %v", err)
+	}
+	if _, err := hc.Get(b.URL); err != nil {
+		t.Fatalf("rejoin did not restore b: %v", err)
+	}
+}
+
+func TestFaultTransportErrorStatus(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Error("request reached the real server through an ErrorStatus rule")
+	}))
+	defer srv.Close()
+	ft, hc := faultClient(1)
+	ft.SetRule(srv.URL, FaultRule{ErrorStatus: http.StatusBadGateway})
+	resp, err := hc.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status=%d, want 502", resp.StatusCode)
+	}
+	if st := ft.Stats(); st.Errored != 1 {
+		t.Errorf("Errored=%d, want 1", st.Errored)
+	}
+}
+
+func TestFaultTransportDelayHonorsContext(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer srv.Close()
+	ft, hc := faultClient(1)
+	ft.SetRule(srv.URL, FaultRule{Delay: time.Minute})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	start := time.Now()
+	if _, err := hc.Do(req); err == nil {
+		t.Fatal("delayed request succeeded before its context expired")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("delay ignored the request context: took %v", elapsed)
+	}
+}
+
+// TestFaultTransportSeededDropsReplay pins determinism: two transports with
+// the same seed must roll the same probabilistic drops in the same order.
+func TestFaultTransportSeededDropsReplay(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer srv.Close()
+	run := func(seed int64) []bool {
+		ft, hc := faultClient(seed)
+		ft.SetRule(srv.URL, FaultRule{DropProb: 0.5})
+		out := make([]bool, 40)
+		for i := range out {
+			resp, err := hc.Get(srv.URL)
+			if err == nil {
+				resp.Body.Close()
+			}
+			out[i] = err != nil
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	dropped := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d", i)
+		}
+		if a[i] {
+			dropped++
+		}
+	}
+	if dropped == 0 || dropped == len(a) {
+		t.Fatalf("DropProb=0.5 dropped %d/%d; the dice are not rolling", dropped, len(a))
+	}
+}
+
+// TestFaultTransportPerPeerPrecedence: a per-peer rule wins over SetAll.
+func TestFaultTransportPerPeerPrecedence(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer srv.Close()
+	ft, hc := faultClient(1)
+	ft.SetAll(FaultRule{Drop: true})
+	ft.SetRule(srv.URL, FaultRule{ErrorStatus: http.StatusTeapot})
+	resp, err := hc.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("per-peer rule lost to SetAll: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTeapot {
+		t.Fatalf("status=%d, want 418", resp.StatusCode)
+	}
+}
+
+func TestHostOfNormalizesPeerForms(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"http://10.0.0.5:7433", "10.0.0.5:7433"},
+		{"http://10.0.0.5:7433/", "10.0.0.5:7433"},
+		{" http://host:1 ", "host:1"},
+		{"host-only", "host-only"},
+	} {
+		if got := hostOf(tc.in); got != tc.want {
+			t.Errorf("hostOf(%q)=%q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

@@ -319,6 +319,228 @@ func TestSyncerSurvivesDeadPeer(t *testing.T) {
 	}
 }
 
+// keyWithFailover finds a memo-shaped key whose static owner is primary AND
+// whose first failover candidate is second — so a test can pin exactly where
+// a key lands when its owner dies.
+func keyWithFailover(t *testing.T, r *Ring, primary, second string, salt int) string {
+	t.Helper()
+	n := len(r.Members())
+	for i := 0; i < 100000; i++ {
+		key := fmt.Sprintf("%064x|exact|a=true|t=%d|s=1", i*2654435761+salt, i)
+		if order := r.Owners(key, n); order[0] == primary && order[1] == second {
+			return key
+		}
+	}
+	t.Fatal("could not synthesize a key with the target failover order")
+	return ""
+}
+
+// TestClientFailoverSkipsSuspectOwner is the dead-owner cold-key regression
+// test: once the health view marks a key's owner Suspect, a fetch for a key
+// it owns goes STRAIGHT to the failover owner — zero dials at the primary,
+// zero added latency, no timeout burned.
+func TestClientFailoverSkipsSuspectOwner(t *testing.T) {
+	nodes, rings := buildFleet(t, 3, nil)
+	b, cNode := nodes[1], nodes[2]
+	key := keyWithFailover(t, rings[0], b.srv.URL, cNode.srv.URL, 0)
+	payload := []byte("failover-served-bytes")
+	if err := cNode.st.s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	h := NewHealth(rings[0].Peers(), HealthOptions{})
+	h.ReportFailure(b.srv.URL) // one failed probe: b is Suspect
+	c := NewClient(rings[0], ClientOptions{Health: h, Timeout: 150 * time.Millisecond})
+	defer c.Close()
+
+	before := b.requests.Load()
+	start := time.Now()
+	got, ok := c.Fetch(context.Background(), key)
+	elapsed := time.Since(start)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("failover fetch: ok=%v payload=%q", ok, got)
+	}
+	if b.requests.Load() != before {
+		t.Fatalf("fetch dialed the suspect owner %d times; it must skip straight to the failover",
+			b.requests.Load()-before)
+	}
+	if elapsed > 100*time.Millisecond {
+		t.Errorf("failover fetch took %v; skipping a suspect must cost no timeout", elapsed)
+	}
+	if st := c.Stats(); st.Failovers != 1 || st.Hits != 1 {
+		t.Errorf("stats after failover hit: %+v", st)
+	}
+}
+
+// TestClientFetchOutcomeFeedsHealth: the first timeout against a dead owner
+// demotes it via the fetch path itself (no prober running), so the SECOND
+// cold key routed at it already fails over instantly.
+func TestClientFetchOutcomeFeedsHealth(t *testing.T) {
+	nodes, rings := buildFleet(t, 3, nil)
+	b, cNode := nodes[1], nodes[2]
+	key1 := keyWithFailover(t, rings[0], b.srv.URL, cNode.srv.URL, 0)
+	key2 := keyWithFailover(t, rings[0], b.srv.URL, cNode.srv.URL, 99)
+	payload := []byte("on-the-failover")
+	if err := cNode.st.s.Put(key2, payload); err != nil {
+		t.Fatal(err)
+	}
+	b.srv.Close() // kill -9, from the wire's point of view
+
+	h := NewHealth(rings[0].Peers(), HealthOptions{})
+	c := NewClient(rings[0], ClientOptions{Health: h, Timeout: 100 * time.Millisecond})
+	defer c.Close()
+
+	// First fetch pays the discovery cost: the dial fails, the detector hears
+	// about it, b goes Suspect.
+	if _, ok := c.Fetch(context.Background(), key1); ok {
+		t.Fatal("fetch succeeded against a closed listener")
+	}
+	if got := h.State(b.srv.URL); got != StateSuspect && got != StateDead {
+		t.Fatalf("fetch failure never reached the detector: b is %v", got)
+	}
+	// Second fetch must route around b without dialing it at all.
+	start := time.Now()
+	got, ok := c.Fetch(context.Background(), key2)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("second fetch did not fail over: ok=%v payload=%q", ok, got)
+	}
+	if elapsed := time.Since(start); elapsed > 80*time.Millisecond {
+		t.Errorf("second fetch took %v; the dead owner should cost exactly one discovery", elapsed)
+	}
+}
+
+// TestClientReplicationReroutesAroundDeadOwner: write-behind pushes for a
+// Dead owner's keys land on the failover owner (who is actually serving
+// them); a merely Suspect owner still gets its push.
+func TestClientReplicationReroutesAroundDeadOwner(t *testing.T) {
+	nodes, rings := buildFleet(t, 3, nil)
+	b, cNode := nodes[1], nodes[2]
+	h := NewHealth(rings[0].Peers(), HealthOptions{})
+	c := NewClient(rings[0], ClientOptions{Health: h})
+	defer c.Close()
+
+	// Suspect: the push still goes to the static owner.
+	keySuspect := keyWithFailover(t, rings[0], b.srv.URL, cNode.srv.URL, 0)
+	h.ReportFailure(b.srv.URL)
+	c.Replicate(keySuspect, []byte("pushed-despite-blip"))
+	c.Drain()
+	if _, ok := b.st.GetArtifact(keySuspect); !ok {
+		t.Fatal("suspect owner lost its replica; only Dead reroutes replication")
+	}
+	// Dead: the push reroutes to the failover owner.
+	keyDead := keyWithFailover(t, rings[0], b.srv.URL, cNode.srv.URL, 777)
+	h.ReportFailure(b.srv.URL)
+	h.ReportFailure(b.srv.URL) // three consecutive: Dead
+	c.Replicate(keyDead, []byte("rerouted"))
+	c.Drain()
+	if _, ok := cNode.st.GetArtifact(keyDead); !ok {
+		t.Fatal("dead owner's replica never rerouted to the failover owner")
+	}
+	if _, ok := b.st.GetArtifact(keyDead); ok {
+		t.Fatal("replica was pushed to the dead owner anyway")
+	}
+}
+
+// TestClientUpdateRing: a joining member starts receiving its keys' fetches
+// without the client restarting.
+func TestClientUpdateRing(t *testing.T) {
+	nodes, rings := buildFleet(t, 2, nil)
+	a := nodes[0]
+	// A third node joins after the client exists.
+	d := newNode(t)
+	grown := append([]string{d.srv.URL}, rings[0].Members()...)
+	ringA, err := NewRing(a.srv.URL, grown, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ringD, err := NewRing(d.srv.URL, grown, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	NewServer(d.st, ringD, nil).Register(d.mux)
+
+	c := NewClient(rings[0], ClientOptions{})
+	defer c.Close()
+	c.UpdateRing(ringA)
+	key := keyOwnedBy(t, ringA, d.srv.URL, 3)
+	payload := []byte("served-by-the-joiner")
+	if err := d.st.s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Fetch(context.Background(), key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("post-join fetch: ok=%v payload=%q", ok, got)
+	}
+	if c.Ring() != ringA {
+		t.Fatal("Ring() does not reflect the swap")
+	}
+}
+
+// TestSyncerConvergePreStreamsEverything: the join handoff primitive pulls
+// the full corpus from every live peer in passes until a pass adds nothing.
+func TestSyncerConvergePreStreams(t *testing.T) {
+	nodes, rings := buildFleet(t, 3, nil)
+	a, b, cNode := nodes[0], nodes[1], nodes[2]
+	for i := 0; i < 7; i++ {
+		if err := a.st.s.Put(fmt.Sprintf("from-a-%d", i), []byte{1, byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if err := b.st.s.Put(fmt.Sprintf("from-b-%d", i), []byte{2, byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var rounds atomic.Int64
+	sy := NewSyncer(cNode.st, rings[2], SyncerOptions{
+		Batch:   3, // force multiple passes
+		OnRound: func(string, int, error) { rounds.Add(1) },
+	})
+	total, err := sy.Converge(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 12 {
+		t.Fatalf("Converge imported %d records, want 12", total)
+	}
+	if len(cNode.st.KeyHashes()) != 12 {
+		t.Fatalf("joiner holds %d records after handoff, want 12", len(cNode.st.KeyHashes()))
+	}
+	if rounds.Load() == 0 {
+		t.Error("OnRound hook never fired")
+	}
+	// Converged: another Converge is a no-op single pass.
+	if n, err := sy.Converge(context.Background()); err != nil || n != 0 {
+		t.Fatalf("second Converge moved %d records (err=%v)", n, err)
+	}
+}
+
+// TestSyncerConvergeSkipsDeadPeers: with a health view, Converge pulls from
+// live peers only and still terminates despite a dead one.
+func TestSyncerConvergeSkipsDeadPeers(t *testing.T) {
+	nodes, rings := buildFleet(t, 3, nil)
+	a, b, cNode := nodes[0], nodes[1], nodes[2]
+	if err := a.st.s.Put("survivor-key", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	b.srv.Close()
+	h := NewHealth(rings[2].Peers(), HealthOptions{})
+	h.ReportFailure(b.srv.URL)
+	h.ReportFailure(b.srv.URL)
+	h.ReportFailure(b.srv.URL) // dead
+	sy := NewSyncer(cNode.st, rings[2], SyncerOptions{Health: h, Timeout: 200 * time.Millisecond})
+	start := time.Now()
+	total, err := sy.Converge(context.Background())
+	if err != nil {
+		t.Fatalf("Converge over a part-dead fleet errored: %v", err)
+	}
+	if total != 1 {
+		t.Fatalf("Converge imported %d records, want 1", total)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("Converge burned %v dialing a dead peer it knew about", elapsed)
+	}
+}
+
 func TestDigestRoundTripAndAlienRejection(t *testing.T) {
 	hashes := []uint64{0, 1, ^uint64(0), 0xdeadbeefcafef00d}
 	var buf bytes.Buffer

@@ -1,0 +1,231 @@
+package fleet
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestHealthStateMachine drives the consecutive-streak transitions with
+// reported outcomes only (no prober): the deterministic core of the detector.
+func TestHealthStateMachine(t *testing.T) {
+	const peer = "http://p:1"
+	cases := []struct {
+		name     string
+		opts     HealthOptions
+		outcomes string // 'F' = failure, 'S' = success, applied in order
+		want     State
+	}{
+		{"starts alive", HealthOptions{}, "", StateAlive},
+		{"first failure suspects", HealthOptions{}, "F", StateSuspect},
+		{"two failures still suspect", HealthOptions{}, "FF", StateSuspect},
+		{"third failure kills", HealthOptions{}, "FFF", StateDead},
+		{"success resets the streak", HealthOptions{}, "FFSFF", StateSuspect},
+		{"one success revives a suspect", HealthOptions{}, "FS", StateAlive},
+		{"one success revives the dead", HealthOptions{}, "FFFS", StateAlive},
+		{"alive stays alive on success", HealthOptions{}, "SSS", StateAlive},
+		{"dead stays dead on more failures", HealthOptions{}, "FFFFFF", StateDead},
+		{"suspect threshold is configurable", HealthOptions{SuspectAfter: 2}, "F", StateAlive},
+		{"suspect at configured threshold", HealthOptions{SuspectAfter: 2}, "FF", StateSuspect},
+		{"dead threshold is configurable", HealthOptions{DeadAfter: 5}, "FFFF", StateSuspect},
+		{"dead at configured threshold", HealthOptions{DeadAfter: 5}, "FFFFF", StateDead},
+		{"revive threshold is configurable", HealthOptions{ReviveAfter: 2}, "FFFS", StateDead},
+		{"revive at configured threshold", HealthOptions{ReviveAfter: 2}, "FFFSS", StateAlive},
+		{"dead-after clamps to suspect-after", HealthOptions{SuspectAfter: 4, DeadAfter: 2}, "FFFF", StateDead},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHealth([]string{peer}, tc.opts)
+			for _, o := range tc.outcomes {
+				if o == 'F' {
+					h.ReportFailure(peer)
+				} else {
+					h.ReportSuccess(peer)
+				}
+			}
+			if got := h.State(peer); got != tc.want {
+				t.Fatalf("after %q: state=%v, want %v", tc.outcomes, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestHealthViewsAndTransitions pins the two routing views' asymmetry (fetch
+// skips Suspect, replication only skips Dead) and the transition hook.
+func TestHealthViewsAndTransitions(t *testing.T) {
+	const peer = "http://p:1"
+	var mu sync.Mutex
+	var seen []string
+	h := NewHealth([]string{peer}, HealthOptions{
+		OnTransition: func(p string, from, to State) {
+			mu.Lock()
+			seen = append(seen, fmt.Sprintf("%s:%v->%v", p, from, to))
+			mu.Unlock()
+		},
+	})
+	if !h.Live(peer) || !h.Reachable(peer) {
+		t.Fatal("fresh peer must be live and reachable")
+	}
+	h.ReportFailure(peer) // -> suspect
+	if h.Live(peer) {
+		t.Fatal("suspect peer must not be Live: the fetch path skips it")
+	}
+	if !h.Reachable(peer) {
+		t.Fatal("suspect peer must stay Reachable: replication still pushes to it")
+	}
+	h.ReportFailure(peer)
+	h.ReportFailure(peer) // -> dead
+	if h.Reachable(peer) {
+		t.Fatal("dead peer must not be Reachable")
+	}
+	h.ReportSuccess(peer) // -> alive
+	if !h.Live(peer) {
+		t.Fatal("revived peer must be Live again")
+	}
+	mu.Lock()
+	got := fmt.Sprint(seen)
+	mu.Unlock()
+	want := fmt.Sprint([]string{
+		peer + ":alive->suspect", peer + ":suspect->dead", peer + ":dead->alive",
+	})
+	if got != want {
+		t.Fatalf("transitions %v, want %v", got, want)
+	}
+	if st := h.Stats(); st.Transitions != 3 {
+		t.Errorf("Transitions=%d, want 3", st.Transitions)
+	}
+}
+
+// TestHealthUntrackedPeersReadAlive: a node is always alive from its own
+// point of view, and a peer outside the tracked set must not be routed around.
+func TestHealthUntrackedPeersReadAlive(t *testing.T) {
+	h := NewHealth([]string{"http://p:1"}, HealthOptions{})
+	if got := h.State("http://self:1"); got != StateAlive {
+		t.Fatalf("untracked peer reads %v, want alive", got)
+	}
+	// Reports about untracked peers are dropped, not accumulated.
+	h.ReportFailure("http://stranger:1")
+	if got := h.State("http://stranger:1"); got != StateAlive {
+		t.Fatalf("reported-on stranger reads %v, want alive", got)
+	}
+}
+
+// TestHealthSetMembers pins the join/leave semantics: new peers start Alive,
+// departed peers are forgotten, survivors keep their state and streaks.
+func TestHealthSetMembers(t *testing.T) {
+	a, b, c := "http://a:1", "http://b:1", "http://c:1"
+	h := NewHealth([]string{a, b}, HealthOptions{})
+	h.ReportFailure(a)
+	h.ReportFailure(a)
+	h.ReportFailure(a) // a dead
+	h.ReportFailure(b) // b suspect
+	h.SetMembers([]string{a, c})
+	if got := h.State(a); got != StateDead {
+		t.Fatalf("survivor lost its state: %v", got)
+	}
+	if got := h.State(c); got != StateAlive {
+		t.Fatalf("joiner starts %v, want alive", got)
+	}
+	// b departed: forgotten, so it reads the untracked default.
+	if got := h.State(b); got != StateAlive {
+		t.Fatalf("departed peer reads %v, want alive (forgotten)", got)
+	}
+	if got := fmt.Sprint(h.Members()); got != fmt.Sprint([]string{a, c}) {
+		t.Fatalf("Members()=%v", got)
+	}
+	snap := h.Snapshot()
+	if len(snap) != 2 || snap[a] != StateDead || snap[c] != StateAlive {
+		t.Fatalf("Snapshot()=%v", snap)
+	}
+	// a's failure streak survived the membership change: one more success
+	// still revives it (oks streak fresh), one more failure keeps it dead.
+	h.ReportSuccess(a)
+	if got := h.State(a); got != StateAlive {
+		t.Fatalf("survivor revive after SetMembers: %v", got)
+	}
+}
+
+// TestHealthProberDrivesTransitions runs the real probe loop against servers
+// that flip between healthy and failing, and watches the state follow.
+func TestHealthProberDrivesTransitions(t *testing.T) {
+	var healthy atomic.Bool
+	healthy.Store(true)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != PingPath {
+			t.Errorf("probe hit %q, want %q", r.URL.Path, PingPath)
+		}
+		if healthy.Load() {
+			w.WriteHeader(http.StatusNoContent)
+		} else {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+		}
+	}))
+	defer srv.Close()
+
+	h := NewHealth([]string{srv.URL}, HealthOptions{
+		Interval:  5 * time.Millisecond,
+		Timeout:   200 * time.Millisecond,
+		DeadAfter: 2,
+	})
+	h.Start()
+	defer h.Stop()
+
+	waitState := func(want State) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if h.State(srv.URL) == want {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("peer never reached %v (stuck at %v)", want, h.State(srv.URL))
+	}
+
+	waitState(StateAlive)
+	healthy.Store(false) // 503s now: suspect after 1 failure, dead after 2
+	waitState(StateDead)
+	healthy.Store(true)
+	waitState(StateAlive)
+	if st := h.Stats(); st.Probes == 0 || st.Failures == 0 {
+		t.Errorf("prober counters never moved: %+v", st)
+	}
+}
+
+// TestHealthProberTreatsDeadSocketAsFailure: a closed listener (the kill -9
+// case) must read exactly like a 503 — transport errors demote too.
+func TestHealthProberTreatsDeadSocketAsFailure(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	url := srv.URL
+	srv.Close()
+	h := NewHealth([]string{url}, HealthOptions{
+		Interval:  5 * time.Millisecond,
+		Timeout:   100 * time.Millisecond,
+		DeadAfter: 2,
+	})
+	h.Start()
+	defer h.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if h.State(url) == StateDead {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("dead socket never demoted the peer (stuck at %v)", h.State(url))
+}
+
+func TestHealthStateStrings(t *testing.T) {
+	want := map[State]string{StateAlive: "alive", StateSuspect: "suspect", StateDead: "dead"}
+	for _, s := range States {
+		if s.String() != want[s] {
+			t.Errorf("State(%d).String()=%q, want %q", s, s.String(), want[s])
+		}
+	}
+}

@@ -168,6 +168,53 @@ func (r *Ring) ownerIdx(key string) int {
 // Owner returns the member address that authoritatively owns key.
 func (r *Ring) Owner(key string) string { return r.members[r.ownerIdx(key)] }
 
+// Owners returns up to max distinct members in key's failover order: the
+// authoritative owner first, then each further distinct member encountered
+// walking the ring clockwise. Every node with the same membership computes
+// the identical sequence, which is what makes health-driven failover
+// coordination-free: when the primary is down, everyone independently agrees
+// on the same next-in-line owner.
+func (r *Ring) Owners(key string, max int) []string {
+	if max <= 0 || len(r.members) == 0 {
+		return nil
+	}
+	if max > len(r.members) {
+		max = len(r.members)
+	}
+	primary := r.ownerIdx(key)
+	out := []string{r.members[primary]}
+	seen := map[int]bool{primary: true}
+	h := hash64(key)
+	n := len(r.points)
+	start := sort.Search(n, func(i int) bool { return r.points[i].hash >= h })
+	for scanned := 0; scanned < n && len(out) < max; scanned++ {
+		p := r.points[(start+scanned)%n]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, r.members[p.member])
+		}
+	}
+	return out
+}
+
+// LiveOwner returns the first member in key's failover order that live
+// reports healthy; this node itself always counts as live (a node never
+// routes around itself), so every key always has some live owner even when
+// the rest of the fleet is down. A nil live degrades to the static Owner.
+func (r *Ring) LiveOwner(key string, live func(string) bool) string {
+	if live == nil {
+		return r.Owner(key)
+	}
+	owners := r.Owners(key, len(r.members))
+	for _, m := range owners {
+		if m == r.self || live(m) {
+			return m
+		}
+	}
+	// Unreachable when self is a member, but never return "" regardless.
+	return owners[0]
+}
+
 // Owns reports whether this node is key's authoritative owner. A single-node
 // ring owns everything, which disables the peer fetch path by construction.
 func (r *Ring) Owns(key string) bool { return r.ownerIdx(key) == r.selfIdx }

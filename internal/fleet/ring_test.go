@@ -109,6 +109,114 @@ func TestRingSingleNodeOwnsEverything(t *testing.T) {
 	}
 }
 
+// TestRingOwnersFailoverOrder pins the properties failover relies on: the
+// sequence starts at the static owner, never repeats a member, covers the
+// whole membership, and every node computes the identical order.
+func TestRingOwnersFailoverOrder(t *testing.T) {
+	members := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	rings := make([]*Ring, len(members))
+	for i, self := range members {
+		r, err := NewRing(self, members, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rings[i] = r
+	}
+	for _, key := range testKeys(500) {
+		order := rings[0].Owners(key, len(members))
+		if len(order) != len(members) {
+			t.Fatalf("Owners(%q) returned %d members, want %d", key, len(order), len(members))
+		}
+		if order[0] != rings[0].Owner(key) {
+			t.Fatalf("Owners(%q)[0]=%s, want the static owner %s", key, order[0], rings[0].Owner(key))
+		}
+		seen := map[string]bool{}
+		for _, m := range order {
+			if seen[m] {
+				t.Fatalf("Owners(%q) repeats %s", key, m)
+			}
+			seen[m] = true
+		}
+		for _, r := range rings[1:] {
+			if got := fmt.Sprint(r.Owners(key, len(members))); got != fmt.Sprint(order) {
+				t.Fatalf("failover order disagreement for %q: %v vs %v", key, order, got)
+			}
+		}
+	}
+	if got := rings[0].Owners("k", 2); len(got) != 2 {
+		t.Fatalf("Owners with max=2 returned %d members", len(got))
+	}
+	if got := rings[0].Owners("k", 0); got != nil {
+		t.Fatalf("Owners with max=0 returned %v", got)
+	}
+}
+
+// TestRingLiveOwnerFailsOverAndReturns: a dead member's keys land on the next
+// live point — on every node identically — and return when it revives.
+func TestRingLiveOwnerFailsOverAndReturns(t *testing.T) {
+	members := []string{"http://a:1", "http://b:1", "http://c:1"}
+	rings := make([]*Ring, len(members))
+	for i, self := range members {
+		r, err := NewRing(self, members, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rings[i] = r
+	}
+	dead := "http://b:1"
+	live := func(m string) bool { return m != dead }
+	moved := 0
+	for _, key := range testKeys(1000) {
+		static := rings[0].Owner(key)
+		for _, r := range rings {
+			got := r.LiveOwner(key, live)
+			if static == dead {
+				// b's keys must fail over — except on b itself, which always
+				// counts itself live so it keeps serving what it can.
+				want := rings[0].Owners(key, 3)[1]
+				if r.Self() == dead {
+					want = dead
+				}
+				if got != want {
+					t.Fatalf("LiveOwner(%q) on %s = %s, want %s", key, r.Self(), got, want)
+				}
+			} else if got != static {
+				t.Fatalf("healthy owner %s overridden to %s for %q", static, got, key)
+			}
+		}
+		if static == dead {
+			moved++
+		}
+		// Recovery: with everyone live the static owner is back in charge.
+		if got := rings[0].LiveOwner(key, func(string) bool { return true }); got != static {
+			t.Fatalf("recovered fleet still failing %q over to %s", key, got)
+		}
+		// nil live degrades to the static owner.
+		if got := rings[0].LiveOwner(key, nil); got != static {
+			t.Fatalf("nil live view moved %q to %s", key, got)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("test never exercised a failover (no key owned by the dead member)")
+	}
+}
+
+// TestRingLiveOwnerAlwaysAnswers: even with every other member dead, each
+// node resolves some owner — itself — so compiles never stall on routing.
+func TestRingLiveOwnerAlwaysAnswers(t *testing.T) {
+	members := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r, err := NewRing(members[0], members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nobody := func(string) bool { return false }
+	for _, key := range testKeys(300) {
+		if got := r.LiveOwner(key, nobody); got != members[0] {
+			t.Fatalf("with the fleet down, LiveOwner(%q)=%s, want self", key, got)
+		}
+	}
+}
+
 func TestRingMinimalRemappingOnGrowth(t *testing.T) {
 	three := []string{"http://a:1", "http://b:1", "http://c:1"}
 	four := append(append([]string(nil), three...), "http://d:1")

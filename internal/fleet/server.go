@@ -56,7 +56,7 @@ type ServerStats struct {
 // the anti-entropy loop. Safe for concurrent use.
 type Server struct {
 	store Store
-	ring  *Ring
+	ring  atomic.Pointer[Ring]
 	gate  Gate
 
 	segHits, segMisses       atomic.Int64
@@ -67,8 +67,15 @@ type Server struct {
 // NewServer builds the peer surface over store and ring. gate may be nil
 // (no admission control — tests and single-tenant drills).
 func NewServer(store Store, ring *Ring, gate Gate) *Server {
-	return &Server{store: store, ring: ring, gate: gate}
+	s := &Server{store: store, gate: gate}
+	s.ring.Store(ring)
+	return s
 }
+
+// UpdateRing swaps the membership this server belongs to — a join or leave
+// took effect. The peer surface itself is membership-agnostic (it answers
+// from the store whoever asks), so this only keeps the view consistent.
+func (s *Server) UpdateRing(r *Ring) { s.ring.Store(r) }
 
 // Stats returns a snapshot of the server's counters.
 func (s *Server) Stats() ServerStats {
@@ -88,6 +95,12 @@ func (s *Server) Register(mux *http.ServeMux) {
 	mux.HandleFunc("PUT "+segmentPathPrefix+"{key}", s.handleSegmentPut)
 	mux.HandleFunc("GET "+digestPath, s.handleDigest)
 	mux.HandleFunc("POST "+syncPath, s.handleSync)
+	// The ping deliberately bypasses the gate: health probes must answer even
+	// when the peer lane is saturated, or overload would read as death and
+	// the fleet would route around a node that is merely busy.
+	mux.HandleFunc("GET "+PingPath, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	})
 }
 
 // admit runs the gate; on shed it writes the 429 itself and returns ok=false.

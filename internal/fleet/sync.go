@@ -28,6 +28,14 @@ type SyncerOptions struct {
 	Timeout time.Duration
 	// HTTPClient overrides the transport (tests).
 	HTTPClient *http.Client
+	// Health, when non-nil, steers rounds away from peers that are not
+	// Alive: syncing against a dead peer only burns the round's budget, and
+	// anti-entropy is exactly the machinery that heals it once it revives.
+	Health *Health
+	// OnRound, when non-nil, observes every completed exchange (including
+	// Converge's) — a deterministic test and logging hook. Called from the
+	// syncing goroutine; must not block for long.
+	OnRound func(peer string, added int, err error)
 }
 
 func (o SyncerOptions) withDefaults() SyncerOptions {
@@ -64,10 +72,10 @@ type SyncerStats struct {
 // or drop-afflicted node ends up with the full corpus anyway.
 type Syncer struct {
 	store Store
-	ring  *Ring
+	ring  atomic.Pointer[Ring]
 	opts  SyncerOptions
 
-	next   int // round-robin cursor over ring.Peers()
+	next   int // round-robin cursor over the live peer list
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 	once   sync.Once
@@ -78,7 +86,29 @@ type Syncer struct {
 // NewSyncer builds the anti-entropy loop over store and ring. Call Start to
 // run it; SyncOnce works without Start for drills and tests.
 func NewSyncer(store Store, ring *Ring, opts SyncerOptions) *Syncer {
-	return &Syncer{store: store, ring: ring, opts: opts.withDefaults()}
+	s := &Syncer{store: store, opts: opts.withDefaults()}
+	s.ring.Store(ring)
+	return s
+}
+
+// UpdateRing swaps the membership the syncer pulls over — a join or leave
+// took effect. The next round sees the new peer list.
+func (s *Syncer) UpdateRing(r *Ring) { s.ring.Store(r) }
+
+// livePeers returns the peers worth syncing against right now: every peer
+// without a health view, only Alive ones with it.
+func (s *Syncer) livePeers() []string {
+	peers := s.ring.Load().Peers()
+	if s.opts.Health == nil {
+		return peers
+	}
+	out := peers[:0]
+	for _, p := range peers {
+		if s.opts.Health.Live(p) {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // Stats returns a snapshot of the syncer's counters.
@@ -86,12 +116,10 @@ func (s *Syncer) Stats() SyncerStats {
 	return SyncerStats{Rounds: s.rounds.Load(), Pulled: s.pulled.Load(), Errors: s.errors.Load()}
 }
 
-// Start launches the background loop. A ring with no peers makes Start a
-// no-op. Stop it with Stop.
+// Start launches the background loop. The loop idles through rounds where
+// no live peer exists — membership is dynamic now, so a node booted alone
+// still syncs the moment a peer joins. Stop it with Stop.
 func (s *Syncer) Start() {
-	if len(s.ring.Peers()) == 0 {
-		return
-	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s.cancel = cancel
 	s.wg.Add(1)
@@ -111,7 +139,7 @@ func (s *Syncer) Stop() {
 
 func (s *Syncer) loop(ctx context.Context) {
 	defer s.wg.Done()
-	rng := rand.New(rand.NewSource(int64(hash64(s.ring.Self()))))
+	rng := rand.New(rand.NewSource(int64(hash64(s.ring.Load().Self()))))
 	for {
 		// ±20% jitter, seeded from the member address so each node wanders
 		// its own schedule: a fleet restarted together must not line up its
@@ -122,20 +150,72 @@ func (s *Syncer) loop(ctx context.Context) {
 			return
 		case <-time.After(d):
 		}
-		peers := s.ring.Peers()
+		peers := s.livePeers()
+		if len(peers) == 0 {
+			continue // alone, or everyone is down; try again next round
+		}
 		peer := peers[s.next%len(peers)]
 		s.next++
 		if _, err := s.SyncOnce(ctx, peer); err != nil {
 			s.errors.Add(1)
 		}
-		s.rounds.Add(1)
 	}
+}
+
+// Converge runs digest-diff-pull passes against every live peer until one
+// full pass imports nothing, and returns the total records imported. This is
+// the join/rejoin handoff: a node entering the ring pre-streams the corpus —
+// its owned keys included — BEFORE reporting ready, so the moment peers
+// start routing to it, it serves from its store instead of re-running DPs.
+// An unreachable peer's error is remembered but does not abort the pass; the
+// last error is returned alongside whatever did converge, and the caller
+// (which has a boot deadline) decides whether partial convergence is
+// acceptable. ctx cancellation aborts between exchanges.
+func (s *Syncer) Converge(ctx context.Context) (int, error) {
+	total := 0
+	var lastErr error
+	// A pass cap guards against a peer that grows its corpus faster than we
+	// pull; 10k passes of Batch records each is far beyond any real store.
+	for pass := 0; pass < 10000; pass++ {
+		peers := s.livePeers()
+		if len(peers) == 0 {
+			return total, lastErr
+		}
+		added := 0
+		lastErr = nil
+		for _, peer := range peers {
+			if err := ctx.Err(); err != nil {
+				return total, err
+			}
+			n, err := s.SyncOnce(ctx, peer)
+			if err != nil {
+				s.errors.Add(1)
+				lastErr = err
+				continue
+			}
+			added += n
+		}
+		total += added
+		if added == 0 {
+			return total, lastErr
+		}
+	}
+	return total, lastErr
 }
 
 // SyncOnce performs one digest-diff-pull exchange with peer and returns the
 // number of records imported. Exported so drills and shutdown paths can force
 // a deterministic convergence step.
 func (s *Syncer) SyncOnce(ctx context.Context, peer string) (int, error) {
+	added, err := s.syncOnce(ctx, peer)
+	s.rounds.Add(1)
+	if s.opts.OnRound != nil {
+		s.opts.OnRound(peer, added, err)
+	}
+	return added, err
+}
+
+func (s *Syncer) syncOnce(ctx context.Context, peer string) (int, error) {
 	theirs, err := s.fetchDigest(ctx, peer)
 	if err != nil {
 		return 0, err
