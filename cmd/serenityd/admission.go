@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/serenity-ml/serenity/internal/fleet"
+	"github.com/serenity-ml/serenity/internal/govern"
 )
 
 // admitClass is a request's admission priority. Lower values are admitted
@@ -48,6 +49,32 @@ type errAdmission struct {
 func (e *errAdmission) Error() string {
 	return fmt.Sprintf("server overloaded: %s admission queue is full, retry in %s", e.class, e.retryAfter)
 }
+
+// memPressureRetryAfter is the backoff advice attached to memory-pressure
+// rejections. Coarse, like retryAfterFor: heap relief depends on GC and on
+// running searches releasing their reservations, both of which resolve in
+// seconds, not milliseconds.
+const memPressureRetryAfter = 2 * time.Second
+
+// errMemPressure is the typed rejection for memory-governor shedding. Unlike
+// errAdmission (the client sent more than the server's queues hold: 429),
+// pressure is the server's own condition, so the HTTP layer answers 503 +
+// Retry-After — "I am unwell, come back" rather than "you are too eager".
+type errMemPressure struct {
+	level      govern.Level
+	retryAfter time.Duration
+	cause      error
+}
+
+func (e *errMemPressure) Error() string {
+	msg := fmt.Sprintf("server under memory pressure (%s), retry in %s", e.level, e.retryAfter)
+	if e.cause != nil {
+		msg += ": " + e.cause.Error()
+	}
+	return msg
+}
+
+func (e *errMemPressure) Unwrap() error { return e.cause }
 
 // admitWaiter is one queued acquire.
 type admitWaiter struct {

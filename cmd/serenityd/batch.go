@@ -8,10 +8,12 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
 	serenity "github.com/serenity-ml/serenity"
+	"github.com/serenity-ml/serenity/internal/govern"
 )
 
 // maxBatchItems bounds one /v1/schedule/batch request. Large model zoos
@@ -91,6 +93,19 @@ func (s *server) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.batchItem.Add(int64(len(req.Items)))
+
+	// High memory pressure sheds batch work before it even queues for compile
+	// slots: batch traffic is throughput work nobody is interactively waiting
+	// on, so it is the first admission the governor's ladder refuses. 429 (not
+	// 503) because the request itself is fine — resubmitting after Retry-After
+	// will succeed once the ladder unwinds.
+	if lvl := s.gov.Level(); lvl >= govern.LevelHigh {
+		s.gov.NoteShed()
+		w.Header().Set("Retry-After", strconv.Itoa(int(memPressureRetryAfter/time.Second)))
+		s.fail(w, http.StatusTooManyRequests,
+			fmt.Errorf("server under memory pressure (%s): batch admissions are shed, retry in %s", lvl, memPressureRetryAfter))
+		return
+	}
 
 	results := make([]batchItemResult, len(req.Items))
 	workers, perItem := batchSplit(opts.Parallelism, len(req.Items))

@@ -58,6 +58,21 @@
 // batch ahead of refinement, each class's wait queue bounded (-admit-queue)
 // and answering 429 + Retry-After when full instead of hanging connections.
 //
+// A memory governor (-mem-limit, or GOMEMLIMIT when unset) keeps the whole
+// degradation machinery ahead of the OOM killer: every fresh search reserves
+// its estimated byte footprint, sampled heap liveness plus the reservation
+// ledger is compared against 70/85/95% watermarks, and rising pressure sheds
+// work in reverse priority order — background refinement parks first
+// (re-enqueued when pressure clears), then batch requests answer 429 +
+// Retry-After, and at Critical new searches are granted a floor reservation
+// that aborts them before they expand, so interactive best-effort traffic
+// degrades to its heuristic fallback (repaired later by refinement) and
+// exact-strategy requests answer 503 + Retry-After. The search core enforces
+// the granted ceilings itself through byte-accurate frontier accounting, so
+// a search never retains more than its reservation no matter what the
+// watchdog sees. Pressure state is exported on /metrics (serenityd_mem_*)
+// and /readyz.
+//
 // With -store-dir the memo gains a persistent tier: per-segment results are
 // also written (asynchronously) to a content-addressed on-disk artifact
 // store, and a restarted server warm-starts from it — lookups fall through
@@ -130,6 +145,7 @@ import (
 
 	serenity "github.com/serenity-ml/serenity"
 	"github.com/serenity-ml/serenity/internal/fleet"
+	"github.com/serenity-ml/serenity/internal/govern"
 )
 
 func main() {
@@ -150,6 +166,8 @@ func main() {
 	admitQueue := flag.Int("admit-queue", 64, "per-class admission wait-queue depth; a full class answers 429 + Retry-After")
 	refineWorkers := flag.Int("refine-workers", 1, "background refinement workers repairing degraded schedules (0 disables serve-then-refine)")
 	refineQueue := flag.Int("refine-queue", 256, "background refinement queue depth; overflow refinements are shed")
+	memLimit := flag.String("mem-limit", "", "byte budget the memory governor defends, e.g. 256MiB; empty derives it from GOMEMLIMIT, 0 disables the governor")
+	memHeadroom := flag.String("mem-headroom", "", "slack subtracted from -mem-limit before pressure watermarks are computed (runtime, buffers); empty = limit/16")
 	peersFlag := flag.String("peers", "", "comma-separated fleet member base URLs (e.g. http://10.0.0.5:7433,http://10.0.0.6:7433); requires -peer-addr")
 	peerAddr := flag.String("peer-addr", "", "this node's own base URL as fleet peers dial it; joins the fleet and requires -store-dir (the store is the fleet-visible corpus)")
 	peerVnodes := flag.Int("peer-vnodes", fleet.DefaultVirtualNodes, "consistent-hash virtual nodes per fleet member")
@@ -169,6 +187,7 @@ func main() {
 	loadN := flag.Int("loadgen-n", 200, "loadgen: total requests")
 	loadC := flag.Int("loadgen-c", 16, "loadgen: concurrent clients")
 	loadgenFleet := flag.Bool("loadgen-fleet", false, "drill a 3-node in-process fleet (pay-once, anti-entropy, dead-owner degradation) instead of serving")
+	loadgenMem := flag.Bool("loadgen-mem", false, "run the self-asserting memory-pressure drill (walks the governor's shed ladder, then proves recovery) instead of serving; needs -mem-limit or GOMEMLIMIT")
 	flag.Parse()
 
 	opts := serenity.DefaultOptions()
@@ -285,11 +304,47 @@ func main() {
 			len(ring.Members()), ring.Self(), 100*ring.OwnedShare(4096))
 	}
 
+	// The memory governor converts heap pressure into tiered degradation
+	// instead of an OOM kill: refinement parks first, then batch sheds with
+	// 429, then interactive searches are forced down to their heuristic
+	// fallback (serve-then-refine repairs them once pressure clears). Built
+	// before the refinement pool so the pool's pressure signal can hook it.
+	govOpts := govern.Options{}
+	if *memLimit != "" {
+		v, err := parseBytes(*memLimit)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serenityd: -mem-limit:", err)
+			os.Exit(2)
+		}
+		if v <= 0 {
+			v = -1 // explicit 0 disables; only an empty flag derives from GOMEMLIMIT
+		}
+		govOpts.Limit = v
+	}
+	if *memHeadroom != "" {
+		v, err := parseBytes(*memHeadroom)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serenityd: -mem-headroom:", err)
+			os.Exit(2)
+		}
+		govOpts.Headroom = v
+	}
+	s.gov = govern.New(govOpts)
+	if s.gov.Enabled() {
+		s.gov.Start()
+		log.Printf("serenityd memory governor: defending %d bytes (watermarks at 70/85/95%%)", s.gov.Stats().Limit)
+	}
+
 	if *refineWorkers > 0 {
 		ropts := serenity.RefinePoolOptions{
 			Workers:     *refineWorkers,
 			QueueDepth:  *refineQueue,
 			Parallelism: 1, // background repairs crawl one segment at a time
+		}
+		if s.gov.Enabled() {
+			// Refinement is the first work the pressure ladder sheds: parked
+			// at Elevated and above, re-enqueued when the level drops back.
+			ropts.Pressure = func() bool { return s.gov.Level() >= govern.LevelElevated }
 		}
 		if s.admit != nil {
 			// Refinements compete for the same compile slots as requests, in
@@ -304,7 +359,7 @@ func main() {
 
 	// The serve path flips readiness only after the join pre-stream (below);
 	// the loadgen modes have no probers pointed at them and go ready here.
-	if *loadgen || *loadgenFleet {
+	if *loadgen || *loadgenFleet || *loadgenMem {
 		s.ready.Store(true)
 	}
 
@@ -313,8 +368,21 @@ func main() {
 		// only contributed flag validation, so release its resources first.
 		closeFleet(s)
 		closeRefine(s)
+		closeGovern(s)
 		closeStore(s)
 		if err := runFleetDrill(opts, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "serenityd:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *loadgenMem {
+		err := runMemDrill(s, os.Stdout)
+		closeFleet(s)
+		closeRefine(s)
+		closeGovern(s)
+		closeStore(s)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "serenityd:", err)
 			os.Exit(1)
 		}
@@ -324,6 +392,7 @@ func main() {
 		err := runLoadgen(s, *loadN, *loadC, os.Stdout)
 		closeFleet(s)
 		closeRefine(s)
+		closeGovern(s)
 		closeStore(s)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "serenityd:", err)
@@ -373,6 +442,7 @@ func main() {
 	case err := <-serveErr:
 		closeFleet(s)
 		closeRefine(s)
+		closeGovern(s)
 		closeStore(s)
 		fmt.Fprintln(os.Stderr, "serenityd:", err)
 		os.Exit(1)
@@ -389,10 +459,12 @@ func main() {
 			log.Printf("serenityd: %v", serr)
 		}
 		// Shutdown order matters: the syncer and replication client write to
-		// the store, the refinement pool writes to the memo, store, and cache
-		// — stop each producer before the tier it feeds, store last.
+		// the store, the refinement pool writes to the memo, store, and cache,
+		// the governor's pressure signal is read by the pool — stop each
+		// producer before the tier it feeds, store last.
 		closeFleet(s)
 		closeRefine(s)
+		closeGovern(s)
 		closeStore(s)
 		log.Printf("serenityd stopped")
 	}
@@ -445,6 +517,20 @@ func closeRefine(s *server) {
 	st := s.refine.Stats()
 	log.Printf("serenityd: refinement pool stopped: %d queued, %d done, %d failed, %d dropped",
 		st.Queued, st.Done, st.Failed, st.Dropped)
+}
+
+// closeGovern stops the memory governor's sampling watchdog and logs the
+// pressure ledger it retires with. It runs after closeRefine (the pool's
+// pressure signal reads the governor; stopping the watchdog first would be
+// harmless but backwards) and before closeStore.
+func closeGovern(s *server) {
+	if !s.gov.Enabled() {
+		return
+	}
+	s.gov.Stop()
+	gs := s.gov.Stats()
+	log.Printf("serenityd: memory governor stopped: level %s, %d sheds, %d degraded, %d grows granted, %d denied",
+		gs.Level, gs.Sheds, gs.Degraded, gs.Grows, gs.GrowDenied)
 }
 
 // closeStore flushes and closes the persistent schedule store, logging the

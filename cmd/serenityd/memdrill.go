@@ -1,0 +1,247 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	serenity "github.com/serenity-ml/serenity"
+	"github.com/serenity-ml/serenity/internal/govern"
+)
+
+// runMemDrill (-loadgen-mem) is the self-asserting memory-pressure drill: it
+// walks the governor's ladder rung by rung against an in-process server and
+// verifies every shed and degradation the tiers promise, then releases the
+// pressure and proves the damage was temporary — parked refinements drain,
+// degraded answers repair to exact, and a replay of the baseline set costs
+// zero fresh DP states. It returns an error (nonzero exit) if any rung
+// misbehaves, so CI can run it as the OOM-survival smoke test.
+//
+// Pressure is driven through ballast reservations in the governor's own
+// ledger rather than real allocations: deterministic, instant, and safe to
+// run under a small GOMEMLIMIT (the point is to certify the ladder's
+// behavior at each tier; the byte accounting that keeps individual searches
+// inside their reservations is certified by the DP's differential tests).
+// The workload is the adversarial wide-graph family — parallel independent
+// chains with no internal articulation points, the topology whose DP
+// frontier grows exponentially and cannot be partitioned away.
+func runMemDrill(s *server, out io.Writer) error {
+	if !s.gov.Enabled() {
+		return fmt.Errorf("memory drill needs an enabled governor: set -mem-limit or GOMEMLIMIT")
+	}
+	if s.refine == nil {
+		return fmt.Errorf("memory drill needs the refinement pool: raise -refine-workers above 0")
+	}
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	encode := func(g *serenity.Graph) ([]byte, error) {
+		var buf bytes.Buffer
+		err := serenity.WriteGraphJSON(&buf, g)
+		return buf.Bytes(), err
+	}
+	post := func(path string, body []byte) (int, []byte, http.Header, error) {
+		resp, err := client.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, data, resp.Header, nil
+	}
+	limit := s.gov.Stats().Limit
+
+	// Phase 1 — baseline: compile the adversarial set under Normal pressure.
+	// Every answer must be exact; this warms the memo for the zero-fresh-work
+	// replay assertion at the end.
+	const baselineGraphs = 4
+	baseline := make([][]byte, baselineGraphs)
+	for i := range baseline {
+		g := serenity.AdversarialWideGraph(fmt.Sprintf("adv-mem-base-%d", i), 8, 3, 8, 4, int64(100+i))
+		body, err := encode(g)
+		if err != nil {
+			return err
+		}
+		baseline[i] = body
+		code, data, _, err := post("/v1/schedule", body)
+		if err != nil {
+			return err
+		}
+		if code != http.StatusOK || !bytes.Contains(data, []byte(`"quality": "optimal"`)) {
+			return fmt.Errorf("baseline compile %d: status %d, want 200 optimal: %s", i, code, data)
+		}
+	}
+	fmt.Fprintf(out, "mem drill: baseline %d adversarial graphs compiled exact under %d-byte budget\n", baselineGraphs, limit)
+
+	// ballast books a fraction of the effective limit straight into the
+	// reservation ledger, stepping the sampled level deterministically.
+	ballast := func(frac float64) *govern.Reservation {
+		r := s.gov.Reserve(int64(frac * float64(limit)))
+		s.gov.Refresh()
+		return r
+	}
+
+	// Phase 2 — Elevated: refinement work parks. Force a degraded answer so a
+	// repair enqueues, then watch the pool shed it instead of running it.
+	elevated := ballast(0.72)
+	if lvl := s.gov.Level(); lvl != govern.LevelElevated {
+		elevated.Release()
+		return fmt.Errorf("ballast at 72%% yields level %s, want elevated", lvl)
+	}
+	degradedGraph, err := encode(serenity.AdversarialWideGraph("adv-mem-degraded", 8, 3, 8, 4, 900))
+	if err != nil {
+		elevated.Release()
+		return err
+	}
+	code, data, _, err := post("/v1/schedule?strategy=best-effort&deadline_ms=2000&degrade=force", degradedGraph)
+	if err != nil {
+		elevated.Release()
+		return err
+	}
+	if code != http.StatusOK || !bytes.Contains(data, []byte(`"quality": "heuristic"`)) {
+		elevated.Release()
+		return fmt.Errorf("forced degradation under elevated pressure: status %d: %s", code, data)
+	}
+	parkDeadline := time.Now().Add(10 * time.Second)
+	for s.refine.Stats().Parked == 0 {
+		if time.Now().After(parkDeadline) {
+			elevated.Release()
+			return fmt.Errorf("refinements never parked under elevated pressure: %+v", s.refine.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Fprintf(out, "mem drill: elevated tier parked %d refinement(s) (%d shed events)\n",
+		s.refine.Stats().Parked, s.refine.Stats().Shed)
+
+	// Phase 3 — High: batch admissions shed with 429 + Retry-After while
+	// interactive singles still compile.
+	high := ballast(0.15) // stacked on the elevated ballast: ~87%
+	if lvl := s.gov.Level(); lvl != govern.LevelHigh {
+		high.Release()
+		elevated.Release()
+		return fmt.Errorf("stacked ballast yields level %s, want high", lvl)
+	}
+	batchBody, err := json.Marshal(map[string]any{
+		"items": []json.RawMessage{json.RawMessage(baseline[0]), json.RawMessage(baseline[1])},
+	})
+	if err == nil {
+		var hdr http.Header
+		code, data, hdr, err = post("/v1/schedule/batch", batchBody)
+		if err == nil {
+			if code != http.StatusTooManyRequests {
+				err = fmt.Errorf("batch under high pressure: status %d, want 429: %s", code, data)
+			} else if hdr.Get("Retry-After") == "" {
+				err = fmt.Errorf("batch 429 under high pressure carries no Retry-After")
+			}
+		}
+	}
+	if err == nil {
+		// Interactive traffic still flows at High: the memo-warm baseline
+		// graph answers 200 without a fresh search.
+		code, data, _, err = post("/v1/schedule", baseline[0])
+		if err == nil && code != http.StatusOK {
+			err = fmt.Errorf("interactive request under high pressure: status %d: %s", code, data)
+		}
+	}
+	if err != nil {
+		high.Release()
+		elevated.Release()
+		return err
+	}
+	fmt.Fprintf(out, "mem drill: high tier shed batch with 429 + Retry-After, interactive still 200\n")
+
+	// Phase 4 — Critical: new searches get the floor reservation. Best-effort
+	// degrades to its heuristic (200, repaired later); exact answers 503 +
+	// Retry-After. Fresh fingerprints so neither can ride the memo.
+	critical := ballast(0.10) // ~97%
+	if lvl := s.gov.Level(); lvl != govern.LevelCritical {
+		critical.Release()
+		high.Release()
+		elevated.Release()
+		return fmt.Errorf("stacked ballast yields level %s, want critical", lvl)
+	}
+	criticalBE, err1 := encode(serenity.AdversarialWideGraph("adv-mem-critical-be", 8, 3, 8, 4, 901))
+	criticalExact, err2 := encode(serenity.AdversarialWideGraph("adv-mem-critical-exact", 8, 3, 8, 4, 902))
+	err = err1
+	if err == nil {
+		err = err2
+	}
+	if err == nil {
+		code, data, _, err = post("/v1/schedule?strategy=best-effort&deadline_ms=2000", criticalBE)
+		if err == nil && (code != http.StatusOK || !bytes.Contains(data, []byte(`"quality": "heuristic"`))) {
+			err = fmt.Errorf("best-effort under critical pressure: status %d, want 200 heuristic: %s", code, data)
+		}
+	}
+	if err == nil {
+		var hdr http.Header
+		code, data, hdr, err = post("/v1/schedule", criticalExact)
+		if err == nil {
+			if code != http.StatusServiceUnavailable {
+				err = fmt.Errorf("exact under critical pressure: status %d, want 503: %s", code, data)
+			} else if hdr.Get("Retry-After") == "" {
+				err = fmt.Errorf("critical 503 carries no Retry-After")
+			}
+		}
+	}
+	if err != nil {
+		critical.Release()
+		high.Release()
+		elevated.Release()
+		return err
+	}
+	gs := s.gov.Stats()
+	fmt.Fprintf(out, "mem drill: critical tier degraded best-effort to heuristic, answered exact with 503 (%d forced degradations)\n", gs.Degraded)
+
+	// Phase 5 — release: pressure clears, parked refinements requeue and
+	// drain, and every degraded answer repairs to exact.
+	critical.Release()
+	high.Release()
+	elevated.Release()
+	s.gov.Refresh()
+	if lvl := s.gov.Level(); lvl != govern.LevelNormal {
+		return fmt.Errorf("level %s after releasing all ballast, want normal", lvl)
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	err = s.refine.Quiesce(drainCtx)
+	cancel()
+	if err != nil {
+		return fmt.Errorf("refinement pool never drained after pressure cleared: %v (stats %+v)", err, s.refine.Stats())
+	}
+	rs := s.refine.Stats()
+	if rs.Shed == 0 || rs.Requeued == 0 {
+		return fmt.Errorf("drill never exercised park/requeue: %+v", rs)
+	}
+	code, data, _, err = post("/v1/schedule?strategy=best-effort&deadline_ms=2000&wait_refined=30000", criticalBE)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK || !bytes.Contains(data, []byte(`"quality": "optimal"`)) {
+		return fmt.Errorf("critical-degraded graph not repaired after pressure cleared: status %d: %s", code, data)
+	}
+
+	// Replay the baseline set: every answer must come from cache/memo with
+	// zero fresh DP work — pressure cost the process nothing durable.
+	statesBefore := s.states.Load()
+	for i, body := range baseline {
+		code, data, _, err = post("/v1/schedule", body)
+		if err != nil {
+			return err
+		}
+		if code != http.StatusOK || !bytes.Contains(data, []byte(`"quality": "optimal"`)) {
+			return fmt.Errorf("baseline replay %d: status %d, want 200 optimal: %s", i, code, data)
+		}
+	}
+	if fresh := s.states.Load() - statesBefore; fresh != 0 {
+		return fmt.Errorf("baseline replay explored %d fresh DP states, want 0", fresh)
+	}
+	fmt.Fprintf(out, "mem drill: pressure released; %d refinements requeued and drained, degraded answers repaired to exact, baseline replay cost 0 fresh states\n", rs.Requeued)
+	fmt.Fprintf(out, "mem drill: PASS (sheds=%d, degraded=%d, grow denials=%d)\n",
+		gs.Sheds+rs.Shed, gs.Degraded, gs.GrowDenied)
+	return nil
+}

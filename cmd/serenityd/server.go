@@ -16,6 +16,7 @@ import (
 	serenity "github.com/serenity-ml/serenity"
 	"github.com/serenity-ml/serenity/internal/cache"
 	"github.com/serenity-ml/serenity/internal/fleet"
+	"github.com/serenity-ml/serenity/internal/govern"
 )
 
 // maxRequestBytes bounds a /v1/schedule request body; the largest bundled
@@ -120,6 +121,14 @@ type server struct {
 	// Retry-After instead of hanging (see admission). Nil means unlimited
 	// admission (tests, and -compile-slots 0).
 	admit *admission
+	// gov, when enabled, is the process-wide memory governor (-mem-limit):
+	// every fresh search reserves its estimated byte footprint, the watchdog
+	// samples heap liveness against GOMEMLIMIT-derived watermarks, and the
+	// pressure ladder sheds refinement, then batch (429), then forces
+	// interactive best-effort searches down to their heuristic fallback
+	// instead of letting the process OOM. Nil or disabled is fully
+	// transparent. See internal/govern.
+	gov *govern.Governor
 	// refine, when non-nil, is the background refinement pool: degraded
 	// compilations are served immediately and their exact re-search is
 	// queued here, repairing the segment memo, the schedule store, and this
@@ -450,6 +459,12 @@ func (s *server) scheduleErrorStatus(err error, strategy serenity.Strategy, dead
 	case errors.As(err, new(*errAdmission)):
 		// fail() adds the Retry-After header from the error itself.
 		return http.StatusTooManyRequests, err
+	case errors.Is(err, serenity.ErrMemoryPressure):
+		// The memory governor (or the search's own byte valve) aborted the
+		// compilation and no degradable fallback absorbed it. A server
+		// condition, not a client one: 503 + Retry-After (added by fail()).
+		return http.StatusServiceUnavailable,
+			&errMemPressure{level: s.gov.Level(), retryAfter: memPressureRetryAfter, cause: err}
 	case errors.As(err, new(*serenity.ErrBudgetExceeded)):
 		return http.StatusUnprocessableEntity, err
 	case isContextErr(err):
@@ -608,6 +623,13 @@ func (s *server) compute(ctx context.Context, g *serenity.Graph, opts serenity.O
 	p.SegmentMemo = s.segMemo
 	p.Store = s.store
 	p.RefinePool = s.refine
+	if s.gov.Enabled() {
+		// Every fresh segment search reserves its estimated footprint with
+		// the governor; at Critical the floor grant aborts the search before
+		// it expands, which best-effort absorbs as a heuristic fallback and
+		// exact strategies surface as ErrMemoryPressure (503).
+		p.Govern = governAdapter{s.gov}
+	}
 	if s.peers != nil {
 		// Conditional so a fleetless server leaves the interface nil rather
 		// than holding a typed nil *fleet.Client.
@@ -677,6 +699,16 @@ func (s *server) compute(ctx context.Context, g *serenity.Graph, opts serenity.O
 		resp.RewrittenGraph = res.Graph
 	}
 	return resp, nil
+}
+
+// governAdapter bridges internal/govern's concrete *Reservation to the root
+// package's SearchReservation interface (Go method results are invariant, so
+// *govern.Governor cannot satisfy serenity.MemoryGovernor directly even
+// though *govern.Reservation satisfies serenity.SearchReservation).
+type governAdapter struct{ g *govern.Governor }
+
+func (a governAdapter) Reserve(estimate int64) serenity.SearchReservation {
+	return a.g.Reserve(estimate)
 }
 
 // reqParams is one request's decoded scheduling parameters.
@@ -817,6 +849,11 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 			resp["peer_states"] = states
 		}
 	}
+	if s.gov.Enabled() {
+		gs := s.gov.Stats()
+		resp["mem_pressure"] = gs.Level.String()
+		resp["mem_reserved_bytes"] = gs.Reserved
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -942,6 +979,42 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP serenityd_refinements_outstanding Refinements queued or running right now.\n")
 	fmt.Fprintf(w, "# TYPE serenityd_refinements_outstanding gauge\n")
 	fmt.Fprintf(w, "serenityd_refinements_outstanding %d\n", rs.Outstanding)
+	fmt.Fprintf(w, "# HELP serenityd_refinements_shed_total Refinements parked by the memory governor's pressure signal (re-enqueued once pressure clears).\n")
+	fmt.Fprintf(w, "# TYPE serenityd_refinements_shed_total counter\n")
+	fmt.Fprintf(w, "serenityd_refinements_shed_total %d\n", rs.Shed)
+	fmt.Fprintf(w, "# HELP serenityd_refinements_requeued_total Parked refinements re-injected into the queue after pressure cleared.\n")
+	fmt.Fprintf(w, "# TYPE serenityd_refinements_requeued_total counter\n")
+	fmt.Fprintf(w, "serenityd_refinements_requeued_total %d\n", rs.Requeued)
+	fmt.Fprintf(w, "# HELP serenityd_refinements_parked Refinements currently parked waiting out memory pressure.\n")
+	fmt.Fprintf(w, "# TYPE serenityd_refinements_parked gauge\n")
+	fmt.Fprintf(w, "serenityd_refinements_parked %d\n", rs.Parked)
+	if s.gov.Enabled() {
+		gs := s.gov.Stats()
+		fmt.Fprintf(w, "# HELP serenityd_mem_limit_bytes Effective byte budget the memory governor defends (limit minus headroom).\n")
+		fmt.Fprintf(w, "# TYPE serenityd_mem_limit_bytes gauge\n")
+		fmt.Fprintf(w, "serenityd_mem_limit_bytes %d\n", gs.Limit)
+		fmt.Fprintf(w, "# HELP serenityd_mem_pressure_level Current pressure tier: 0 normal, 1 elevated (refinement shed), 2 high (batch 429, grows denied), 3 critical (searches forced to degrade).\n")
+		fmt.Fprintf(w, "# TYPE serenityd_mem_pressure_level gauge\n")
+		fmt.Fprintf(w, "serenityd_mem_pressure_level %d\n", int(gs.Level))
+		fmt.Fprintf(w, "# HELP serenityd_mem_heap_bytes Last sampled heap-live bytes.\n")
+		fmt.Fprintf(w, "# TYPE serenityd_mem_heap_bytes gauge\n")
+		fmt.Fprintf(w, "serenityd_mem_heap_bytes %d\n", gs.Heap)
+		fmt.Fprintf(w, "# HELP serenityd_mem_reserved_bytes Outstanding search reservation bytes in the governor's ledger.\n")
+		fmt.Fprintf(w, "# TYPE serenityd_mem_reserved_bytes gauge\n")
+		fmt.Fprintf(w, "serenityd_mem_reserved_bytes %d\n", gs.Reserved)
+		fmt.Fprintf(w, "# HELP serenityd_mem_pressure_sheds_total Work units shed by the pressure ladder: batch 429s plus parked refinements.\n")
+		fmt.Fprintf(w, "# TYPE serenityd_mem_pressure_sheds_total counter\n")
+		fmt.Fprintf(w, "serenityd_mem_pressure_sheds_total %d\n", gs.Sheds+rs.Shed)
+		fmt.Fprintf(w, "# HELP serenityd_mem_pressure_degraded_total Searches forced down the degradation ladder by Critical pressure (heuristic fallback or 503).\n")
+		fmt.Fprintf(w, "# TYPE serenityd_mem_pressure_degraded_total counter\n")
+		fmt.Fprintf(w, "serenityd_mem_pressure_degraded_total %d\n", gs.Degraded)
+		fmt.Fprintf(w, "# HELP serenityd_mem_grows_total Mid-search reservation upgrades granted by the governor.\n")
+		fmt.Fprintf(w, "# TYPE serenityd_mem_grows_total counter\n")
+		fmt.Fprintf(w, "serenityd_mem_grows_total %d\n", gs.Grows)
+		fmt.Fprintf(w, "# HELP serenityd_mem_grow_denied_total Mid-search reservation upgrades denied at High pressure or above; the search aborted at its ceiling.\n")
+		fmt.Fprintf(w, "# TYPE serenityd_mem_grow_denied_total counter\n")
+		fmt.Fprintf(w, "serenityd_mem_grow_denied_total %d\n", gs.GrowDenied)
+	}
 	if s.peers != nil {
 		ps := s.peers.Stats()
 		fmt.Fprintf(w, "# HELP serenityd_peer_hits_total Segment artifacts fetched from a fleet peer instead of a fresh search.\n")
@@ -1049,6 +1122,13 @@ func (s *server) fail(w http.ResponseWriter, code int, err error) {
 		// 429, whatever status the call site guessed.
 		code = http.StatusTooManyRequests
 		w.Header().Set("Retry-After", strconv.Itoa(int(adm.retryAfter/time.Second)))
+	}
+	var mem *errMemPressure
+	if errors.As(err, &mem) {
+		// Memory-pressure rejections answer 503 + Retry-After: the server's
+		// condition, not the client's rate.
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", strconv.Itoa(int(mem.retryAfter/time.Second)))
 	}
 	writeJSON(w, code, errorResponse{Error: err.Error()})
 }

@@ -28,15 +28,25 @@ type AdaptiveOptions struct {
 	// expansion across up to this many worker shards. See
 	// Options.Parallelism for the bit-identity contract.
 	Parallelism int
+	// MemLimit is forwarded to every DP probe as the retained-byte ceiling
+	// (Options.MemLimit). A probe aborting with FlagMemPressure is treated
+	// like a timeout — τ shrinks, which prunes the frontier and relieves
+	// memory — but if the τ interval collapses after any memory abort the
+	// meta-search surrenders with FlagMemPressure even when timeout growth
+	// is enabled: doubling T cannot shrink a frontier that does not fit.
+	MemLimit int64
+	// MemGrow is forwarded to every DP probe (Options.MemGrow).
+	MemGrow func(needed int64) int64
 }
 
 // BudgetProbe records one iteration of the meta-search, for the
 // scheduling-time analyses (Figure 8(b), Table 2).
 type BudgetProbe struct {
-	Budget  int64
-	Flag    Flag
-	States  int64
-	Elapsed time.Duration
+	Budget    int64
+	Flag      Flag
+	States    int64
+	PeakBytes int64
+	Elapsed   time.Duration
 }
 
 // AdaptiveResult is the outcome of AdaptiveSchedule.
@@ -85,6 +95,8 @@ func AdaptiveScheduleCtx(ctx context.Context, m *sched.MemModel, opts AdaptiveOp
 
 	ar := &AdaptiveResult{HardBudget: hardBudget}
 	timeout := opts.StepTimeout
+	var sawMem bool
+	var maxPeakBytes int64
 
 	// Fallback answer: Kahn's schedule is always valid, so even if every DP
 	// probe times out we can return it (flagged via FinalBudget==hardBudget
@@ -93,21 +105,29 @@ func AdaptiveScheduleCtx(ctx context.Context, m *sched.MemModel, opts AdaptiveOp
 		tauOld, tauNew := hardBudget, hardBudget
 		var best *Result
 		for iter := 0; iter < opts.MaxIters; iter++ {
-			r := ScheduleCtx(ctx, m, Options{Budget: tauNew, StepTimeout: timeout, MaxStates: opts.MaxStates, Parallelism: opts.Parallelism})
+			r := ScheduleCtx(ctx, m, Options{Budget: tauNew, StepTimeout: timeout, MaxStates: opts.MaxStates, Parallelism: opts.Parallelism, MemLimit: opts.MemLimit, MemGrow: opts.MemGrow})
+			if r.PeakBytes > maxPeakBytes {
+				maxPeakBytes = r.PeakBytes
+			}
 			if r.Flag == FlagCanceled {
 				// Return the probe record alongside the error: the states
 				// explored before cancellation are real work callers may
 				// want to account for (e.g. a degradable searcher).
-				ar.Probes = append(ar.Probes, BudgetProbe{Budget: tauNew, Flag: r.Flag, States: r.StatesExplored, Elapsed: r.Elapsed})
+				ar.Probes = append(ar.Probes, BudgetProbe{Budget: tauNew, Flag: r.Flag, States: r.StatesExplored, PeakBytes: r.PeakBytes, Elapsed: r.Elapsed})
 				return ar, ctx.Err()
 			}
-			ar.Probes = append(ar.Probes, BudgetProbe{Budget: tauNew, Flag: r.Flag, States: r.StatesExplored, Elapsed: r.Elapsed})
+			ar.Probes = append(ar.Probes, BudgetProbe{Budget: tauNew, Flag: r.Flag, States: r.StatesExplored, PeakBytes: r.PeakBytes, Elapsed: r.Elapsed})
 			switch r.Flag {
 			case FlagSolution:
 				best = r
 				ar.FinalBudget = tauNew
 			case FlagTimeout:
 				// Decrease τ: τold ← τnew, τnew ← τnew/2 (line 11).
+				tauOld, tauNew = tauNew, tauNew/2
+			case FlagMemPressure:
+				// A frontier that does not fit is the timeout case's sibling:
+				// shrink τ so the budget prunes the frontier down to size.
+				sawMem = true
 				tauOld, tauNew = tauNew, tauNew/2
 			case FlagNoSolution:
 				// Increase τ: τold ← τnew, τnew ← (τnew+τold)/2 (line 14).
@@ -121,10 +141,19 @@ func AdaptiveScheduleCtx(ctx context.Context, m *sched.MemModel, opts AdaptiveOp
 				break // interval collapsed without a solution
 			}
 		}
+		if sawMem {
+			// Surrender under memory pressure regardless of growth policy:
+			// doubling T buys wall-clock, not bytes, so another round would
+			// hit the same ceiling forever. Callers degrade to a heuristic
+			// (always feasible, needs no frontier) or report the pressure.
+			ar.Result = &Result{Flag: FlagMemPressure, PeakBytes: maxPeakBytes}
+			ar.FinalBudget = hardBudget
+			return ar, nil
+		}
 		if opts.DisableGrowth {
 			// Surrender with the Kahn schedule: feasible but possibly
 			// suboptimal; callers see Flag==FlagTimeout.
-			ar.Result = &Result{Flag: FlagTimeout}
+			ar.Result = &Result{Flag: FlagTimeout, PeakBytes: maxPeakBytes}
 			ar.FinalBudget = hardBudget
 			return ar, nil
 		}

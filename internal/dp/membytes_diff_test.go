@@ -1,0 +1,179 @@
+package dp_test
+
+// Differential coverage for the MemLimit byte valve and the PeakBytes
+// accounting, in the same harness style as differential_test.go: a ceiling
+// the run fits under must change nothing (bit-identical to the oracle, which
+// has no byte accounting at all), and a ceiling it cannot fit under must
+// abort both cores deterministically with FlagMemPressure.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/serenity-ml/serenity/internal/dp"
+	"github.com/serenity-ml/serenity/internal/graph"
+	"github.com/serenity-ml/serenity/internal/sched"
+)
+
+// TestDifferentialMemLimitValve pins the valve across random DAGs: the
+// unlimited run's PeakBytes is exactly the ceiling that still succeeds, any
+// smaller ceiling aborts with FlagMemPressure in both the sequential and
+// sharded cores, and PeakBytes itself is bit-identical on solution paths.
+func TestDifferentialMemLimitValve(t *testing.T) {
+	forceProcs(t, 4)
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 15; trial++ {
+		g := graph.RandomDAG(rng, graph.RandomDAGConfig{Nodes: 10 + rng.Intn(9), EdgeProb: 0.1 + rng.Float64()*0.4, MaxFanIn: 1 + rng.Intn(3)})
+		m := sched.NewMemModel(g)
+		name := fmt.Sprintf("trial%d", trial)
+
+		base := dp.Schedule(m, dp.Options{})
+		if base.Flag != dp.FlagSolution {
+			t.Fatalf("%s: unlimited run: %v", name, base.Flag)
+		}
+		if base.PeakBytes <= 0 {
+			t.Fatalf("%s: unlimited run reported PeakBytes %d", name, base.PeakBytes)
+		}
+
+		// Ceiling == the run's own peak: nothing may change, including
+		// against the accounting-free oracle.
+		fit := dp.Options{MemLimit: base.PeakBytes}
+		want := referenceSchedule(m, fit)
+		seq := dp.Schedule(m, fit)
+		assertBitIdentical(t, name+"/fit/sequential", want, seq)
+		par := dp.Schedule(m, parallelOpts(fit, 4))
+		assertBitIdentical(t, name+"/fit/parallel", want, par)
+		if seq.PeakBytes != base.PeakBytes || par.PeakBytes != base.PeakBytes {
+			t.Fatalf("%s: PeakBytes diverged: unlimited %d, fit-seq %d, fit-par %d",
+				name, base.PeakBytes, seq.PeakBytes, par.PeakBytes)
+		}
+
+		// Any ceiling below the peak must abort, deterministically, in both
+		// cores, and a repeat run must agree with itself bit for bit.
+		floor := dp.FrontierStateBytes(g.NumNodes()) + 8
+		for _, limit := range []int64{base.PeakBytes - 1, base.PeakBytes / 2, floor} {
+			if limit <= 0 || limit >= base.PeakBytes {
+				continue
+			}
+			tight := dp.Options{MemLimit: limit}
+			s1 := dp.Schedule(m, tight)
+			if s1.Flag != dp.FlagMemPressure {
+				t.Fatalf("%s/limit=%d: sequential flag %v, want memory pressure", name, limit, s1.Flag)
+			}
+			s2 := dp.Schedule(m, tight)
+			assertBitIdentical(t, fmt.Sprintf("%s/limit=%d/repeat", name, limit), s1, s2)
+			if s2.PeakBytes != s1.PeakBytes {
+				t.Fatalf("%s/limit=%d: abort PeakBytes not deterministic: %d vs %d", name, limit, s1.PeakBytes, s2.PeakBytes)
+			}
+			p := dp.Schedule(m, parallelOpts(tight, 4))
+			if p.Flag != dp.FlagMemPressure {
+				t.Fatalf("%s/limit=%d: parallel flag %v, want memory pressure", name, limit, p.Flag)
+			}
+		}
+
+		// A ceiling below even level 0 aborts before any expansion.
+		starved := dp.Schedule(m, dp.Options{MemLimit: 1})
+		if starved.Flag != dp.FlagMemPressure || starved.StatesExplored != 0 {
+			t.Fatalf("%s: starved run did work: %+v", name, starved)
+		}
+	}
+}
+
+// TestMemGrowUpgradesAndDenies covers the mid-search upgrade callback: a
+// ceiling too small to finish succeeds when MemGrow keeps granting (and the
+// solution is bit-identical to an unlimited run), and aborts with
+// FlagMemPressure the moment it denies.
+func TestMemGrowUpgradesAndDenies(t *testing.T) {
+	forceProcs(t, 4)
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 8; trial++ {
+		g := graph.RandomDAG(rng, graph.RandomDAGConfig{Nodes: 12 + rng.Intn(6), EdgeProb: 0.25, MaxFanIn: 3})
+		m := sched.NewMemModel(g)
+		want := dp.Schedule(m, dp.Options{})
+		if want.Flag != dp.FlagSolution {
+			t.Fatalf("trial%d: unlimited run: %v", trial, want.Flag)
+		}
+		start := dp.FrontierStateBytes(g.NumNodes()) + 8
+
+		for _, workers := range []int{1, 4} {
+			var grants int
+			grant := func(needed int64) int64 { grants++; return needed * 2 }
+			opts := dp.Options{MemLimit: start, MemGrow: grant}
+			if workers > 1 {
+				opts = parallelOpts(opts, workers)
+			}
+			got := dp.Schedule(m, opts)
+			assertBitIdentical(t, fmt.Sprintf("trial%d/workers%d/grant", trial, workers), want, got)
+			if got.PeakBytes != want.PeakBytes {
+				t.Fatalf("trial%d/workers%d: granted run PeakBytes %d != %d", trial, workers, got.PeakBytes, want.PeakBytes)
+			}
+			if want.PeakBytes > start && grants == 0 {
+				t.Fatalf("trial%d/workers%d: run outgrew %d bytes without consulting MemGrow", trial, workers, start)
+			}
+
+			deny := func(needed int64) int64 { return 0 }
+			opts.MemGrow = deny
+			if f := dp.Schedule(m, opts).Flag; f != dp.FlagMemPressure {
+				t.Fatalf("trial%d/workers%d/deny: flag %v, want memory pressure", trial, workers, f)
+			}
+		}
+	}
+}
+
+// TestAdaptiveSurrendersUnderMemPressure is the meta-search liveness
+// guarantee: a ceiling no τ can fit under must terminate promptly with
+// FlagMemPressure — even with timeout growth enabled, where a timeout-only
+// surrender path does not exist — instead of doubling T forever.
+func TestAdaptiveSurrendersUnderMemPressure(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.RandomDAG(rng, graph.RandomDAGConfig{Nodes: 16, EdgeProb: 0.2, MaxFanIn: 3})
+	m := sched.NewMemModel(g)
+	for _, disableGrowth := range []bool{false, true} {
+		done := make(chan *dp.AdaptiveResult, 1)
+		go func() {
+			ar, err := dp.AdaptiveSchedule(m, dp.AdaptiveOptions{
+				StepTimeout:   time.Second,
+				DisableGrowth: disableGrowth,
+				MemLimit:      1, // below even level 0: every probe aborts
+			})
+			if err != nil {
+				t.Errorf("disableGrowth=%v: %v", disableGrowth, err)
+			}
+			done <- ar
+		}()
+		select {
+		case ar := <-done:
+			if ar.Flag != dp.FlagMemPressure {
+				t.Fatalf("disableGrowth=%v: flag %v, want memory pressure", disableGrowth, ar.Flag)
+			}
+			if ar.FinalBudget != ar.HardBudget {
+				t.Fatalf("disableGrowth=%v: FinalBudget %d != HardBudget %d", disableGrowth, ar.FinalBudget, ar.HardBudget)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("disableGrowth=%v: meta-search failed to surrender", disableGrowth)
+		}
+	}
+}
+
+// TestAdaptiveMemLimitRoomy: with a ceiling above what the search needs the
+// meta-search must still converge to the optimum, byte accounting engaged.
+func TestAdaptiveMemLimitRoomy(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 5; trial++ {
+		g := graph.RandomDAG(rng, graph.RandomDAGConfig{Nodes: 14, EdgeProb: 0.25})
+		m := sched.NewMemModel(g)
+		want := dp.Optimal(m)
+		ar, err := dp.AdaptiveSchedule(m, dp.AdaptiveOptions{StepTimeout: time.Second, MemLimit: 64 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ar.Flag != dp.FlagSolution || ar.Peak != want.Peak {
+			t.Fatalf("trial %d: peak %d (flag %v) != optimal %d", trial, ar.Peak, ar.Flag, want.Peak)
+		}
+		if ar.PeakBytes <= 0 || ar.PeakBytes > 64<<20 {
+			t.Fatalf("trial %d: PeakBytes %d out of range", trial, ar.PeakBytes)
+		}
+	}
+}

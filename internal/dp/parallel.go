@@ -43,12 +43,14 @@ const (
 	shardPollInterval = 2048
 )
 
-// Abort reasons published by the first worker that trips one; cancellation
-// and the two timeout flavors map onto the sequential path's Flag priority.
+// Abort reasons published by the first worker that trips one; cancellation,
+// the timeout flavors, and the byte valve map onto the sequential path's
+// Flag priority.
 const (
 	abortNone int32 = iota
 	abortCanceled
 	abortTimeout
+	abortMemPressure
 )
 
 // shardWorker is one expansion shard's private working set, reused across
@@ -76,6 +78,18 @@ func (s *search) expandParallel() expandOutcome {
 	}
 	ws := s.px.workers[:shards]
 
+	// Precompute the frontier width the byte valve allows so shard polls can
+	// compare the shared created counter against it without touching the
+	// accounting fields. Only when MemGrow is nil: with an upgrade callback
+	// the (single-threaded) post-join check below is the sole consult point,
+	// so workers never race on s.memLimit. The previous level's end check
+	// guarantees byteCap >= the next buffer's recorded high water, so
+	// crossing it is exactly the sequential path's per-parent condition.
+	s.byteCap = -1
+	if s.memLimit > 0 && s.opts.MemGrow == nil {
+		s.byteCap = (s.memLimit-s.pvBytes)/s.stateBytes - s.hiCur
+	}
+
 	var created atomic.Int64
 	var reason atomic.Int32
 	var wg sync.WaitGroup
@@ -98,6 +112,8 @@ func (s *search) expandParallel() expandOutcome {
 		return expandCanceled
 	case abortTimeout:
 		return expandTimeout
+	case abortMemPressure:
+		return expandMemPressure
 	}
 	total := int(created.Load())
 	if s.opts.MaxStates > 0 && total > s.opts.MaxStates {
@@ -109,6 +125,17 @@ func (s *search) expandParallel() expandOutcome {
 			return expandCanceled
 		}
 		return expandTimeout
+	}
+	if s.memOver(total) {
+		// Same deterministic-valve argument as MaxStates above, on the byte
+		// accounting: a full frontier of total states would cross MemLimit,
+		// so the sequential path would have aborted mid-level (this is also
+		// where MemGrow is consulted for sharded levels — post-join, where
+		// no workers race on the accounting).
+		if canceled(s.done) {
+			return expandCanceled
+		}
+		return expandMemPressure
 	}
 	s.mergeShards(ws, total)
 	return expandOK
@@ -162,6 +189,10 @@ func (s *search) runShard(wk *shardWorker, id, shards int, created *atomic.Int64
 					}
 					if s.opts.MaxStates > 0 && created.Load() > int64(s.opts.MaxStates) {
 						reason.CompareAndSwap(abortNone, abortTimeout)
+						return
+					}
+					if s.byteCap >= 0 && created.Load() > s.byteCap {
+						reason.CompareAndSwap(abortNone, abortMemPressure)
 						return
 					}
 				}

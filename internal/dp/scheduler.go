@@ -41,7 +41,8 @@ import (
 
 // Flag is the scheduler's outcome, mirroring Figure 4's
 // {'no solution', 'timeout', 'solution'}, extended with 'canceled' for
-// context cancellation (client disconnect, deadline).
+// context cancellation (client disconnect, deadline) and 'memory pressure'
+// for the Options.MemLimit byte valve.
 type Flag int
 
 // Scheduler outcomes.
@@ -50,6 +51,17 @@ const (
 	FlagNoSolution
 	FlagTimeout
 	FlagCanceled
+	// FlagMemPressure reports that the search's retained frontier and
+	// compacted-history bytes (the accounting behind Result.PeakBytes) would
+	// have exceeded Options.MemLimit and Options.MemGrow declined to raise
+	// the ceiling. The abort is deterministic: the byte accounting is a pure
+	// function of per-level frontier widths, so (with a fixed MemLimit and a
+	// nil MemGrow) sequential and sharded runs of the same search abort at
+	// the same level with the same Flag. Unlike FlagTimeout, it signals that
+	// retrying with more time cannot help — only a larger byte ceiling, a
+	// smaller soft budget τ (which prunes the frontier), or a heuristic
+	// fallback can.
+	FlagMemPressure
 )
 
 // String renders the flag as in the paper.
@@ -63,6 +75,8 @@ func (f Flag) String() string {
 		return "timeout"
 	case FlagCanceled:
 		return "canceled"
+	case FlagMemPressure:
+		return "memory pressure"
 	}
 	return fmt.Sprintf("Flag(%d)", int(f))
 }
@@ -98,6 +112,27 @@ type Options struct {
 	// outweighs the win and expansion stays sequential. Zero means the
 	// default (256).
 	ParallelThreshold int
+	// MemLimit caps the bytes the search may retain across its frontier
+	// slabs and compacted (parent, via) history — the quantity reported in
+	// Result.PeakBytes. Crossing it aborts with FlagMemPressure (after
+	// consulting MemGrow, if set). Zero means unlimited. Unlike MaxStates,
+	// which counts signatures regardless of width, the byte valve accounts
+	// 2⌈n/64⌉ slab words plus a 32-byte header per state, so wide graphs
+	// trip it proportionally earlier. With a fixed MemLimit and nil MemGrow
+	// the abort is deterministic and bit-identical between sequential and
+	// sharded runs (same Flag at the same level); when both MaxStates and
+	// MemLimit could trip within one level, the sharded path resolves
+	// MaxStates first while the sequential path reports whichever cap it
+	// crossed first — configure one valve where that distinction matters.
+	MemLimit int64
+	// MemGrow, when non-nil, is consulted before a MemLimit abort with the
+	// bytes the search needs to continue. Returning a new limit >= needed
+	// raises the ceiling and the search proceeds; returning anything
+	// smaller denies the upgrade and the search aborts with
+	// FlagMemPressure. Sequential and sharded runs consult the callback at
+	// different points mid-level, so abort-point determinism is only
+	// guaranteed when MemGrow is nil.
+	MemGrow func(needed int64) int64
 }
 
 // Result reports a scheduling attempt.
@@ -108,7 +143,27 @@ type Result struct {
 	StatesExplored int64          // memo entries created across all steps
 	StatesPruned   int64          // transitions discarded by the budget
 	MaxFrontier    int            // largest number of coexisting signatures
-	Elapsed        time.Duration
+	// PeakBytes is the high-water mark of the search's retained memory:
+	// the two ping-ponged level buffers at their widest (2⌈n/64⌉ slab words
+	// plus a 32-byte header per state) plus the compacted 8-byte
+	// (parent, via) history. It is a pure function of per-level frontier
+	// widths, so on the solution path it is bit-identical between
+	// sequential and sharded runs; on abort paths it reflects only the
+	// committed structure (like the partial-count concession in
+	// Options.Parallelism, a mid-level abort may report fewer bytes under
+	// sharding because unmerged shard-private frontiers are torn down).
+	PeakBytes int64
+	Elapsed   time.Duration
+}
+
+// FrontierStateBytes returns the bytes one frontier state retains for an
+// n-node graph under the Result.PeakBytes accounting: 2⌈n/64⌉ slab words
+// (scheduled + ready bitsets) plus the 32-byte state header. Callers sizing
+// Options.MemLimit or governor reservations multiply it by an expected
+// frontier width.
+func FrontierStateBytes(n int) int64 {
+	w := (n + 63) / 64
+	return int64(16*w + 32)
 }
 
 // Schedule runs Algorithm 1 over the memory model m. It is exact: with an
@@ -122,9 +177,10 @@ func Schedule(m *sched.MemModel, opts Options) *Result {
 type expandOutcome int
 
 const (
-	expandOK       expandOutcome = iota
-	expandCanceled               // ctx fired mid-level
-	expandTimeout                // StepTimeout or MaxStates fired mid-level
+	expandOK          expandOutcome = iota
+	expandCanceled                  // ctx fired mid-level
+	expandTimeout                   // StepTimeout or MaxStates fired mid-level
+	expandMemPressure               // MemLimit crossed and MemGrow denied
 )
 
 // search carries one ScheduleCtx run's working set: the current and
@@ -146,8 +202,63 @@ type search struct {
 	trans     int // transitions since the run began; poll clock
 	stepStart time.Time
 
+	// Byte accounting behind Result.PeakBytes and the MemLimit valve:
+	// stateBytes is the per-state cost (FrontierStateBytes), hiCur/hiNext
+	// the high-water state counts of the two ping-pong buffers (swapped
+	// together with cur/next), pvBytes the cumulative compacted history.
+	// The accounting is monotone, so the live total is also the peak.
+	memLimit   int64
+	stateBytes int64
+	hiCur      int64
+	hiNext     int64
+	pvBytes    int64
+	byteCap    int64 // per-level shard-poll width cap; -1 when inactive
+
 	px *parallelExpander // lazily built on the first sharded level
 }
+
+// liveBytes is the search's current (== peak, by monotonicity) retained
+// bytes: both ping-pong buffers at their high-water widths plus the
+// compacted history. The under-construction level is folded in via
+// len(next.states); after the end-of-level swap that length is covered by
+// the buffer's recorded high water, so the fold is safe at any point.
+func (s *search) liveBytes() int64 {
+	hn := s.hiNext
+	if l := int64(len(s.next.states)); l > hn {
+		hn = l
+	}
+	return (s.hiCur+hn)*s.stateBytes + s.pvBytes
+}
+
+// memOver reports whether retaining width states in the next buffer would
+// exceed MemLimit, consulting MemGrow once per crossing. A true return means
+// the search must abort with FlagMemPressure. Single-threaded contexts only
+// (sequential expansion, post-join, level end): it may mutate s.memLimit.
+func (s *search) memOver(width int) bool {
+	if s.memLimit <= 0 {
+		return false
+	}
+	hn := int64(width)
+	if s.hiNext > hn {
+		hn = s.hiNext
+	}
+	need := (s.hiCur+hn)*s.stateBytes + s.pvBytes
+	if need <= s.memLimit {
+		return false
+	}
+	if s.opts.MemGrow != nil {
+		if nl := s.opts.MemGrow(need); nl >= need {
+			s.memLimit = nl
+			return false
+		}
+	}
+	return true
+}
+
+// memAuditHook, when set (tests only), receives the accounted live bytes and
+// the actual in-use retained bytes just before ScheduleCtx returns, so the
+// fuzz harness can assert PeakBytes never under-reports real retention.
+var memAuditHook func(accounted, inUse int64)
 
 // ScheduleCtx is Schedule with cooperative cancellation: the search loop
 // polls ctx at every level of the recursion tree and every 64 transitions
@@ -169,16 +280,29 @@ func ScheduleCtx(ctx context.Context, m *sched.MemModel, opts Options) *Result {
 	}
 
 	s := &search{
-		m:    m,
-		opts: opts,
-		res:  res,
-		n:    n,
-		w:    (n + 63) / 64,
-		cur:  &level{},
-		next: &level{},
-		done: ctx.Done(),
-		pvs:  make([][]pv, n+1),
+		m:        m,
+		opts:     opts,
+		res:      res,
+		n:        n,
+		w:        (n + 63) / 64,
+		cur:      &level{},
+		next:     &level{},
+		done:     ctx.Done(),
+		pvs:      make([][]pv, n+1),
+		memLimit: opts.MemLimit,
 	}
+	s.stateBytes = FrontierStateBytes(n)
+	defer func() {
+		res.PeakBytes = s.liveBytes()
+		if memAuditHook != nil {
+			inUse := 8*int64(len(s.cur.slab)+len(s.next.slab)) +
+				32*int64(len(s.cur.states)+len(s.next.states))
+			for _, p := range s.pvs {
+				inUse += 8 * int64(len(p))
+			}
+			memAuditHook(res.PeakBytes, inUse)
+		}
+	}()
 
 	// Level 0: empty schedule (s0=[], µ0=0, µpeak,0=0; M0[z0] per
 	// Algorithm 1). hash(∅) = 0 by the Zobrist XOR construction.
@@ -186,6 +310,12 @@ func ScheduleCtx(ctx context.Context, m *sched.MemModel, opts Options) *Result {
 	s.cur.slab = make([]uint64, 2*s.w)
 	copy(s.cur.slab[s.w:], g.ZeroIndegree(graph.NewBitset(n)).Words())
 	s.pvs[0] = []pv{{parent: -1, via: -1}}
+	s.hiCur, s.pvBytes = 1, 8
+	if s.memOver(0) {
+		// The ceiling cannot hold even the empty schedule's level.
+		res.Flag = FlagMemPressure
+		return res
+	}
 
 	for i := 0; i < n; i++ {
 		if canceled(s.done) {
@@ -208,6 +338,9 @@ func ScheduleCtx(ctx context.Context, m *sched.MemModel, opts Options) *Result {
 		case expandTimeout:
 			res.Flag = FlagTimeout
 			return res
+		case expandMemPressure:
+			res.Flag = FlagMemPressure
+			return res
 		}
 		if opts.StepTimeout > 0 && time.Since(s.stepStart) > opts.StepTimeout {
 			res.Flag = FlagTimeout
@@ -229,7 +362,18 @@ func ScheduleCtx(ctx context.Context, m *sched.MemModel, opts Options) *Result {
 			pairs[j] = pv{s.next.states[j].parent, s.next.states[j].via}
 		}
 		s.pvs[i+1] = pairs
+		width := len(s.next.states)
+		if int64(width) > s.hiNext {
+			s.hiNext = int64(width)
+		}
+		s.pvBytes += 8 * int64(width)
+		if s.memOver(width) {
+			// The compacted history alone crossed the ceiling.
+			res.Flag = FlagMemPressure
+			return res
+		}
 		s.cur, s.next = s.next, s.cur
+		s.hiCur, s.hiNext = s.hiNext, s.hiCur
 	}
 
 	// Unique final entry Mn (line 27): walk the (parent, via) chain back.
@@ -313,6 +457,9 @@ func (s *search) expandSequential() expandOutcome {
 		}
 		if s.opts.MaxStates > 0 && len(next.states) > s.opts.MaxStates {
 			return expandTimeout
+		}
+		if s.memOver(len(next.states)) {
+			return expandMemPressure
 		}
 	}
 	return expandOK

@@ -1,0 +1,34 @@
+package models
+
+import "testing"
+
+// TestAdversarialWideGraph pins the generator's structural promises: a valid
+// DAG, deterministic per seed, distinct across seeds, with the full branch
+// fan-out hanging off one stem (the shape that defeats articulation-point
+// partitioning and maximizes DP frontier width).
+func TestAdversarialWideGraph(t *testing.T) {
+	g := AdversarialWideGraph("adv", 8, 3, 8, 4, 7)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("invalid graph: %v", err)
+	}
+	if ins := g.Inputs(); len(ins) != 1 {
+		t.Errorf("inputs = %d, want 1", len(ins))
+	}
+	// The stem (the input's sole consumer) must fan out into every branch.
+	stem := g.Nodes[g.Inputs()[0]].Succs[0]
+	if got := len(g.Nodes[stem].Succs); got != 8 {
+		t.Errorf("stem fans out to %d branches, want 8", got)
+	}
+	// Node count: input + stem + chains (8 chains of depth 2..4, SepConv is
+	// one fused node) + merge + head.
+	if n := g.NumNodes(); n < 4+8*2 || n > 4+8*4 {
+		t.Errorf("node count %d outside the expected envelope", n)
+	}
+
+	if a, b := AdversarialWideGraph("adv", 8, 3, 8, 4, 7), AdversarialWideGraph("adv", 8, 3, 8, 4, 7); a.Fingerprint() != b.Fingerprint() {
+		t.Error("same seed produced different graphs")
+	}
+	if a, b := AdversarialWideGraph("adv", 8, 3, 8, 4, 1), AdversarialWideGraph("adv", 8, 3, 8, 4, 2); a.Fingerprint() == b.Fingerprint() {
+		t.Error("different seeds produced identical graphs (no jitter)")
+	}
+}

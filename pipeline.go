@@ -72,6 +72,14 @@ type Pipeline struct {
 	// segment was memo-eligible (a degraded key that cannot be cached cannot
 	// be repaired either) and the Searcher implements Refiner.
 	RefinePool *RefinePool
+	// Govern, when non-nil, admits every fresh segment search's memory:
+	// before a search runs (memo/store/peer hits never reserve — they do no
+	// search) the pipeline reserves an estimated byte footprint and scopes
+	// the Searcher to it via scopeMemory, so the DP's MemLimit valve and
+	// the governor's ledger describe the same bytes. Only consulted when
+	// the Searcher implements memScoper (ExactDP and BestEffort do; greedy
+	// needs no frontier and none of this). See MemoryGovernor.
+	Govern MemoryGovernor
 
 	// Rewrite / ExtendedRewrite / Partition toggle the graph stages, with
 	// the same semantics as the corresponding Options fields.
@@ -84,6 +92,27 @@ type Pipeline struct {
 	// MemoryBudget, when positive, makes Run fail with ErrBudgetExceeded if
 	// the planned arena exceeds it. The partial Result is still returned.
 	MemoryBudget int64
+}
+
+// MemoryGovernor admits per-search memory for a Pipeline: Reserve books an
+// estimated byte footprint into a process-wide ledger and returns the
+// reservation the search runs under. Implementations must never refuse — a
+// governor under critical pressure instead grants a ceiling so small the
+// search aborts immediately with a memory-pressure outcome, which degradable
+// searchers convert into their heuristic fallback (see internal/govern for
+// the production implementation and its pressure ladder).
+type MemoryGovernor interface {
+	Reserve(estimate int64) SearchReservation
+}
+
+// SearchReservation is one admitted search's byte budget. SearchLimit seeds
+// the search's byte ceiling (0 = unlimited), Grow is consulted mid-search to
+// raise it (returning a new ceiling >= needed grants, anything smaller
+// denies), and Release returns the bytes to the ledger when the search ends.
+type SearchReservation interface {
+	SearchLimit() int64
+	Grow(needed int64) int64
+	Release()
 }
 
 // NewPipeline builds a Pipeline from opts: the Searcher is derived from
@@ -243,9 +272,19 @@ func (p *Pipeline) Run(ctx context.Context, g *Graph) (*Result, error) {
 		obs.segmentStart(idx, nodes)
 		// Validation happens inside compute so the memo can never store a
 		// malformed result; a hit is a result that already passed it (equal
-		// fingerprints imply equal node counts).
+		// fingerprints imply equal node counts). The governor reservation
+		// lives here too: only a search that actually runs costs memory, so
+		// memo/store/peer hits never touch the ledger.
 		compute := func() (SearchResult, error) {
-			sr, err := searcher.Search(ctx, m)
+			segSearcher := searcher
+			if p.Govern != nil {
+				if ms, ok := segSearcher.(memScoper); ok {
+					rsv := p.Govern.Reserve(estimateSearchBytes(nodes))
+					defer rsv.Release()
+					segSearcher = ms.scopeMemory(rsv.SearchLimit(), rsv.Grow)
+				}
+			}
+			sr, err := segSearcher.Search(ctx, m)
 			if err != nil {
 				return sr, err
 			}
@@ -325,6 +364,9 @@ func (p *Pipeline) Run(ctx context.Context, g *Graph) (*Result, error) {
 		res.StatesExplored += sr.StatesExplored
 		if sr.MaxFrontier > res.MaxFrontier {
 			res.MaxFrontier = sr.MaxFrontier
+		}
+		if sr.PeakBytes > res.SearchPeakBytes {
+			res.SearchPeakBytes = sr.PeakBytes
 		}
 		res.SegmentQuality = append(res.SegmentQuality, sr.Quality)
 		if sr.Quality != QualityOptimal {

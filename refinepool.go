@@ -48,6 +48,17 @@ type RefinePoolOptions struct {
 	// Observer, when non-nil, receives one EventRefined per finished job
 	// (Err set on failure). Calls are serialized, like a Pipeline's.
 	Observer Observer
+	// Pressure, when non-nil, is the memory governor's shed signal: while it
+	// returns true, workers park jobs instead of running them — refinement
+	// is the first work the pressure ladder sheds, since a refining search
+	// builds exactly the DP frontiers the process is short of memory for. A
+	// parked job keeps its key pending (dedup and wait_refined revalidation
+	// still see the repair coming) and is re-enqueued once pressure clears,
+	// so a pressure-forced degradation is never silently permanent.
+	Pressure func() bool
+	// RequeueInterval is the cadence at which parked jobs are re-tried
+	// against the Pressure signal. Values <= 0 mean 250ms.
+	RequeueInterval time.Duration
 }
 
 // RefinePoolStats is a snapshot of a pool's counters. Queued - Done -
@@ -66,6 +77,14 @@ type RefinePoolStats struct {
 	Dropped int64
 	// Outstanding is the number of accepted jobs not yet finished.
 	Outstanding int64
+	// Shed counts jobs parked because the Pressure signal was high when a
+	// worker picked them up (a job parked, requeued, and parked again
+	// counts each time). Requeued counts re-injections of parked jobs after
+	// pressure cleared. Parked is the gauge of jobs currently waiting out
+	// pressure; they remain Outstanding until run or dropped by Close.
+	Shed     int64
+	Requeued int64
+	Parked   int64
 }
 
 // refineJob is one queued refinement: a key (for pending-set dedup) and the
@@ -116,6 +135,7 @@ type RefinePool struct {
 
 	mu      sync.Mutex
 	pending map[string]struct{}
+	parked  []refineJob
 	closed  bool
 
 	queued      atomic.Int64
@@ -123,6 +143,8 @@ type RefinePool struct {
 	failed      atomic.Int64
 	dropped     atomic.Int64
 	outstanding atomic.Int64
+	shed        atomic.Int64
+	requeued    atomic.Int64
 }
 
 // NewRefinePool starts a pool writing refined results through to memo
@@ -153,6 +175,14 @@ func NewRefinePool(memo *SegmentMemo, store *ScheduleStore, opts RefinePoolOptio
 	p.wg.Add(opts.Workers)
 	for i := 0; i < opts.Workers; i++ {
 		go p.worker()
+	}
+	if opts.Pressure != nil {
+		iv := opts.RequeueInterval
+		if iv <= 0 {
+			iv = 250 * time.Millisecond
+		}
+		p.wg.Add(1)
+		go p.requeueLoop(iv)
 	}
 	return p
 }
@@ -243,6 +273,13 @@ func (p *RefinePool) worker() {
 			p.retire(job.key, &p.dropped)
 			continue
 		}
+		if p.opts.Pressure != nil && p.opts.Pressure() {
+			// Memory pressure: park instead of running. The key stays
+			// pending, so dedup and wait_refined still see the repair
+			// coming; requeueLoop re-injects once pressure clears.
+			p.park(job)
+			continue
+		}
 		var release func()
 		if p.opts.Gate != nil {
 			var err error
@@ -261,6 +298,62 @@ func (p *RefinePool) worker() {
 			p.failed.Add(1)
 		}
 		p.retire(job.key, nil)
+	}
+}
+
+// park sets a job aside under memory pressure. The job remains pending and
+// outstanding; only Close or a successful requeue moves it on. If the pool
+// closed while the worker was deciding, the job is dropped instead.
+func (p *RefinePool) park(job refineJob) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.retire(job.key, &p.dropped)
+		return
+	}
+	p.parked = append(p.parked, job)
+	p.mu.Unlock()
+	p.shed.Add(1)
+}
+
+// requeueLoop re-injects parked jobs into the queue once the Pressure signal
+// clears. Sends happen under mu with the closed flag checked — the same
+// discipline as Enqueue — so they can never race Close's channel close. A
+// full queue leaves the remainder parked for the next tick.
+func (p *RefinePool) requeueLoop(iv time.Duration) {
+	defer p.wg.Done()
+	t := time.NewTicker(iv)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.ctx.Done():
+			return
+		case <-t.C:
+		}
+		if p.opts.Pressure() {
+			continue
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		moved := 0
+		for moved < len(p.parked) {
+			select {
+			case p.jobs <- p.parked[moved]:
+				moved++
+			default:
+				// Queue full: stop here, keep the rest parked.
+				goto drained
+			}
+		}
+	drained:
+		if moved > 0 {
+			p.parked = append(p.parked[:0], p.parked[moved:]...)
+			p.requeued.Add(int64(moved))
+		}
+		p.mu.Unlock()
 	}
 }
 
@@ -295,12 +388,18 @@ func (p *RefinePool) Quiesce(ctx context.Context) error {
 
 // Stats returns a snapshot of the pool's counters.
 func (p *RefinePool) Stats() RefinePoolStats {
+	p.mu.Lock()
+	parked := int64(len(p.parked))
+	p.mu.Unlock()
 	return RefinePoolStats{
 		Queued:      p.queued.Load(),
 		Done:        p.done.Load(),
 		Failed:      p.failed.Load(),
 		Dropped:     p.dropped.Load(),
 		Outstanding: p.outstanding.Load(),
+		Shed:        p.shed.Load(),
+		Requeued:    p.requeued.Load(),
+		Parked:      parked,
 	}
 }
 
@@ -316,6 +415,11 @@ func (p *RefinePool) Close() {
 	p.closed = true
 	p.cancel()
 	close(p.jobs) // under mu: no Enqueue can be mid-send (see Enqueue)
+	parked := p.parked
+	p.parked = nil
 	p.mu.Unlock()
+	for _, job := range parked {
+		p.retire(job.key, &p.dropped)
+	}
 	p.wg.Wait()
 }

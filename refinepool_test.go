@@ -204,6 +204,105 @@ func TestRefinePoolDedupOverflowAndClose(t *testing.T) {
 	pool.Close() // idempotent
 }
 
+// TestRefinePoolPressureParksAndRequeues pins the memory-pressure gate:
+// while the Pressure signal is high workers park jobs instead of running
+// them (keys stay pending, so dedup and revalidation still see the repair
+// coming), and once pressure clears the requeue loop re-injects every parked
+// job. A Close with jobs still parked drops them cleanly.
+func TestRefinePoolPressureParksAndRequeues(t *testing.T) {
+	var pressure atomic.Bool
+	pressure.Store(true)
+	var ran atomic.Int64
+	pool := NewRefinePool(nil, nil, RefinePoolOptions{
+		Workers:         1,
+		QueueDepth:      8,
+		Pressure:        pressure.Load,
+		RequeueInterval: 2 * time.Millisecond,
+	})
+	defer pool.Close()
+
+	for _, key := range []string{"a", "b"} {
+		if !pool.Enqueue(key, func(ctx context.Context) error {
+			ran.Add(1)
+			return nil
+		}) {
+			t.Fatalf("enqueue %q declined", key)
+		}
+	}
+
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s; stats %+v", what, pool.Stats())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	waitFor("both jobs parked", func() bool { return pool.Stats().Parked == 2 })
+	if got := ran.Load(); got != 0 {
+		t.Fatalf("%d jobs ran under pressure", got)
+	}
+	if st := pool.Stats(); st.Shed < 2 {
+		t.Errorf("Shed = %d after parking two jobs", st.Shed)
+	}
+	// Parked keys are still pending: the repair is coming, so dedup holds and
+	// wait_refined keeps waiting.
+	if !pool.Pending("a") || !pool.Pending("b") {
+		t.Error("parked keys no longer pending")
+	}
+	if pool.Enqueue("a", func(ctx context.Context) error { return nil }) {
+		t.Error("parked key was not deduplicated")
+	}
+
+	// Pressure clears: the requeue loop re-injects and the worker drains.
+	pressure.Store(false)
+	waitFor("parked jobs to run", func() bool { return ran.Load() == 2 })
+	quiesce(t, pool)
+	st := pool.Stats()
+	if st.Requeued < 2 || st.Parked != 0 || st.Done != 2 || st.Failed != 0 || st.Dropped != 0 {
+		t.Errorf("stats after pressure cleared: %+v", st)
+	}
+	if pool.Pending("a") || pool.Pending("b") {
+		t.Error("keys still pending after requeued jobs ran")
+	}
+
+	// Close with a job parked: it is dropped and un-pended, never run.
+	pressure.Store(true)
+	pool2 := NewRefinePool(nil, nil, RefinePoolOptions{
+		Workers:         1,
+		QueueDepth:      8,
+		Pressure:        pressure.Load,
+		RequeueInterval: 2 * time.Millisecond,
+	})
+	var ran2 atomic.Int64
+	if !pool2.Enqueue("x", func(ctx context.Context) error {
+		ran2.Add(1)
+		return nil
+	}) {
+		t.Fatal("enqueue into fresh pool declined")
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for pool2.Stats().Parked != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("job never parked; stats %+v", pool2.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	pool2.Close()
+	if ran2.Load() != 0 {
+		t.Error("parked job ran during Close")
+	}
+	if pool2.Pending("x") {
+		t.Error("parked key still pending after Close")
+	}
+	if st := pool2.Stats(); st.Dropped != 1 || st.Outstanding != 0 || st.Parked != 0 {
+		t.Errorf("stats after closing with a parked job: %+v", st)
+	}
+}
+
 // failingRefiner is a Refiner whose refinement always fails; it exercises
 // the EventRefined error path and proves a broken refinement repairs
 // nothing.

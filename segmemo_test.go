@@ -2,6 +2,7 @@ package serenity
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"reflect"
 	"sync"
@@ -391,6 +392,103 @@ func TestSegmentMemoErrorAccounting(t *testing.T) {
 	}
 	if st.Misses != 1 || st.Hits != 1 {
 		t.Errorf("misses=%d hits=%d, want 1 and 1", st.Misses, st.Hits)
+	}
+}
+
+// stubGovernor implements MemoryGovernor with a fixed grant: limit 1 is the
+// Critical floor (the DP aborts before its first expansion), limit 0 is an
+// unlimited grant. It counts Reserve/Release pairs so the test can prove the
+// pipeline never leaks a reservation — least of all on the error path.
+type stubGovernor struct {
+	limit    atomic.Int64
+	reserves atomic.Int64
+	releases atomic.Int64
+}
+
+func (g *stubGovernor) Reserve(int64) SearchReservation {
+	g.reserves.Add(1)
+	return &stubReservation{g: g}
+}
+
+type stubReservation struct{ g *stubGovernor }
+
+func (r *stubReservation) SearchLimit() int64 { return r.g.limit.Load() }
+func (r *stubReservation) Grow(int64) int64   { return 0 } // always deny
+func (r *stubReservation) Release()           { r.g.releases.Add(1) }
+
+// TestSegmentMemoGovernedRejectionAccounting pins the memo's counter
+// invariants when the governor rejects searches: a memory-pressure abort is
+// an Error (not a Hit, not a Miss), nothing is cached, every reservation is
+// released, and once pressure clears the same memo serves the same graph
+// exactly — memo hits never touching the ledger at all.
+func TestSegmentMemoGovernedRejectionAccounting(t *testing.T) {
+	g := uniformStack("memo-governed", 3, 12)
+	opts := DefaultOptions()
+	opts.StepTimeout = time.Minute
+	memo := NewSegmentMemo(256)
+	gov := &stubGovernor{}
+	gov.limit.Store(1) // Critical floor: every search aborts immediately
+
+	p := memoPipeline(t, opts, memo)
+	p.Govern = gov
+	if _, err := p.Run(context.Background(), g); !errors.Is(err, ErrMemoryPressure) {
+		t.Fatalf("exact run under the floor reservation returned %v, want ErrMemoryPressure", err)
+	}
+	st1 := memo.Stats()
+	if st1.Errors == 0 {
+		t.Fatalf("rejected searches recorded no memo errors: %+v", st1)
+	}
+	if st1.Hits != 0 || st1.Misses != 0 {
+		t.Errorf("rejected searches counted as hits/misses: %+v (an abort serves nothing and stores nothing)", st1)
+	}
+	if st1.Entries != 0 {
+		t.Errorf("rejected searches were cached: %d entries", st1.Entries)
+	}
+	if r, rel := gov.reserves.Load(), gov.releases.Load(); r == 0 || r != rel {
+		t.Errorf("reservations leaked on the error path: %d reserved, %d released", r, rel)
+	}
+
+	// Pressure clears: the same memo now fills normally, with the error
+	// counters frozen where the rejection left them.
+	gov.limit.Store(0) // unlimited grants
+	p2 := memoPipeline(t, opts, memo)
+	p2.Govern = gov
+	res, err := p2.Run(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Quality != QualityOptimal {
+		t.Fatalf("post-pressure run quality %q, want optimal", res.Quality)
+	}
+	st2 := memo.Stats()
+	if st2.Errors != st1.Errors {
+		t.Errorf("successful run grew the error counter: %d -> %d", st1.Errors, st2.Errors)
+	}
+	if st2.Misses == 0 || st2.Entries == 0 {
+		t.Errorf("successful run cached nothing: %+v", st2)
+	}
+	if nsegs := int64(len(res.SegmentQuality)); st2.Hits+st2.Misses != nsegs {
+		t.Errorf("hits %d + misses %d != %d segments searched", st2.Hits, st2.Misses, nsegs)
+	}
+	if r, rel := gov.reserves.Load(), gov.releases.Load(); r != rel {
+		t.Errorf("reservations leaked on the success path: %d reserved, %d released", r, rel)
+	}
+
+	// Warm replay: all hits, zero fresh work — and zero ledger traffic,
+	// because only a search that actually runs reserves memory.
+	reservesBefore := gov.reserves.Load()
+	p3 := memoPipeline(t, opts, memo)
+	p3.Govern = gov
+	warm, err := p3.Run(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, "governed warm replay", res, warm)
+	if warm.FreshStatesExplored != 0 {
+		t.Errorf("warm replay explored %d fresh states, want 0", warm.FreshStatesExplored)
+	}
+	if got := gov.reserves.Load(); got != reservesBefore {
+		t.Errorf("memo hits reserved memory: %d new reservations", got-reservesBefore)
 	}
 }
 

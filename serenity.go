@@ -298,6 +298,13 @@ type Result struct {
 	// StatesExplored when no memo is installed (or nothing hit); the honest
 	// measure of search work done for metering and capacity accounting.
 	FreshStatesExplored int64
+	// SearchPeakBytes is the largest byte footprint any single segment's
+	// search retained in this compilation (frontier slabs plus compacted
+	// reconstruction history; see dp.Result.PeakBytes) — the scheduler's own
+	// memory appetite, as opposed to ArenaSize, the scheduled model's. Like
+	// FreshStatesExplored it reports only work done here: memo hits and
+	// heuristic segments contribute zero.
+	SearchPeakBytes int64
 }
 
 // Schedule runs the SERENITY pipeline (Figure 4) on g. It is a thin wrapper

@@ -73,6 +73,11 @@ type SearchResult struct {
 	// search held for this segment — the memory high-water mark of the
 	// frontier. Zero for heuristic searchers, which keep no frontier.
 	MaxFrontier int
+	// PeakBytes is the high-water mark of the bytes the search itself
+	// retained (frontier slabs plus compacted history; see
+	// dp.Result.PeakBytes). It reports only work done in this process on
+	// this call: heuristic searchers and memo/store/peer hits report zero.
+	PeakBytes int64
 	// Quality reports whether Order is provably optimal for the segment.
 	Quality Quality
 	// FellBack is set when a degradable searcher abandoned its primary
@@ -80,6 +85,36 @@ type SearchResult struct {
 	// records why the primary search gave up.
 	FellBack       bool
 	FallbackReason error
+}
+
+// ErrMemoryPressure reports that a search was aborted by its byte ceiling —
+// the DP's MemLimit valve, typically parameterized by a memory governor's
+// reservation — and no fallback was available at this layer. Callers match
+// it with errors.Is; serenityd maps it to 503 + Retry-After, distinct from
+// both admission rejections (429) and hard failures (500). BestEffort never
+// surfaces it from Search: its greedy fallback absorbs the abort and records
+// it as the FallbackReason instead.
+var ErrMemoryPressure = errors.New("serenity: memory pressure")
+
+// memScoper is implemented by searchers whose primary search honors a byte
+// ceiling. The Pipeline uses it to thread a governor reservation into each
+// segment's search: limit seeds the DP's MemLimit, grow its MemGrow upgrade
+// hook. Like scopeParallelism it returns a scoped copy, so the shared
+// Searcher stays immutable across concurrent segments.
+type memScoper interface {
+	scopeMemory(limit int64, grow func(needed int64) int64) Searcher
+}
+
+// estimateReserveStates is the frontier width a governor reservation is
+// initially sized for. Deliberately modest: most segments finish far below
+// it, and a search that outgrows it upgrades through the reservation's Grow
+// hook — which is exactly where the governor applies back-pressure.
+const estimateReserveStates = 4096
+
+// estimateSearchBytes is the initial governor reservation for a segment of
+// nodes nodes: a 4096-state frontier at that segment's per-state width.
+func estimateSearchBytes(nodes int) int64 {
+	return dp.FrontierStateBytes(nodes) * estimateReserveStates
 }
 
 // parallelScoper is implemented by searchers whose single-segment search can
@@ -123,6 +158,13 @@ type ExactDP struct {
 	// automatically when it is already running segments concurrently, so
 	// the two fan-outs share one budget.
 	Parallelism int
+	// MemLimit caps the bytes the search may retain (dp.Options.MemLimit);
+	// crossing it without a MemGrow grant fails the search with an error
+	// wrapping ErrMemoryPressure. Zero means unlimited. The Pipeline sets
+	// both fields from its governor's reservation via scopeMemory.
+	MemLimit int64
+	// MemGrow is the mid-search ceiling upgrade hook (dp.Options.MemGrow).
+	MemGrow func(needed int64) int64
 }
 
 // Name implements Searcher.
@@ -132,7 +174,10 @@ func (e ExactDP) Name() string { return "exact" }
 // can each change the resulting order (never the peak, which is provably
 // minimal either way), so all three discriminate the memo key. Parallelism
 // is deliberately excluded: sharded expansion is bit-identical on the
-// solution path, and only solutions are memoized.
+// solution path, and only solutions are memoized. MemLimit/MemGrow are
+// excluded for the same reason: a search the byte valve aborts produces no
+// result to store, and one that completes is the same optimal answer it
+// would have found unlimited.
 //
 // MemoKeys outlive the process: they are half of the on-disk ScheduleStore's
 // content address (the other half, Segment.Fingerprint, is golden-pinned in
@@ -149,6 +194,12 @@ func (e ExactDP) scopeParallelism(perSegment int) Searcher {
 	return e
 }
 
+// scopeMemory implements memScoper.
+func (e ExactDP) scopeMemory(limit int64, grow func(needed int64) int64) Searcher {
+	e.MemLimit, e.MemGrow = limit, grow
+	return e
+}
+
 // Search implements Searcher.
 func (e ExactDP) Search(ctx context.Context, m *MemModel) (SearchResult, error) {
 	if e.AdaptiveBudget {
@@ -156,23 +207,31 @@ func (e ExactDP) Search(ctx context.Context, m *MemModel) (SearchResult, error) 
 			StepTimeout: e.StepTimeout,
 			MaxStates:   e.MaxStates,
 			Parallelism: e.Parallelism,
+			MemLimit:    e.MemLimit,
+			MemGrow:     e.MemGrow,
 		})
 		if err != nil {
 			return SearchResult{}, err
 		}
+		if ar.Flag == dp.FlagMemPressure {
+			return SearchResult{}, fmt.Errorf("%w: adaptive scheduling aborted at its byte ceiling", ErrMemoryPressure)
+		}
 		if ar.Flag != dp.FlagSolution {
 			return SearchResult{}, fmt.Errorf("serenity: adaptive scheduling ended with %v", ar.Flag)
 		}
-		return SearchResult{Order: ar.Order, StatesExplored: ar.StatesExplored, MaxFrontier: ar.MaxFrontier, Quality: QualityOptimal}, nil
+		return SearchResult{Order: ar.Order, StatesExplored: ar.StatesExplored, MaxFrontier: ar.MaxFrontier, PeakBytes: ar.PeakBytes, Quality: QualityOptimal}, nil
 	}
-	r := dp.ScheduleCtx(ctx, m, dp.Options{MaxStates: e.MaxStates, Parallelism: e.Parallelism})
+	r := dp.ScheduleCtx(ctx, m, dp.Options{MaxStates: e.MaxStates, Parallelism: e.Parallelism, MemLimit: e.MemLimit, MemGrow: e.MemGrow})
 	if r.Flag == dp.FlagCanceled {
 		return SearchResult{}, ctx.Err()
+	}
+	if r.Flag == dp.FlagMemPressure {
+		return SearchResult{}, fmt.Errorf("%w: dynamic programming aborted at its byte ceiling", ErrMemoryPressure)
 	}
 	if r.Flag != dp.FlagSolution {
 		return SearchResult{}, fmt.Errorf("serenity: dynamic programming ended with %v", r.Flag)
 	}
-	return SearchResult{Order: r.Order, StatesExplored: r.StatesExplored, MaxFrontier: r.MaxFrontier, Quality: QualityOptimal}, nil
+	return SearchResult{Order: r.Order, StatesExplored: r.StatesExplored, MaxFrontier: r.MaxFrontier, PeakBytes: r.PeakBytes, Quality: QualityOptimal}, nil
 }
 
 // GreedyMemory is the one-step-lookahead greedy heuristic as a first-class
@@ -249,6 +308,16 @@ func (b BestEffort) scopeParallelism(perSegment int) Searcher {
 	return b
 }
 
+// scopeMemory implements memScoper. A governed BestEffort converts the byte
+// ceiling into degradation, not failure: when the adaptive search aborts
+// under memory pressure the greedy fallback (whose O(n) working set needs no
+// reservation) still answers, with FallbackReason wrapping
+// ErrMemoryPressure so serve-then-refine can repair the segment later.
+func (b BestEffort) scopeMemory(limit int64, grow func(needed int64) int64) Searcher {
+	b.Exact.MemLimit, b.Exact.MemGrow = limit, grow
+	return b
+}
+
 // RefineSearcher implements Refiner: a fallen-back BestEffort segment is
 // repaired by the same configuration with the deadline pressure removed —
 // SkipExact cleared, run under a background context — which produces the
@@ -281,12 +350,19 @@ func (b BestEffort) Search(ctx context.Context, m *MemModel) (SearchResult, erro
 		MaxStates:     b.Exact.MaxStates,
 		DisableGrowth: true,
 		Parallelism:   b.Exact.Parallelism,
+		MemLimit:      b.Exact.MemLimit,
+		MemGrow:       b.Exact.MemGrow,
 	})
 	var reason error
-	var dpStates int64
+	var dpStates, dpPeakBytes int64
 	switch {
 	case err == nil && ar.Flag == dp.FlagSolution:
-		return SearchResult{Order: ar.Order, StatesExplored: ar.StatesExplored, MaxFrontier: ar.MaxFrontier, Quality: QualityOptimal}, nil
+		return SearchResult{Order: ar.Order, StatesExplored: ar.StatesExplored, MaxFrontier: ar.MaxFrontier, PeakBytes: ar.PeakBytes, Quality: QualityOptimal}, nil
+	case err == nil && ar.Flag == dp.FlagMemPressure:
+		// The byte ceiling, not the clock, stopped the search: degrade like
+		// a deadline, but tag the reason so governors and metrics can tell
+		// pressure-forced heuristics from deadline-forced ones.
+		reason = fmt.Errorf("%w: adaptive scheduling aborted at its byte ceiling", ErrMemoryPressure)
 	case err == nil:
 		// The meta-search surrendered (every probe timed out or the budget
 		// interval collapsed); the probes' work still counts.
@@ -301,6 +377,9 @@ func (b BestEffort) Search(ctx context.Context, m *MemModel) (SearchResult, erro
 		// Both abandoned-DP paths report the work burned before giving up.
 		for _, p := range ar.Probes {
 			dpStates += p.States
+			if p.PeakBytes > dpPeakBytes {
+				dpPeakBytes = p.PeakBytes
+			}
 		}
 	}
 
@@ -315,6 +394,7 @@ func (b BestEffort) Search(ctx context.Context, m *MemModel) (SearchResult, erro
 	return SearchResult{
 		Order:          gr.Order,
 		StatesExplored: dpStates + gr.StatesExplored,
+		PeakBytes:      dpPeakBytes,
 		Quality:        QualityHeuristic,
 		FellBack:       true,
 		FallbackReason: reason,
