@@ -14,6 +14,7 @@ import (
 
 	serenity "github.com/serenity-ml/serenity"
 	"github.com/serenity-ml/serenity/internal/govern"
+	"github.com/serenity-ml/serenity/internal/trace"
 )
 
 // maxBatchItems bounds one /v1/schedule/batch request. Large model zoos
@@ -58,7 +59,7 @@ type batchResponse struct {
 // segment memo as the single endpoint, so a batch of cell-sharing models
 // amortizes their common DP work within the batch itself.
 func (s *server) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
+	reqID := s.requests.Add(1)
 	s.batches.Add(1)
 	if r.Method != http.MethodPost {
 		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
@@ -94,6 +95,16 @@ func (s *server) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.batchItem.Add(int64(len(req.Items)))
 
+	// Batches trace ambiently only (-trace-sample; the inline ?debug=trace
+	// tree is a single-endpoint feature). Items inherit the batch root via
+	// ctx, so every item's stage/segment spans share one trace.
+	var root *trace.SpanHandle
+	if prm.debugTrace || s.tracer.Sample() {
+		root = s.tracer.StartTrace("schedule.batch",
+			trace.Int("items", int64(len(req.Items))),
+			trace.Int("request_id", reqID))
+	}
+
 	// High memory pressure sheds batch work before it even queues for compile
 	// slots: batch traffic is throughput work nobody is interactively waiting
 	// on, so it is the first admission the governor's ladder refuses. 429 (not
@@ -102,8 +113,9 @@ func (s *server) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
 	if lvl := s.gov.Level(); lvl >= govern.LevelHigh {
 		s.gov.NoteShed()
 		w.Header().Set("Retry-After", strconv.Itoa(int(memPressureRetryAfter/time.Second)))
-		s.fail(w, http.StatusTooManyRequests,
-			fmt.Errorf("server under memory pressure (%s): batch admissions are shed, retry in %s", lvl, memPressureRetryAfter))
+		err := fmt.Errorf("server under memory pressure (%s): batch admissions are shed, retry in %s", lvl, memPressureRetryAfter)
+		s.tracer.Finish(root, trace.Outcome{Status: http.StatusTooManyRequests, Err: err, Force: prm.debugTrace})
+		s.fail(w, http.StatusTooManyRequests, err)
 		return
 	}
 
@@ -112,13 +124,24 @@ func (s *server) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
 	itemOpts := opts
 	itemOpts.Parallelism = perItem
 
+	ctx := r.Context()
+	if root != nil {
+		ctx = trace.ContextWith(ctx, root)
+	}
 	// The whole batch admits once, weighted by its worker count, in the batch
 	// class: one slot per concurrently compiling item. Batch items then run
 	// pre-admitted so they are not throttled (or rejected) a second time
 	// inside schedule().
 	if s.admit != nil {
-		release, err := s.admit.acquire(r.Context(), classBatch, workers)
+		var admSp *trace.SpanHandle
+		if root != nil {
+			admSp = root.Child("admission.wait",
+				trace.Str("class", classBatch.String()), trace.Int("weight", int64(workers)))
+		}
+		release, err := s.admit.acquire(ctx, classBatch, workers)
+		admSp.EndErr(err)
 		if err != nil {
+			s.tracer.Finish(root, trace.Outcome{Status: http.StatusTooManyRequests, Err: err, Force: prm.debugTrace})
 			s.fail(w, http.StatusTooManyRequests, err)
 			return
 		}
@@ -131,7 +154,7 @@ func (s *server) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
 		go func() {
 			defer wg.Done()
 			for idx := range jobs {
-				results[idx] = s.runBatchItem(r.Context(), idx, req.Items[idx], itemOpts, deadline)
+				results[idx] = s.runBatchItem(ctx, idx, req.Items[idx], itemOpts, deadline)
 			}
 		}()
 	}
@@ -145,6 +168,7 @@ func (s *server) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
 		// The client is gone; the batch's work is moot (it still warmed the
 		// cache and memo for everyone else).
 		s.canceled.Add(1)
+		s.tracer.Finish(root, trace.Outcome{Err: r.Context().Err(), Force: prm.debugTrace})
 		return
 	}
 	resp := batchResponse{Items: results}
@@ -156,6 +180,10 @@ func (s *server) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
 			s.errored.Add(1)
 		}
 	}
+	if root != nil {
+		root.Annotate(trace.Int("scheduled", int64(resp.Scheduled)), trace.Int("failed", int64(resp.Failed)))
+	}
+	s.tracer.Finish(root, trace.Outcome{Status: http.StatusOK, Degraded: resp.Failed > 0, Force: prm.debugTrace})
 	writeJSON(w, http.StatusOK, resp)
 }
 

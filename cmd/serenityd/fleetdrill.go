@@ -86,6 +86,9 @@ func newDrillFleet(opts serenity.Options, n int) ([]*drillNode, error) {
 			Health:     s.health,
 		})
 		s.peerSrv = fleet.NewServer(store, ring, peerGate(8))
+		// Traced compiles on one node stitch their peer-serve child spans on
+		// the owner — the drill fleet mirrors production wiring.
+		s.peerSrv.SetTracer(s.tracer)
 		// No background loop: the drill drives anti-entropy deterministically
 		// through SyncOnce.
 		s.syncer = fleet.NewSyncer(store, ring, fleet.SyncerOptions{

@@ -133,8 +133,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -146,6 +147,7 @@ import (
 	serenity "github.com/serenity-ml/serenity"
 	"github.com/serenity-ml/serenity/internal/fleet"
 	"github.com/serenity-ml/serenity/internal/govern"
+	"github.com/serenity-ml/serenity/internal/trace"
 )
 
 func main() {
@@ -183,6 +185,11 @@ func main() {
 	peerReviveAfter := flag.Int("peer-revive-after", 1, "consecutive probe successes before a suspect or dead peer is alive again")
 	peerJoinSync := flag.Bool("peer-join-sync", true, "pre-stream the fleet corpus (anti-entropy until convergence) before reporting ready, so a joining node serves its owned keys without re-running DPs")
 	peerJoinTimeout := flag.Duration("peer-join-timeout", 30*time.Second, "bound on the join pre-stream; on expiry the node goes ready with whatever converged (anti-entropy finishes the rest in the background)")
+	logFormat := flag.String("log-format", "text", "structured log encoding: text or json (log/slog; request lines carry request_id and trace_id)")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug|info|warn|error (per-request success lines log at debug)")
+	debugAddr := flag.String("debug-addr", "", "separate listener for net/http/pprof plus the /debug/traces surface; never mounted on the public port (empty disables pprof entirely)")
+	traceSample := flag.Int("trace-sample", 0, "ambiently trace one in N schedule requests into the /debug/traces ring (0 = only ?debug=trace requests)")
+	traceRing := flag.Int("trace-ring", 256, "retained traces in the /debug/traces ring (tail-sampled: degraded, erred, and slowest requests are always kept)")
 	loadgen := flag.Bool("loadgen", false, "run the load generator against an in-process server instead of serving")
 	loadN := flag.Int("loadgen-n", 200, "loadgen: total requests")
 	loadC := flag.Int("loadgen-c", 16, "loadgen: concurrent clients")
@@ -206,7 +213,30 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Structured logging first: every later boot line goes through it.
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintln(os.Stderr, "serenityd: -log-level:", err)
+		os.Exit(2)
+	}
+	var lh slog.Handler
+	switch *logFormat {
+	case "text":
+		lh = slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})
+	case "json":
+		lh = slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})
+	default:
+		fmt.Fprintln(os.Stderr, `serenityd: -log-format must be "text" or "json"`)
+		os.Exit(2)
+	}
+	logger := slog.New(lh)
+	slog.SetDefault(logger)
+
 	s := newServer(opts, *cacheSize)
+	s.logger = logger
+	// The tracer exists regardless of sampling: ?debug=trace requests are
+	// always traced, and the fleet/refinement layers feed fragments into it.
+	s.tracer = trace.New(trace.Options{RingSize: *traceRing, SampleEvery: *traceSample})
 	if *segMemoSize > 0 {
 		s.segMemo = serenity.NewSegmentMemo(*segMemoSize)
 	}
@@ -249,8 +279,8 @@ func main() {
 		}
 		s.store = store
 		st := store.Stats()
-		log.Printf("serenityd warm-start: %d segment artifacts (%d bytes) from %s (%d corrupt records skipped)",
-			st.Entries, st.LiveBytes, *storeDir, st.CorruptRecords)
+		logger.Info("warm-start from schedule store",
+			"artifacts", st.Entries, "bytes", st.LiveBytes, "dir", *storeDir, "corrupt_skipped", st.CorruptRecords)
 	}
 
 	if *peerAddr != "" {
@@ -273,7 +303,7 @@ func main() {
 				ReviveAfter:  *peerReviveAfter,
 				ProbePath:    "/readyz",
 				OnTransition: func(peer string, from, to fleet.State) {
-					log.Printf("serenityd fleet: peer %s %s -> %s", peer, from, to)
+					logger.Info("fleet peer transition", "peer", peer, "from", from.String(), "to", to.String())
 				},
 			})
 		}
@@ -287,6 +317,10 @@ func main() {
 			gate = peerGate(*peerSlots)
 		}
 		s.peerSrv = fleet.NewServer(s.store, ring, gate)
+		// Peer requests carrying a traceparent header record their serve
+		// spans under the caller's trace ID, so one trace stitches across
+		// the fleet.
+		s.peerSrv.SetTracer(s.tracer)
 		if *peerSyncInterval > 0 {
 			// The loop starts even on a currently peerless node: admin join can
 			// add members later, and the loop idles until one exists.
@@ -294,14 +328,15 @@ func main() {
 				Interval: *peerSyncInterval,
 				Batch:    *peerSyncBatch,
 				Health:   s.health,
+				Tracer:   s.tracer,
 			})
 			s.syncer.Start()
 		}
 		if s.health != nil {
 			s.health.Start()
 		}
-		log.Printf("serenityd fleet: %d members, self %s owns ~%.1f%% of the keyspace",
-			len(ring.Members()), ring.Self(), 100*ring.OwnedShare(4096))
+		logger.Info("fleet assembled",
+			"members", len(ring.Members()), "self", ring.Self(), "owned_share", ring.OwnedShare(4096))
 	}
 
 	// The memory governor converts heap pressure into tiered degradation
@@ -332,7 +367,7 @@ func main() {
 	s.gov = govern.New(govOpts)
 	if s.gov.Enabled() {
 		s.gov.Start()
-		log.Printf("serenityd memory governor: defending %d bytes (watermarks at 70/85/95%%)", s.gov.Stats().Limit)
+		logger.Info("memory governor started", "limit_bytes", s.gov.Stats().Limit, "watermarks", "70/85/95%")
 	}
 
 	if *refineWorkers > 0 {
@@ -340,6 +375,9 @@ func main() {
 			Workers:     *refineWorkers,
 			QueueDepth:  *refineQueue,
 			Parallelism: 1, // background repairs crawl one segment at a time
+			// Refinement lifecycle spans (queued/parked/run) link back to the
+			// originating request's trace.
+			Tracer: s.tracer,
 		}
 		if s.gov.Enabled() {
 			// Refinement is the first work the pressure ladder sheds: parked
@@ -400,7 +438,32 @@ func main() {
 		}
 		return
 	}
-	log.Printf("serenityd listening on %s (cache=%d, parallelism=%d)", *addr, *cacheSize, *parallelism)
+	// The pprof surface binds to its own listener ONLY: profiling endpoints
+	// never share the public port, so an internet-facing deployment cannot
+	// leak heap contents by mux accident. The trace inspection endpoints are
+	// mounted here too, for operators who firewall the public /debug/traces.
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		dmux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		s.registerDebug(dmux)
+		dsrv := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           dmux,
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			if err := dsrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "addr", *debugAddr, "error", err.Error())
+			}
+		}()
+		logger.Info("debug listener up", "addr", *debugAddr)
+	}
+
+	logger.Info("listening", "addr", *addr, "cache", *cacheSize, "parallelism", *parallelism)
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: s.handler(),
@@ -432,9 +495,10 @@ func main() {
 		pulled, err := s.syncer.Converge(joinCtx)
 		cancelJoin()
 		if err != nil {
-			log.Printf("serenityd fleet: join pre-stream incomplete after %d records: %v (anti-entropy continues in the background)", pulled, err)
+			logger.Warn("join pre-stream incomplete; anti-entropy continues in the background",
+				"records", pulled, "error", err.Error())
 		} else if pulled > 0 {
-			log.Printf("serenityd fleet: join pre-stream imported %d records; serving warm", pulled)
+			logger.Info("join pre-stream complete; serving warm", "records", pulled)
 		}
 	}
 	s.ready.Store(true)
@@ -448,15 +512,15 @@ func main() {
 		os.Exit(1)
 	case <-ctx.Done():
 		stop()
-		log.Printf("serenityd shutting down: draining for up to %s", *drainTimeout)
+		logger.Info("shutting down", "drain_timeout", drainTimeout.String())
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		err := srv.Shutdown(shutdownCtx)
 		cancel()
 		if err != nil {
-			log.Printf("serenityd: drain incomplete: %v", err)
+			logger.Warn("drain incomplete", "error", err.Error())
 		}
 		if serr := <-serveErr; serr != nil && !errors.Is(serr, http.ErrServerClosed) {
-			log.Printf("serenityd: %v", serr)
+			logger.Warn("serve error", "error", serr.Error())
 		}
 		// Shutdown order matters: the syncer and replication client write to
 		// the store, the refinement pool writes to the memo, store, and cache,
@@ -466,7 +530,7 @@ func main() {
 		closeRefine(s)
 		closeGovern(s)
 		closeStore(s)
-		log.Printf("serenityd stopped")
+		logger.Info("stopped")
 	}
 }
 
@@ -489,20 +553,21 @@ func closeFleet(s *server) {
 	if s.health != nil {
 		s.health.Stop()
 		hs := s.health.Stats()
-		log.Printf("serenityd: health prober stopped: %d probes, %d failures, %d transitions",
-			hs.Probes, hs.Failures, hs.Transitions)
+		s.logger.Info("health prober stopped",
+			"probes", hs.Probes, "failures", hs.Failures, "transitions", hs.Transitions)
 	}
 	if s.syncer != nil {
 		s.syncer.Stop()
 		ys := s.syncer.Stats()
-		log.Printf("serenityd: anti-entropy stopped: %d rounds, %d records pulled, %d errors",
-			ys.Rounds, ys.Pulled, ys.Errors)
+		s.logger.Info("anti-entropy stopped",
+			"rounds", ys.Rounds, "pulled", ys.Pulled, "errors", ys.Errors)
 	}
 	if s.peers != nil {
 		s.peers.Close()
 		cs := s.peers.Stats()
-		log.Printf("serenityd: fleet client stopped: %d peer hits, %d misses (%d timeouts), %d replicated, %d replication drops",
-			cs.Hits, cs.Misses, cs.Timeouts, cs.Replicated, cs.ReplicationDropped)
+		s.logger.Info("fleet client stopped",
+			"hits", cs.Hits, "misses", cs.Misses, "timeouts", cs.Timeouts,
+			"replicated", cs.Replicated, "replication_drops", cs.ReplicationDropped)
 	}
 }
 
@@ -515,8 +580,8 @@ func closeRefine(s *server) {
 	}
 	s.refine.Close()
 	st := s.refine.Stats()
-	log.Printf("serenityd: refinement pool stopped: %d queued, %d done, %d failed, %d dropped",
-		st.Queued, st.Done, st.Failed, st.Dropped)
+	s.logger.Info("refinement pool stopped",
+		"queued", st.Queued, "done", st.Done, "failed", st.Failed, "dropped", st.Dropped)
 }
 
 // closeGovern stops the memory governor's sampling watchdog and logs the
@@ -529,8 +594,9 @@ func closeGovern(s *server) {
 	}
 	s.gov.Stop()
 	gs := s.gov.Stats()
-	log.Printf("serenityd: memory governor stopped: level %s, %d sheds, %d degraded, %d grows granted, %d denied",
-		gs.Level, gs.Sheds, gs.Degraded, gs.Grows, gs.GrowDenied)
+	s.logger.Info("memory governor stopped",
+		"level", gs.Level.String(), "sheds", gs.Sheds, "degraded", gs.Degraded,
+		"grows", gs.Grows, "grow_denied", gs.GrowDenied)
 }
 
 // closeStore flushes and closes the persistent schedule store, logging the
@@ -540,12 +606,12 @@ func closeStore(s *server) {
 		return
 	}
 	if err := s.store.Close(); err != nil {
-		log.Printf("serenityd: closing schedule store: %v", err)
+		s.logger.Warn("closing schedule store failed", "error", err.Error())
 		return
 	}
 	st := s.store.Stats()
-	log.Printf("serenityd: schedule store flushed: %d artifacts, %d live bytes, %d writes this run",
-		st.Entries, st.LiveBytes, st.Writes)
+	s.logger.Info("schedule store flushed",
+		"artifacts", st.Entries, "live_bytes", st.LiveBytes, "writes", st.Writes)
 }
 
 // parseBytes accepts "262144", "250KiB"/"250KB", or "4MiB"/"4MB".

@@ -142,7 +142,7 @@ func TestWaitRefinedAndPending304(t *testing.T) {
 
 	// Plug the single refinement worker so queued repairs stay pending.
 	unblock := make(chan struct{})
-	if !s.refine.Enqueue("test-blocker", func(ctx context.Context) error {
+	if !s.refine.Enqueue(context.Background(), "test-blocker", func(ctx context.Context) error {
 		select {
 		case <-unblock:
 			return nil

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -17,6 +18,7 @@ import (
 	"github.com/serenity-ml/serenity/internal/cache"
 	"github.com/serenity-ml/serenity/internal/fleet"
 	"github.com/serenity-ml/serenity/internal/govern"
+	"github.com/serenity-ml/serenity/internal/trace"
 )
 
 // maxRequestBytes bounds a /v1/schedule request body; the largest bundled
@@ -86,6 +88,27 @@ type scheduleResponse struct {
 	// Order indexes ITS nodes, not the submitted graph's, so clients need it
 	// to interpret or execute the schedule.
 	RewrittenGraph *serenity.Graph `json:"rewritten_graph,omitempty"`
+	// Trace is the inline span tree a ?debug=trace request asked for. It is
+	// only ever set on a per-response copy — cached entries are shared and
+	// stay trace-free.
+	Trace *traceView `json:"trace,omitempty"`
+}
+
+// traceView is the ?debug=trace rendering of one request's span tree,
+// attached inline to the schedule response. The same trace stays
+// retrievable later via GET /debug/traces/{trace_id}.
+type traceView struct {
+	TraceID    string        `json:"trace_id"`
+	DurationUS int64         `json:"duration_us"`
+	Spans      []*trace.Node `json:"spans"`
+}
+
+// stageExemplar links one pipeline stage's most recent traced duration to
+// the trace that exhibited it, so a dashboard reading the stage latency
+// series can jump straight to a concrete span tree.
+type stageExemplar struct {
+	traceID string
+	seconds float64
 }
 
 type errorResponse struct {
@@ -158,6 +181,20 @@ type server struct {
 	// /healthz stays a pure liveness probe.
 	ready atomic.Bool
 
+	// tracer owns the request trace lifecycle: root spans for sampled and
+	// ?debug=trace requests, the tail-sampled retained-trace ring behind
+	// GET /debug/traces, the fragment store collecting fleet child spans and
+	// refinement lifecycle spans by trace ID, and the degraded-request
+	// flight recorder. Always non-nil (newServer installs a default; main
+	// resizes it from -trace-ring/-trace-sample).
+	tracer *trace.Tracer
+	// logger is the structured request log (-log-format); request-scoped
+	// lines carry request_id and, when the request was traced, trace_id.
+	logger *slog.Logger
+	// exemplars holds, per pipeline stage, the latest traced compilation's
+	// stage time and trace ID — the serenityd_stage_exemplar_seconds series.
+	exemplars [4]atomic.Pointer[stageExemplar]
+
 	// flights coalesces concurrent compilations of the same key into one
 	// (singleflight); followers of a canceled leader retry on their own.
 	flights cache.Group[*scheduleResponse]
@@ -201,6 +238,8 @@ func newServer(opts serenity.Options, cacheSize int) *server {
 	return &server{
 		opts:    opts,
 		cache:   cache.New[*scheduleResponse](cacheSize),
+		tracer:  trace.New(trace.Options{}),
+		logger:  slog.Default(),
 		started: time.Now(),
 	}
 }
@@ -213,6 +252,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	s.registerDebug(mux)
 	if s.peerSrv != nil {
 		s.peerSrv.Register(mux)
 		mux.HandleFunc("GET /admin/fleet", s.handleFleetGet)
@@ -327,7 +367,7 @@ func (s *server) handleFleetLeave(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
+	reqID := s.requests.Add(1)
 	if r.Method != http.MethodPost {
 		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
 		return
@@ -374,7 +414,21 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Root span: ?debug=trace requests are always traced (the client was
+	// promised the tree); otherwise the ambient sampler picks one in
+	// -trace-sample requests.
+	var root *trace.SpanHandle
+	if prm.debugTrace || s.tracer.Sample() {
+		root = s.tracer.StartTrace("schedule",
+			trace.Str("graph", g.Name),
+			trace.Int("nodes", int64(g.NumNodes())),
+			trace.Int("request_id", reqID))
+	}
+
 	ctx := r.Context()
+	if root != nil {
+		ctx = trace.ContextWith(ctx, root)
+	}
 	if s.computeTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.computeTimeout)
@@ -393,9 +447,12 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 			// The client is gone; nothing useful to write, and it is not a
 			// served error — it gets its own counter.
 			s.canceled.Add(1)
+			s.tracer.Finish(root, trace.Outcome{Err: err, Force: prm.debugTrace})
 			return
 		}
 		code, werr := s.scheduleErrorStatus(err, opts.Strategy, deadline)
+		s.tracer.Finish(root, trace.Outcome{Status: code, Err: werr, Force: prm.debugTrace})
+		s.logSchedule(reqID, root, code, cached, werr)
 		s.fail(w, code, werr)
 		return
 	}
@@ -404,8 +461,99 @@ func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 			resp, cached = refined, true
 		}
 	}
+	if root != nil {
+		root.Annotate(trace.Bool("cached", cached), trace.Int("fallbacks", int64(resp.Fallbacks)))
+	}
+	td := s.tracer.Finish(root, trace.Outcome{
+		Status:   http.StatusOK,
+		Degraded: resp.Fallbacks > 0,
+		Force:    prm.debugTrace,
+	})
+	if root != nil && !cached {
+		s.noteExemplars(root.TraceID().String(), resp.StageMS)
+	}
+	s.logSchedule(reqID, root, http.StatusOK, cached, nil)
+	out := respForClient(resp, cached, g.Name)
+	if prm.debugTrace && td != nil {
+		// Cached entries are shared across responses: the trace rides on a
+		// per-response copy, never on the stored entry.
+		c := *out
+		c.Trace = &traceView{
+			TraceID:    td.ID.String(),
+			DurationUS: td.Duration.Microseconds(),
+			Spans:      trace.Tree(td.Start, td.Spans),
+		}
+		out = &c
+	}
 	w.Header().Set("ETag", etagFor(resp))
-	writeJSON(w, http.StatusOK, respForClient(resp, cached, g.Name))
+	writeJSON(w, http.StatusOK, out)
+}
+
+// logSchedule emits the structured per-request log line. Successes log at
+// Debug (request volume belongs in /metrics, not the log); errors at Warn.
+// Every line carries request_id; traced requests add trace_id, which is the
+// key into GET /debug/traces/{id}.
+func (s *server) logSchedule(reqID int64, root *trace.SpanHandle, status int, cached bool, err error) {
+	args := []any{"request_id", reqID, "status", status}
+	if root != nil {
+		args = append(args, "trace_id", root.TraceID().String())
+	}
+	if err != nil {
+		args = append(args, "error", err.Error())
+		s.logger.Warn("schedule request failed", args...)
+		return
+	}
+	args = append(args, "cached", cached)
+	s.logger.Debug("schedule request", args...)
+}
+
+// noteExemplars records the freshly compiled stages' times under this
+// trace's ID for the /metrics exemplar series.
+func (s *server) noteExemplars(traceID string, st stageMS) {
+	secs := [4]float64{st.Rewrite / 1000, st.Partition / 1000, st.Search / 1000, st.Alloc / 1000}
+	for i, sec := range secs {
+		s.exemplars[i].Store(&stageExemplar{traceID: traceID, seconds: sec})
+	}
+}
+
+// registerDebug mounts the trace inspection surface: the retained-trace
+// ring, single-trace span trees, and the flight recorder's incident
+// reports. These mount on both the public mux and the -debug-addr mux;
+// pprof mounts on the -debug-addr mux ONLY (see main).
+func (s *server) registerDebug(mux *http.ServeMux) {
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceGet)
+	mux.HandleFunc("GET /debug/incidents", s.handleIncidents)
+}
+
+func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"traces": s.tracer.Traces()})
+}
+
+func (s *server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	td := s.tracer.Get(id)
+	if td == nil {
+		// Deliberately not s.fail: a miss on a debug endpoint is not a served
+		// request error.
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("no retained trace %q", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"trace_id":      td.ID.String(),
+		"root":          td.Root,
+		"start":         td.Start,
+		"duration_us":   td.Duration.Microseconds(),
+		"status":        td.Status,
+		"degraded":      td.Degraded,
+		"error":         td.Err,
+		"dropped_spans": td.Dropped,
+		"spans":         trace.Tree(td.Start, td.Spans),
+	})
+}
+
+func (s *server) handleIncidents(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"incidents": s.tracer.Incidents()})
 }
 
 // respRefineKey names the response-level refinement job for a schedule key;
@@ -542,7 +690,15 @@ func (s *server) schedule(ctx context.Context, g *serenity.Graph, opts serenity.
 	}
 	resp, shared, err := s.flights.Do(ctx, key, func() (*scheduleResponse, error) {
 		if s.admit != nil && class != classPreAdmitted {
+			// The admission wait is often the dominant latency under load;
+			// traced requests get it as its own span so queueing time is
+			// never misread as compute time.
+			var admSp *trace.SpanHandle
+			if sp := trace.FromContext(ctx); sp != nil {
+				admSp = sp.Child("admission.wait", trace.Str("class", class.String()))
+			}
 			release, err := s.admit.acquire(ctx, class, 1)
+			admSp.EndErr(err)
 			if err != nil {
 				return nil, err
 			}
@@ -559,7 +715,7 @@ func (s *server) schedule(ctx context.Context, g *serenity.Graph, opts serenity.
 			// server could produce.
 			s.cache.Put(key, r)
 		} else {
-			s.enqueueRespRefine(key, g, opts, fingerprint, r)
+			s.enqueueRespRefine(ctx, key, g, opts, fingerprint, r)
 		}
 		return r, nil
 	})
@@ -581,12 +737,12 @@ func (s *server) schedule(ctx context.Context, g *serenity.Graph, opts serenity.
 // its Gate, and FIFO order means the compilation's per-segment refinements —
 // queued earlier by the pipeline — have already warmed the segment memo by
 // the time this recompute runs.
-func (s *server) enqueueRespRefine(key string, g *serenity.Graph, opts serenity.Options, fingerprint string, degraded *scheduleResponse) {
+func (s *server) enqueueRespRefine(ctx context.Context, key string, g *serenity.Graph, opts serenity.Options, fingerprint string, degraded *scheduleResponse) {
 	if s.refine == nil {
 		return
 	}
 	version := degraded.ScheduleVersion + 1
-	s.refine.Enqueue(respRefineKey(key), func(ctx context.Context) error {
+	s.refine.Enqueue(ctx, respRefineKey(key), func(ctx context.Context) error {
 		r, err := s.compute(ctx, g, opts, fingerprint, false)
 		if err != nil {
 			return err
@@ -645,6 +801,10 @@ func (s *server) compute(ctx context.Context, g *serenity.Graph, opts serenity.O
 			}
 		case serenity.EventFallback:
 			s.fallbacks.Add(1)
+			// Flight recorder: a degradation snapshots the recent span
+			// history across all requests, plus this request's spans so far
+			// when it was traced.
+			s.tracer.Incident("fallback", trace.FromContext(ctx))
 		}
 	})
 	res, err := p.Run(ctx, g)
@@ -722,6 +882,9 @@ type reqParams struct {
 	// waitRefined (?wait_refined=ms) bounds how long the handler may hold a
 	// degraded response back waiting for its background refinement.
 	waitRefined time.Duration
+	// debugTrace (?debug=trace) traces this request unconditionally and
+	// returns the span tree inline in the response.
+	debugTrace bool
 }
 
 // requestOptions derives the effective scheduling options for one request —
@@ -794,6 +957,12 @@ func (s *server) requestOptions(r *http.Request) (reqParams, error) {
 			return reqParams{}, fmt.Errorf("bad wait_refined %q (want milliseconds)", v)
 		}
 		params.waitRefined = time.Duration(ms) * time.Millisecond
+	}
+	if v := q.Get("debug"); v != "" {
+		if v != "trace" {
+			return reqParams{}, fmt.Errorf("bad debug %q (the only value is \"trace\")", v)
+		}
+		params.debugTrace = true
 	}
 	return params, nil
 }
@@ -901,6 +1070,20 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for i, st := range pipelineStages {
 		fmt.Fprintf(w, "serenityd_stage_seconds_total{stage=%q} %.6f\n", st, float64(s.stageNS[i].Load())/1e9)
 	}
+	// Exemplars: the latest traced compilation's per-stage time, labeled
+	// with its trace ID so a dashboard can jump from the latency series to
+	// GET /debug/traces/{trace_id}. A separate valid 0.0.4 series (the
+	// `# {...}` exemplar suffix is OpenMetrics-only).
+	fmt.Fprintf(w, "# HELP serenityd_stage_exemplar_seconds Per-stage time of the most recent traced compilation; trace_id keys into /debug/traces.\n")
+	fmt.Fprintf(w, "# TYPE serenityd_stage_exemplar_seconds gauge\n")
+	for i, st := range pipelineStages {
+		if ex := s.exemplars[i].Load(); ex != nil {
+			fmt.Fprintf(w, "serenityd_stage_exemplar_seconds{stage=%q,trace_id=%q} %.6f\n", st, ex.traceID, ex.seconds)
+		}
+	}
+	fmt.Fprintf(w, "# HELP serenityd_traces_retained Traces currently retained in the /debug/traces ring (fleet fragments included).\n")
+	fmt.Fprintf(w, "# TYPE serenityd_traces_retained gauge\n")
+	fmt.Fprintf(w, "serenityd_traces_retained %d\n", len(s.tracer.Traces()))
 	// DP core throughput: fresh states over cumulative search-stage time.
 	// Cache hits skip the pipeline entirely; segment-memo hits add zero
 	// states and only microseconds of lookup time to the denominator, so
@@ -1129,6 +1312,12 @@ func (s *server) fail(w http.ResponseWriter, code int, err error) {
 		// condition, not the client's rate.
 		code = http.StatusServiceUnavailable
 		w.Header().Set("Retry-After", strconv.Itoa(int(mem.retryAfter/time.Second)))
+	}
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+		// Flight recorder: every shed or pressure answer snapshots the span
+		// history leading up to it, so the moments before an overload stay
+		// inspectable after the fact (GET /debug/incidents).
+		s.tracer.Incident(fmt.Sprintf("http_%d", code), nil)
 	}
 	writeJSON(w, code, errorResponse{Error: err.Error()})
 }

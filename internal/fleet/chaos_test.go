@@ -120,7 +120,7 @@ func runChaosSchedule(t *testing.T, seed int64) {
 			if err := fleet[ni].n.st.s.Put(key, payload); err != nil {
 				t.Fatal(err)
 			}
-			fleet[ni].c.Replicate(key, payload)
+			fleet[ni].c.Replicate(context.Background(), key, payload)
 			canonical[key] = payload
 			keys = append(keys, key)
 		case op < 8:

@@ -11,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/serenity-ml/serenity/internal/trace"
 )
 
 // Peer endpoint paths, shared by Client and Server so the two sides cannot
@@ -23,6 +25,10 @@ const (
 	// 204. Health probes default to it; serenityd points them at /readyz
 	// instead so readiness (including join pre-streaming) gates ownership.
 	PingPath = "/v1/peer/ping"
+	// TraceparentHeader carries the caller's trace context on every peer
+	// request (fetch, replication, anti-entropy), W3C-style, so the owner's
+	// serve spans stitch under the caller's trace.
+	TraceparentHeader = "traceparent"
 )
 
 // maxArtifactBytes bounds one fetched artifact body: at 4 bytes per scheduled
@@ -109,10 +115,13 @@ type ClientStats struct {
 	ReplicationDropped int64
 }
 
-// replicaPush is one queued write-behind replication.
+// replicaPush is one queued write-behind replication. traceparent is the
+// originating request's trace context, captured at Replicate time because
+// the push itself runs later, under the replicator's own context.
 type replicaPush struct {
-	key     string
-	payload []byte
+	key         string
+	payload     []byte
+	traceparent string
 }
 
 // Client is the compile path's peer tier: Fetch asks a key's ring owner for
@@ -295,6 +304,9 @@ func (c *Client) getOnce(ctx context.Context, reqURL string) ([]byte, int, error
 	if err != nil {
 		return nil, 0, err
 	}
+	if tp := trace.FromContext(ctx).Traceparent(); tp != "" {
+		req.Header.Set(TraceparentHeader, tp)
+	}
 	resp, err := c.opts.HTTPClient.Do(req)
 	if err != nil {
 		return nil, 0, err
@@ -335,8 +347,10 @@ func (c *Client) pruneNegativeLocked() {
 // Replicate implements serenity.PeerTier: it enqueues a write-behind push of
 // a locally computed artifact to key's ring owner. Non-blocking — the compile
 // path never waits on replication; overflow is dropped and counted, and
-// anti-entropy heals whatever the drops missed.
-func (c *Client) Replicate(key string, payload []byte) {
+// anti-entropy heals whatever the drops missed. ctx contributes only the
+// caller's trace context, captured here because the push runs after the
+// request (and its context) are gone.
+func (c *Client) Replicate(ctx context.Context, key string, payload []byte) {
 	if r := c.ring.Load(); r.Owner(key) == r.Self() {
 		return
 	}
@@ -349,7 +363,7 @@ func (c *Client) Replicate(key string, payload []byte) {
 	}
 	c.pending.Add(1)
 	select {
-	case c.pushCh <- replicaPush{key: key, payload: payload}:
+	case c.pushCh <- replicaPush{key: key, payload: payload, traceparent: trace.FromContext(ctx).Traceparent()}:
 	default:
 		c.pending.Add(-1)
 		c.repDropped.Add(1)
@@ -391,7 +405,7 @@ func (c *Client) replicateOne(p replicaPush) {
 		c.repDropped.Add(1)
 		return
 	}
-	if err := c.putOnce(owner, p.key, p.payload); err != nil {
+	if err := c.putOnce(owner, p); err != nil {
 		c.repDropped.Add(1)
 		return
 	}
@@ -399,15 +413,18 @@ func (c *Client) replicateOne(p replicaPush) {
 }
 
 // putOnce performs one replication PUT under the per-attempt timeout.
-func (c *Client) putOnce(owner, key string, payload []byte) error {
+func (c *Client) putOnce(owner string, p replicaPush) error {
 	ctx, cancel := context.WithTimeout(context.Background(), c.opts.Timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPut,
-		owner+segmentPathPrefix+url.PathEscape(key), strings.NewReader(string(payload)))
+		owner+segmentPathPrefix+url.PathEscape(p.key), strings.NewReader(string(p.payload)))
 	if err != nil {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	if p.traceparent != "" {
+		req.Header.Set(TraceparentHeader, p.traceparent)
+	}
 	resp, err := c.opts.HTTPClient.Do(req)
 	if err != nil {
 		return err
@@ -452,7 +469,7 @@ func (c *Client) Close() {
 var _ interface {
 	Owns(string) bool
 	Fetch(context.Context, string) ([]byte, bool)
-	Replicate(string, []byte)
+	Replicate(context.Context, string, []byte)
 } = (*Client)(nil)
 
 // errAlien guards the sync stream decoding paths.

@@ -195,7 +195,7 @@ func TestClientReplicatesToOwner(t *testing.T) {
 	payload := []byte("fresh-local-compute")
 	c := NewClient(rings[0], ClientOptions{})
 	defer c.Close()
-	c.Replicate(key, payload)
+	c.Replicate(context.Background(), key, payload)
 	c.Drain()
 	got, ok := b.st.GetArtifact(key)
 	if !ok || !bytes.Equal(got, payload) {
@@ -203,7 +203,7 @@ func TestClientReplicatesToOwner(t *testing.T) {
 	}
 	// First-writer-wins: a second replica with different bytes must not
 	// clobber the established record.
-	c.Replicate(key, []byte("a-different-twin"))
+	c.Replicate(context.Background(), key, []byte("a-different-twin"))
 	c.Drain()
 	got, _ = b.st.GetArtifact(key)
 	if !bytes.Equal(got, payload) {
@@ -421,7 +421,7 @@ func TestClientReplicationReroutesAroundDeadOwner(t *testing.T) {
 	// Suspect: the push still goes to the static owner.
 	keySuspect := keyWithFailover(t, rings[0], b.srv.URL, cNode.srv.URL, 0)
 	h.ReportFailure(b.srv.URL)
-	c.Replicate(keySuspect, []byte("pushed-despite-blip"))
+	c.Replicate(context.Background(), keySuspect, []byte("pushed-despite-blip"))
 	c.Drain()
 	if _, ok := b.st.GetArtifact(keySuspect); !ok {
 		t.Fatal("suspect owner lost its replica; only Dead reroutes replication")
@@ -430,7 +430,7 @@ func TestClientReplicationReroutesAroundDeadOwner(t *testing.T) {
 	keyDead := keyWithFailover(t, rings[0], b.srv.URL, cNode.srv.URL, 777)
 	h.ReportFailure(b.srv.URL)
 	h.ReportFailure(b.srv.URL) // three consecutive: Dead
-	c.Replicate(keyDead, []byte("rerouted"))
+	c.Replicate(context.Background(), keyDead, []byte("rerouted"))
 	c.Drain()
 	if _, ok := cNode.st.GetArtifact(keyDead); !ok {
 		t.Fatal("dead owner's replica never rerouted to the failover owner")

@@ -5,6 +5,9 @@ import (
 	"io"
 	"net/http"
 	"sync/atomic"
+	"time"
+
+	"github.com/serenity-ml/serenity/internal/trace"
 )
 
 // Store is the slice of the artifact store the peer surface needs. The
@@ -55,9 +58,10 @@ type ServerStats struct {
 // compile path's fetches and write-behind replication, and digest/sync for
 // the anti-entropy loop. Safe for concurrent use.
 type Server struct {
-	store Store
-	ring  atomic.Pointer[Ring]
-	gate  Gate
+	store  Store
+	ring   atomic.Pointer[Ring]
+	gate   Gate
+	tracer atomic.Pointer[trace.Tracer]
 
 	segHits, segMisses       atomic.Int64
 	repAccepted, repIgnored  atomic.Int64
@@ -76,6 +80,30 @@ func NewServer(store Store, ring *Ring, gate Gate) *Server {
 // took effect. The peer surface itself is membership-agnostic (it answers
 // from the store whoever asks), so this only keeps the view consistent.
 func (s *Server) UpdateRing(r *Ring) { s.ring.Store(r) }
+
+// SetTracer installs the tracer recording this node's side of fleet
+// requests. When a peer request carries a traceparent header, the handler
+// records a remote child span under the caller's trace ID, so one trace
+// stitches the caller's fetch span to the owner's serve span. Nil disables.
+func (s *Server) SetTracer(t *trace.Tracer) { s.tracer.Store(t) }
+
+// serveSpan records one handler's remote child span when the request was
+// traced. It returns a done func taking the attributes known only at the
+// end of the handler.
+func (s *Server) serveSpan(r *http.Request, name string) func(attrs ...trace.Attr) {
+	t := s.tracer.Load()
+	if t == nil {
+		return func(...trace.Attr) {}
+	}
+	tp := r.Header.Get(TraceparentHeader)
+	if tp == "" {
+		return func(...trace.Attr) {}
+	}
+	start := time.Now()
+	return func(attrs ...trace.Attr) {
+		t.RecordRemote(tp, name, start, time.Since(start), attrs...)
+	}
+}
 
 // Stats returns a snapshot of the server's counters.
 func (s *Server) Stats() ServerStats {
@@ -123,8 +151,10 @@ func (s *Server) handleSegmentGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	done := s.serveSpan(r, "peer.serve.segment")
 	key := r.PathValue("key")
 	payload, found := s.store.GetArtifact(key)
+	done(trace.Str("key", key), trace.Bool("hit", found))
 	if !found {
 		s.segMisses.Add(1)
 		http.Error(w, "unknown segment", http.StatusNotFound)
@@ -141,13 +171,17 @@ func (s *Server) handleSegmentPut(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	done := s.serveSpan(r, "peer.serve.replica")
 	key := r.PathValue("key")
 	payload, err := io.ReadAll(io.LimitReader(r.Body, maxArtifactBytes+1))
 	if err != nil || len(payload) > maxArtifactBytes || len(payload) == 0 {
+		done(trace.Str("key", key), trace.Bool("accepted", false))
 		http.Error(w, "bad artifact body", http.StatusBadRequest)
 		return
 	}
-	if s.store.PutArtifact(key, payload) {
+	accepted := s.store.PutArtifact(key, payload)
+	done(trace.Str("key", key), trace.Bool("accepted", accepted))
+	if accepted {
 		s.repAccepted.Add(1)
 	} else {
 		// Already present (first-writer-wins) or failed validation; either
@@ -164,8 +198,11 @@ func (s *Server) handleDigest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	done := s.serveSpan(r, "peer.serve.digest")
+	hashes := s.store.KeyHashes()
+	done(trace.Int("keys", int64(len(hashes))))
 	w.Header().Set("Content-Type", "application/octet-stream")
-	writeDigest(w, s.store.KeyHashes())
+	writeDigest(w, hashes)
 }
 
 func (s *Server) handleSync(w http.ResponseWriter, r *http.Request) {
@@ -174,8 +211,10 @@ func (s *Server) handleSync(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	done := s.serveSpan(r, "peer.serve.sync")
 	wanted, err := readDigest(r.Body)
 	if err != nil {
+		done(trace.Int("records", 0))
 		http.Error(w, "bad digest body", http.StatusBadRequest)
 		return
 	}
@@ -185,6 +224,7 @@ func (s *Server) handleSync(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	n, _ := s.store.ExportSubset(w, want)
+	done(trace.Int("records", int64(n)))
 	s.syncRecords.Add(int64(n))
 }
 

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/serenity-ml/serenity/internal/trace"
 )
 
 // SyncerOptions tune the anti-entropy loop. The zero value is usable.
@@ -36,6 +38,10 @@ type SyncerOptions struct {
 	// Converge's) — a deterministic test and logging hook. Called from the
 	// syncing goroutine; must not block for long.
 	OnRound func(peer string, added int, err error)
+	// Tracer, when non-nil, opens a "sync.round" trace per exchange and
+	// propagates its context to the peer, so the peer's digest/sync serve
+	// spans stitch under this node's round trace.
+	Tracer *trace.Tracer
 }
 
 func (o SyncerOptions) withDefaults() SyncerOptions {
@@ -207,7 +213,20 @@ func (s *Syncer) Converge(ctx context.Context) (int, error) {
 // number of records imported. Exported so drills and shutdown paths can force
 // a deterministic convergence step.
 func (s *Syncer) SyncOnce(ctx context.Context, peer string) (int, error) {
+	var span *trace.SpanHandle
+	if s.opts.Tracer != nil && trace.FromContext(ctx) == nil {
+		// Anti-entropy runs on its own schedule with no caller to inherit a
+		// trace from, so each sampled round opens its own.
+		if s.opts.Tracer.Sample() {
+			span = s.opts.Tracer.StartTrace("sync.round", trace.Str("peer", peer))
+			ctx = trace.ContextWith(ctx, span)
+		}
+	}
 	added, err := s.syncOnce(ctx, peer)
+	if span != nil {
+		span.Annotate(trace.Int("added", int64(added)))
+		s.opts.Tracer.Finish(span, trace.Outcome{Err: err})
+	}
 	s.rounds.Add(1)
 	if s.opts.OnRound != nil {
 		s.opts.OnRound(peer, added, err)
@@ -249,6 +268,9 @@ func (s *Syncer) fetchDigest(ctx context.Context, peer string) ([]uint64, error)
 	if err != nil {
 		return nil, err
 	}
+	if tp := trace.FromContext(ctx).Traceparent(); tp != "" {
+		req.Header.Set(TraceparentHeader, tp)
+	}
 	resp, err := s.opts.HTTPClient.Do(req)
 	if err != nil {
 		return nil, err
@@ -277,6 +299,9 @@ func (s *Syncer) pull(ctx context.Context, peer string, want []uint64) (int, err
 		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	if tp := trace.FromContext(ctx).Traceparent(); tp != "" {
+		req.Header.Set(TraceparentHeader, tp)
+	}
 	resp, err := s.opts.HTTPClient.Do(req)
 	if err != nil {
 		return 0, err

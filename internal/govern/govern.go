@@ -264,6 +264,11 @@ type Reservation struct {
 	g        *Governor
 	granted  int64
 	released atomic.Bool
+	// Per-reservation lifecycle counters, reported by Grows/Denied so a
+	// trace span can attribute governor activity to one specific search
+	// (the Governor's own counters are process-wide aggregates).
+	grows  atomic.Int64
+	denied atomic.Int64
 }
 
 // Reserve admits a search expected to retain about estimate bytes. It never
@@ -311,6 +316,7 @@ func (r *Reservation) Grow(needed int64) int64 {
 	}
 	if r.g.Level() >= LevelHigh {
 		r.g.growDeny.Add(1)
+		r.denied.Add(1)
 		return 0
 	}
 	newLimit := 2 * needed
@@ -320,9 +326,17 @@ func (r *Reservation) Grow(needed int64) int64 {
 	r.g.reserved.Add(newLimit - r.granted)
 	r.granted = newLimit
 	r.g.grows.Add(1)
+	r.grows.Add(1)
 	r.g.recompute()
 	return newLimit
 }
+
+// Grows reports how many mid-search ceiling raises this reservation was
+// granted; Denied how many were refused under pressure. Both exist for
+// per-search attribution (trace spans); the Governor's Stats aggregate the
+// same events process-wide.
+func (r *Reservation) Grows() int64  { return r.grows.Load() }
+func (r *Reservation) Denied() int64 { return r.denied.Load() }
 
 // Release returns the reservation to the ledger. Idempotent.
 func (r *Reservation) Release() {

@@ -1,0 +1,344 @@
+// Package trace is a zero-dependency span subsystem for per-request
+// attribution. One compile request produces one trace: a tree of spans
+// covering admission wait, every pipeline stage, each segment's walk down
+// the memo hierarchy, the governed DP search itself, and the background
+// refinement that later upgrades a degraded answer. Traces propagate across
+// the fleet through a W3C-traceparent-compatible header so a peer-served
+// segment shows up as a child span recorded on the owning node, stitched to
+// the caller's tree by trace ID.
+//
+// The package is built for a hot path that almost never traces: every
+// method on *SpanHandle is nil-safe, FromContext on an untraced context
+// allocates nothing, and call sites guard attribute construction behind a
+// nil check so the disabled path stays zero-allocation.
+package trace
+
+import (
+	"context"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// TraceID identifies one request's trace across every node it touches.
+type TraceID [16]byte
+
+// SpanID identifies one span within a trace.
+type SpanID [8]byte
+
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+func (s SpanID) String() string  { return hex.EncodeToString(s[:]) }
+
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+func (s SpanID) IsZero() bool  { return s == SpanID{} }
+
+// MarshalJSON renders IDs as lowercase hex strings, the same form the
+// traceparent header and the /debug/traces API use.
+func (t TraceID) MarshalJSON() ([]byte, error) { return []byte(`"` + t.String() + `"`), nil }
+func (s SpanID) MarshalJSON() ([]byte, error)  { return []byte(`"` + s.String() + `"`), nil }
+
+// UnmarshalJSON accepts the hex-string form MarshalJSON produces, so
+// /debug/traces responses round-trip through typed clients.
+func (t *TraceID) UnmarshalJSON(b []byte) error {
+	if len(b) < 2 || b[0] != '"' || b[len(b)-1] != '"' {
+		return errors.New("trace id must be a JSON string")
+	}
+	id, err := ParseTraceID(string(b[1 : len(b)-1]))
+	if err != nil {
+		return err
+	}
+	*t = id
+	return nil
+}
+
+func (s *SpanID) UnmarshalJSON(b []byte) error {
+	if len(b) != 18 || b[0] != '"' || b[17] != '"' {
+		return errors.New("span id must be a 16-hex-digit JSON string")
+	}
+	raw, err := hex.DecodeString(string(b[1:17]))
+	if err != nil {
+		return err
+	}
+	copy(s[:], raw)
+	return nil
+}
+
+func newTraceID() TraceID {
+	var t TraceID
+	a, b := rand.Uint64(), rand.Uint64()
+	for i := 0; i < 8; i++ {
+		t[i] = byte(a >> (8 * i))
+		t[8+i] = byte(b >> (8 * i))
+	}
+	if t.IsZero() {
+		t[0] = 1 // the all-zero ID is invalid per the traceparent spec
+	}
+	return t
+}
+
+func newSpanID() SpanID {
+	var s SpanID
+	a := rand.Uint64()
+	for i := 0; i < 8; i++ {
+		s[i] = byte(a >> (8 * i))
+	}
+	if s.IsZero() {
+		s[0] = 1
+	}
+	return s
+}
+
+// ParseTraceID parses the 32-hex-digit form produced by TraceID.String.
+func ParseTraceID(s string) (TraceID, error) {
+	var t TraceID
+	if len(s) != 32 {
+		return t, fmt.Errorf("trace id must be 32 hex digits, got %d", len(s))
+	}
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return t, err
+	}
+	copy(t[:], b)
+	if t.IsZero() {
+		return t, errors.New("all-zero trace id is invalid")
+	}
+	return t, nil
+}
+
+// Attr is one key/value annotation on a span. Values are strings on the
+// wire; use the typed constructors so numeric attributes format uniformly.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Str builds a string attribute.
+func Str(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int64) Attr { return Attr{Key: k, Value: strconv.FormatInt(v, 10)} }
+
+// Bool builds a boolean attribute.
+func Bool(k string, v bool) Attr { return Attr{Key: k, Value: strconv.FormatBool(v)} }
+
+// Span is one completed span: a named interval inside a trace, parented to
+// the span that was live when it started. Remote marks spans recorded on a
+// node other than the one that started the trace (fleet child spans).
+type Span struct {
+	TraceID  TraceID       `json:"trace_id"`
+	SpanID   SpanID        `json:"span_id"`
+	ParentID SpanID        `json:"parent_id"`
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
+	Err      string        `json:"error,omitempty"`
+	Remote   bool          `json:"remote,omitempty"`
+}
+
+// maxSpansPerTrace bounds one trace's span collection. A pathological graph
+// with thousands of segments must not let one traced request hold megabytes
+// of spans; past the cap, spans are counted (Dropped) rather than kept.
+const maxSpansPerTrace = 512
+
+// Recorder collects the finished spans of one trace. Spans end on whatever
+// goroutine ran the work (segment workers, refinement workers, HTTP
+// handlers), so the collection is mutex-guarded.
+type Recorder struct {
+	mu      sync.Mutex
+	traceID TraceID
+	start   time.Time
+	spans   []Span
+	dropped int
+}
+
+func (r *Recorder) record(sp Span) {
+	r.mu.Lock()
+	if len(r.spans) >= maxSpansPerTrace {
+		r.dropped++
+	} else {
+		r.spans = append(r.spans, sp)
+	}
+	r.mu.Unlock()
+}
+
+// snapshot copies the finished spans out under the lock.
+func (r *Recorder) snapshot() ([]Span, int) {
+	r.mu.Lock()
+	spans := make([]Span, len(r.spans))
+	copy(spans, r.spans)
+	dropped := r.dropped
+	r.mu.Unlock()
+	return spans, dropped
+}
+
+// SpanHandle is a live (unfinished) span. The nil handle is valid and every
+// method on it is a no-op, so call sites instrument unconditionally and the
+// untraced path costs one nil check per site.
+type SpanHandle struct {
+	rec    *Recorder
+	spanID SpanID
+	parent SpanID
+	name   string
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs []Attr
+	ended bool
+}
+
+func newSpan(rec *Recorder, parent SpanID, name string, attrs []Attr) *SpanHandle {
+	return &SpanHandle{
+		rec:    rec,
+		spanID: newSpanID(),
+		parent: parent,
+		name:   name,
+		start:  time.Now(),
+		attrs:  attrs,
+	}
+}
+
+// Child starts a span under h. Returns nil when h is nil.
+func (h *SpanHandle) Child(name string, attrs ...Attr) *SpanHandle {
+	if h == nil {
+		return nil
+	}
+	return newSpan(h.rec, h.spanID, name, attrs)
+}
+
+// Annotate appends attributes to a live span. No-op on nil or ended spans.
+func (h *SpanHandle) Annotate(attrs ...Attr) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	if !h.ended {
+		h.attrs = append(h.attrs, attrs...)
+	}
+	h.mu.Unlock()
+}
+
+// End finishes the span and records it. Idempotent: only the first End (or
+// EndErr) takes effect.
+func (h *SpanHandle) End() { h.end("") }
+
+// EndErr finishes the span, recording err's message when non-nil.
+func (h *SpanHandle) EndErr(err error) {
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+	}
+	h.end(msg)
+}
+
+func (h *SpanHandle) end(errMsg string) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	if h.ended {
+		h.mu.Unlock()
+		return
+	}
+	h.ended = true
+	sp := Span{
+		TraceID:  h.rec.traceID,
+		SpanID:   h.spanID,
+		ParentID: h.parent,
+		Name:     h.name,
+		Start:    h.start,
+		Duration: time.Since(h.start),
+		Attrs:    h.attrs,
+		Err:      errMsg,
+	}
+	h.mu.Unlock()
+	h.rec.record(sp)
+}
+
+// TraceID reports the trace this span belongs to (zero for nil handles).
+func (h *SpanHandle) TraceID() TraceID {
+	if h == nil {
+		return TraceID{}
+	}
+	return h.rec.traceID
+}
+
+// Traceparent renders the header value that propagates this span's context
+// to a peer: 00-<trace-id>-<span-id>-01. Empty for nil handles.
+func (h *SpanHandle) Traceparent() string {
+	if h == nil {
+		return ""
+	}
+	return "00-" + h.rec.traceID.String() + "-" + h.spanID.String() + "-01"
+}
+
+// Link names a span so later, out-of-band work (background refinement) can
+// attach its own spans to the originating trace.
+type Link struct {
+	TraceID TraceID
+	SpanID  SpanID
+}
+
+// Link returns a durable reference to this span. Zero for nil handles.
+func (h *SpanHandle) Link() Link {
+	if h == nil {
+		return Link{}
+	}
+	return Link{TraceID: h.rec.traceID, SpanID: h.spanID}
+}
+
+// ParseTraceparent parses a 00-<32hex>-<16hex>-<2hex> header. Only version
+// 00 is accepted; the flags byte is ignored (this package always samples
+// what it propagates).
+func ParseTraceparent(v string) (TraceID, SpanID, bool) {
+	var tid TraceID
+	var sid SpanID
+	if len(v) != 55 || v[0] != '0' || v[1] != '0' || v[2] != '-' || v[35] != '-' || v[52] != '-' {
+		return tid, sid, false
+	}
+	tb, err := hex.DecodeString(v[3:35])
+	if err != nil {
+		return tid, sid, false
+	}
+	sb, err := hex.DecodeString(v[36:52])
+	if err != nil {
+		return tid, sid, false
+	}
+	copy(tid[:], tb)
+	copy(sid[:], sb)
+	if tid.IsZero() || sid.IsZero() {
+		return tid, sid, false
+	}
+	return tid, sid, true
+}
+
+// ctxKey is the context key for the live span. A zero-size type keeps
+// ContextWith/FromContext allocation-free for the key itself.
+type ctxKey struct{}
+
+// ContextWith returns ctx carrying h as the live span. When h is nil, ctx
+// is returned unchanged so untraced requests never grow their context
+// chain.
+func ContextWith(ctx context.Context, h *SpanHandle) context.Context {
+	if h == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, h)
+}
+
+// FromContext returns the live span carried by ctx, or nil. The miss path
+// does not allocate.
+func FromContext(ctx context.Context) *SpanHandle {
+	h, _ := ctx.Value(ctxKey{}).(*SpanHandle)
+	return h
+}
+
+// LinkFromContext returns a durable reference to ctx's live span (zero Link
+// when untraced).
+func LinkFromContext(ctx context.Context) Link {
+	return FromContext(ctx).Link()
+}

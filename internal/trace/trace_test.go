@@ -1,0 +1,301 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundtrip(t *testing.T) {
+	tr := New(Options{})
+	root := tr.StartTrace("req")
+	tp := root.Traceparent()
+	if len(tp) != 55 || !strings.HasPrefix(tp, "00-") {
+		t.Fatalf("traceparent %q is not a 55-char 00- header", tp)
+	}
+	tid, sid, ok := ParseTraceparent(tp)
+	if !ok {
+		t.Fatalf("ParseTraceparent rejected its own output %q", tp)
+	}
+	if tid != root.TraceID() {
+		t.Fatalf("trace ID roundtrip: got %s want %s", tid, root.TraceID())
+	}
+	if sid.IsZero() {
+		t.Fatal("span ID roundtrip produced zero")
+	}
+	for _, bad := range []string{
+		"",
+		"00-short",
+		"01-" + tp[3:], // unknown version
+		strings.Replace(tp, "-", "_", 1),
+		tp + "x",
+		"00-" + strings.Repeat("g", 32) + tp[35:], // non-hex trace ID
+	} {
+		if _, _, ok := ParseTraceparent(bad); ok {
+			t.Errorf("ParseTraceparent accepted %q", bad)
+		}
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	// A nil tracer and nil handles must be inert everywhere the untraced
+	// path touches them — this is what keeps tracing-off overhead at zero.
+	var tr *Tracer
+	if tr.Sample() {
+		t.Fatal("nil tracer sampled")
+	}
+	h := tr.StartTrace("x")
+	if h != nil {
+		t.Fatal("nil tracer returned a live handle")
+	}
+	child := h.Child("y")
+	if child != nil {
+		t.Fatal("nil handle spawned a child")
+	}
+	h.Annotate(Str("k", "v"))
+	h.End()
+	h.EndErr(errors.New("boom"))
+	if tp := h.Traceparent(); tp != "" {
+		t.Fatalf("nil handle produced traceparent %q", tp)
+	}
+	if !h.TraceID().IsZero() {
+		t.Fatal("nil handle produced a trace ID")
+	}
+	if td := tr.Finish(h, Outcome{}); td != nil {
+		t.Fatal("nil tracer retained a trace")
+	}
+	tr.Incident("x", nil)
+	tr.RecordLinked(Link{}, "x", time.Now(), 0, nil)
+	if tr.RecordRemote("", "x", time.Now(), 0) {
+		t.Fatal("nil tracer recorded a remote span")
+	}
+	if tr.Traces() != nil || tr.Incidents() != nil || tr.Get("00000000000000000000000000000001") != nil {
+		t.Fatal("nil tracer returned data")
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	tr := New(Options{})
+	root := tr.StartTrace("req")
+	ctx := ContextWith(t.Context(), root)
+	if got := FromContext(ctx); got != root {
+		t.Fatal("FromContext did not return the stored handle")
+	}
+	if got := FromContext(t.Context()); got != nil {
+		t.Fatal("FromContext invented a handle on an empty context")
+	}
+	// Nil handle: context unchanged, so downstream sees no trace.
+	if ctx2 := ContextWith(t.Context(), nil); FromContext(ctx2) != nil {
+		t.Fatal("ContextWith(nil) stored something")
+	}
+	l := LinkFromContext(ctx)
+	if l.TraceID != root.TraceID() {
+		t.Fatal("LinkFromContext lost the trace ID")
+	}
+	if l2 := LinkFromContext(t.Context()); !l2.TraceID.IsZero() {
+		t.Fatal("LinkFromContext invented a link")
+	}
+}
+
+func TestTailSamplingKeepsDegradedAndErred(t *testing.T) {
+	tr := New(Options{RingSize: 8})
+	// Healthy fast traces: mostly sampled out. The 1-in-16 residual keep
+	// guarantees at least 2 of 32 survive; the slow-percentile keep may add
+	// a few more depending on timer jitter, but never a majority.
+	kept := 0
+	for i := 0; i < 32; i++ {
+		h := tr.StartTrace("healthy")
+		if tr.Finish(h, Outcome{Status: 200}) != nil {
+			kept++
+		}
+	}
+	if kept < 2 || kept > 16 {
+		t.Fatalf("tail sampling retained %d of 32 healthy traces, want a thinned pulse (2..16)", kept)
+	}
+	// Degraded, erred, 4xx/5xx, and forced traces always survive.
+	cases := []Outcome{
+		{Status: 200, Degraded: true},
+		{Status: 200, Err: errors.New("boom")},
+		{Status: 503},
+		{Status: 200, Force: true},
+	}
+	for i, out := range cases {
+		h := tr.StartTrace("kept")
+		td := tr.Finish(h, out)
+		if td == nil {
+			t.Fatalf("case %d: tail-sampling dropped a must-keep trace (%+v)", i, out)
+		}
+		if tr.Get(td.ID.String()) == nil {
+			t.Fatalf("case %d: retained trace not retrievable by ID", i)
+		}
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := New(Options{RingSize: 4})
+	var ids []string
+	for i := 0; i < 10; i++ {
+		h := tr.StartTrace("req")
+		td := tr.Finish(h, Outcome{Force: true})
+		ids = append(ids, td.ID.String())
+	}
+	if got := len(tr.Traces()); got != 4 {
+		t.Fatalf("ring holds %d traces, want 4", got)
+	}
+	if tr.Get(ids[0]) != nil {
+		t.Fatal("oldest trace survived eviction")
+	}
+	if tr.Get(ids[9]) == nil {
+		t.Fatal("newest trace was evicted")
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	tr := New(Options{})
+	root := tr.StartTrace("req", Str("graph", "g"))
+	search := root.Child("stage.search")
+	seg := search.Child("segment", Int("index", 0))
+	seg.Annotate(Str("memo_tier", "fresh"))
+	seg.End()
+	search.End()
+	td := tr.Finish(root, Outcome{Force: true})
+	roots := Tree(td.Start, td.Spans)
+	if len(roots) != 1 || roots[0].Name != "req" {
+		t.Fatalf("tree roots = %v, want single req", roots)
+	}
+	if len(roots[0].Children) != 1 || roots[0].Children[0].Name != "stage.search" {
+		t.Fatalf("req children = %+v", roots[0].Children)
+	}
+	segNode := roots[0].Children[0].Children[0]
+	if segNode.Name != "segment" || segNode.Attrs["memo_tier"] != "fresh" || segNode.Attrs["index"] != "0" {
+		t.Fatalf("segment node = %+v", segNode)
+	}
+}
+
+func TestRemoteFragmentsMergeIntoTrace(t *testing.T) {
+	tr := New(Options{})
+	remote := New(Options{})
+
+	root := tr.StartTrace("req")
+	fetch := root.Child("memo.peer")
+	tp := fetch.Traceparent()
+
+	// The owner node records its serve span under the caller's trace ID.
+	if !remote.RecordRemote(tp, "peer.serve.segment", time.Now(), time.Millisecond, Str("key", "k")) {
+		t.Fatal("RecordRemote rejected a valid traceparent")
+	}
+	// On the owner, the fragment is listed and retrievable by the caller's ID.
+	frags := remote.Traces()
+	if len(frags) != 1 || !frags[0].Remote || frags[0].Root != "(remote)" {
+		t.Fatalf("owner fragment listing = %+v", frags)
+	}
+	if frags[0].ID != root.TraceID() {
+		t.Fatal("fragment not keyed by the caller's trace ID")
+	}
+	got := remote.Get(root.TraceID().String())
+	if got == nil || len(got.Spans) != 1 || got.Spans[0].Name != "peer.serve.segment" || !got.Spans[0].Remote {
+		t.Fatalf("owner fragment = %+v", got)
+	}
+
+	// On the caller, a remote span recorded locally (e.g. loopback testing)
+	// merges into the finished trace.
+	tr.RecordRemote(tp, "peer.serve.segment", time.Now(), time.Millisecond)
+	fetch.End()
+	td := tr.Finish(root, Outcome{Force: true})
+	found := false
+	for _, sp := range td.Spans {
+		if sp.Name == "peer.serve.segment" && sp.Remote {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("remote span did not merge into the finished trace: %+v", td.Spans)
+	}
+}
+
+func TestLinkedSpansAttachAfterFinish(t *testing.T) {
+	tr := New(Options{})
+	root := tr.StartTrace("req")
+	l := root.Link()
+	td := tr.Finish(root, Outcome{Force: true})
+
+	// A refinement finishing after the request records against the link.
+	tr.RecordLinked(l, "refine.run", time.Now(), time.Millisecond, nil, Str("key", "k"))
+	got := tr.Get(td.ID.String())
+	found := false
+	for _, sp := range got.Spans {
+		if sp.Name == "refine.run" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("linked span missing from retained trace: %+v", got.Spans)
+	}
+}
+
+func TestFlightRecorderIncidents(t *testing.T) {
+	tr := New(Options{FlightSize: 4, MaxIncidents: 2})
+	for i := 0; i < 6; i++ {
+		h := tr.StartTrace("req")
+		h.Child("stage.search").End()
+		tr.Finish(h, Outcome{Status: 200})
+	}
+	cur := tr.StartTrace("victim")
+	cur.Child("stage.rewrite").End()
+	tr.Incident("fallback", cur)
+	reports := tr.Incidents()
+	if len(reports) != 1 {
+		t.Fatalf("got %d incidents, want 1", len(reports))
+	}
+	rep := reports[0]
+	if rep.Reason != "fallback" || rep.TraceID != cur.TraceID().String() {
+		t.Fatalf("incident = %+v", rep)
+	}
+	// Flight ring (4) + the victim's own spans so far (rewrite child; the
+	// unfinished root is not yet recorded).
+	if len(rep.Spans) < 5 {
+		t.Fatalf("incident snapshot has %d spans, want >= 5", len(rep.Spans))
+	}
+	// The incident list is bounded: newest MaxIncidents survive.
+	tr.Incident("http_429", nil)
+	tr.Incident("http_503", nil)
+	reports = tr.Incidents()
+	if len(reports) != 2 || reports[0].Reason != "http_429" || reports[1].Reason != "http_503" {
+		t.Fatalf("bounded incidents = %+v", reports)
+	}
+}
+
+func TestSampleEvery(t *testing.T) {
+	tr := New(Options{SampleEvery: 4})
+	hits := 0
+	for i := 0; i < 16; i++ {
+		if tr.Sample() {
+			hits++
+		}
+	}
+	if hits != 4 {
+		t.Fatalf("SampleEvery=4 sampled %d of 16, want 4", hits)
+	}
+	off := New(Options{})
+	for i := 0; i < 8; i++ {
+		if off.Sample() {
+			t.Fatal("SampleEvery=0 sampled ambiently")
+		}
+	}
+}
+
+func TestSpanCapDrops(t *testing.T) {
+	tr := New(Options{})
+	root := tr.StartTrace("req")
+	for i := 0; i < maxSpansPerTrace+10; i++ {
+		root.Child("s").End()
+	}
+	td := tr.Finish(root, Outcome{Force: true})
+	if len(td.Spans) > maxSpansPerTrace {
+		t.Fatalf("trace holds %d spans, cap is %d", len(td.Spans), maxSpansPerTrace)
+	}
+	if td.Dropped == 0 {
+		t.Fatal("span overflow not reported in Dropped")
+	}
+}

@@ -71,7 +71,16 @@ type Event struct {
 	// Quality and States report the segment's outcome (EventSegmentDone).
 	Quality Quality
 	States  int64
-	// Elapsed is the stage or segment duration (done events).
+	// Fingerprint is the segment's memo fingerprint (EventSegmentDone), the
+	// same value the memo hierarchy keys on, so an Observer can correlate a
+	// segment event with store/peer traffic for the same artifact.
+	Fingerprint string
+	// MemoTier reports which memo tier answered the segment (EventSegmentDone):
+	// "memory", "disk", "peer", or "fresh" when the DP actually ran.
+	MemoTier string
+	// Elapsed is the stage or segment duration (done events), or — on
+	// EventFallback — how long the doomed exact attempt burned before the
+	// searcher abandoned it.
 	Elapsed time.Duration
 	// Err is the fallback reason (EventFallback).
 	Err error
@@ -124,13 +133,14 @@ func (e *emitter) segmentStart(idx, nodes int) {
 	e.emit(Event{Kind: EventSegmentStart, Stage: StageSearch, Segment: idx, Nodes: nodes})
 }
 
-func (e *emitter) segmentDone(idx, nodes int, sr SearchResult, d time.Duration) {
+func (e *emitter) segmentDone(idx, nodes int, sr SearchResult, d time.Duration, fp, tier string) {
 	e.emit(Event{
 		Kind: EventSegmentDone, Stage: StageSearch, Segment: idx, Nodes: nodes,
 		Quality: sr.Quality, States: sr.StatesExplored, Elapsed: d,
+		Fingerprint: fp, MemoTier: tier,
 	})
 }
 
-func (e *emitter) fallback(idx int, reason error) {
-	e.emit(Event{Kind: EventFallback, Stage: StageSearch, Segment: idx, Err: reason})
+func (e *emitter) fallback(idx int, reason error, elapsed time.Duration) {
+	e.emit(Event{Kind: EventFallback, Stage: StageSearch, Segment: idx, Err: reason, Elapsed: elapsed})
 }

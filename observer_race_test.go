@@ -1,0 +1,126 @@
+package serenity
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+// strictObserver asserts the Observer serialization contract without taking
+// a lock of its own: overlap is detected with a CAS guard, and the unlocked
+// map writes below double as race-detector bait — `go test -race` fails here
+// if the pipeline ever calls Observe from two goroutines at once.
+type strictObserver struct {
+	busy       atomic.Int32
+	concurrent atomic.Bool
+
+	segStarts map[int]int
+	segDones  map[int]int
+	events    int
+}
+
+func (o *strictObserver) Observe(e Event) {
+	if !o.busy.CompareAndSwap(0, 1) {
+		o.concurrent.Store(true)
+	}
+	defer o.busy.Store(0)
+	o.events++
+	switch e.Kind {
+	case EventSegmentStart:
+		o.segStarts[e.Segment]++
+	case EventSegmentDone:
+		o.segDones[e.Segment]++
+	}
+}
+
+// TestObserverSerializedUnderParallelism runs a partitioned compilation with
+// a wide segment fan-out and asserts (a) Observe is never entered
+// concurrently and (b) every segment's start event has exactly one matching
+// done event on a successful run.
+func TestObserverSerializedUnderParallelism(t *testing.T) {
+	obs := &strictObserver{segStarts: map[int]int{}, segDones: map[int]int{}}
+	opts := DefaultOptions()
+	opts.Parallelism = 8
+	p, err := NewPipeline(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Observer = obs
+
+	g := RandWireCell("rw-observer-race", 48, 4, 0.75, 7, 16, 8)
+	res, err := p.Run(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.concurrent.Load() {
+		t.Fatal("Observe was entered concurrently; the emitter must serialize callbacks")
+	}
+	if obs.events == 0 {
+		t.Fatal("observer saw no events")
+	}
+	if len(obs.segStarts) < 2 {
+		t.Fatalf("graph partitioned into %d observed segments; the test needs parallel fan-out (>= 2)", len(obs.segStarts))
+	}
+	if len(res.PartitionSizes) != len(obs.segStarts) {
+		t.Fatalf("observed %d segment starts, result reports %d segments", len(obs.segStarts), len(res.PartitionSizes))
+	}
+	for seg, n := range obs.segStarts {
+		if n != 1 {
+			t.Errorf("segment %d started %d times, want 1", seg, n)
+		}
+		if d := obs.segDones[seg]; d != 1 {
+			t.Errorf("segment %d: %d done events for %d start, want exactly 1", seg, d, n)
+		}
+	}
+	for seg := range obs.segDones {
+		if obs.segStarts[seg] == 0 {
+			t.Errorf("segment %d reported done without a start", seg)
+		}
+	}
+}
+
+// TestSegmentDoneCarriesTierAndFingerprint pins the observability contract
+// of EventSegmentDone: a fresh compilation reports tier "fresh" with the
+// memo fingerprint, and an identical re-run through the same memo reports
+// tier "memory" with the same fingerprint.
+func TestSegmentDoneCarriesTierAndFingerprint(t *testing.T) {
+	memo := NewSegmentMemo(128)
+	run := func() map[string]string {
+		tiers := map[string]string{}
+		opts := DefaultOptions()
+		opts.Parallelism = 4
+		p, err := NewPipeline(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.SegmentMemo = memo
+		p.Observer = ObserverFunc(func(e Event) {
+			if e.Kind != EventSegmentDone {
+				return
+			}
+			if e.Fingerprint == "" {
+				t.Errorf("segment %d done without a fingerprint", e.Segment)
+			}
+			tiers[e.Fingerprint] = e.MemoTier
+		})
+		if _, err := p.Run(context.Background(), RandWireCell("rw-observer-tier", 48, 4, 0.75, 11, 16, 8)); err != nil {
+			t.Fatal(err)
+		}
+		return tiers
+	}
+	cold := run()
+	if len(cold) == 0 {
+		t.Fatal("no segments observed")
+	}
+	for fp, tier := range cold {
+		if tier != "fresh" {
+			t.Errorf("cold run: segment %s answered by %q, want \"fresh\"", fp, tier)
+		}
+	}
+	warm := run()
+	for fp, tier := range warm {
+		if tier != "memory" {
+			t.Errorf("warm run: segment %s answered by %q, want \"memory\"", fp, tier)
+		}
+	}
+}

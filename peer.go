@@ -20,7 +20,9 @@ import (
 //     absent: every failure mode returns ok=false and the caller computes
 //     locally, exactly as a fleetless Pipeline would.
 //   - Replicate pushes a freshly computed non-owned artifact toward its
-//     owner, asynchronously; the compile path never waits on it.
+//     owner, asynchronously; the compile path never waits on it. ctx carries
+//     only trace context (captured before the call returns) — the push
+//     itself must not be canceled when the originating request ends.
 //
 // Payloads cross the wire in the MarshalSegmentArtifact encoding and are
 // re-validated on arrival — decode, poison rule, permutation check — so a
@@ -29,7 +31,7 @@ import (
 type PeerTier interface {
 	Owns(key string) bool
 	Fetch(ctx context.Context, key string) ([]byte, bool)
-	Replicate(key string, payload []byte)
+	Replicate(ctx context.Context, key string, payload []byte)
 }
 
 // decodePeerArtifact validates a payload that arrived from a peer exactly as

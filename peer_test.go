@@ -33,7 +33,7 @@ func (f *fakeFleet) Fetch(ctx context.Context, key string) ([]byte, bool) {
 	return payload, ok
 }
 
-func (f *fakeFleet) Replicate(key string, payload []byte) {
+func (f *fakeFleet) Replicate(_ context.Context, key string, payload []byte) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.replicas++

@@ -12,6 +12,7 @@ import (
 	"github.com/serenity-ml/serenity/internal/partition"
 	"github.com/serenity-ml/serenity/internal/rewrite"
 	"github.com/serenity-ml/serenity/internal/sched"
+	"github.com/serenity-ml/serenity/internal/trace"
 )
 
 // StageTimings records how long each pipeline stage took; disabled stages
@@ -150,6 +151,11 @@ func (p *Pipeline) Run(ctx context.Context, g *Graph) (*Result, error) {
 		allocator = ArenaBestFit{}
 	}
 	obs := &emitter{obs: p.Observer}
+	// Tracing rides in on the context: a traced request carries a live span,
+	// an untraced one carries nothing and every handle below stays nil (all
+	// span methods are nil-safe, and attribute construction is guarded, so
+	// the untraced path allocates nothing).
+	root := trace.FromContext(ctx)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -173,6 +179,7 @@ func (p *Pipeline) Run(ctx context.Context, g *Graph) (*Result, error) {
 	work := g
 	if p.Rewrite || p.ExtendedRewrite {
 		obs.stageStart(StageRewrite)
+		rwSp := root.Child("stage.rewrite")
 		t0 := time.Now()
 		rules := rewrite.DefaultRules()
 		if p.ExtendedRewrite {
@@ -191,6 +198,10 @@ func (p *Pipeline) Run(ctx context.Context, g *Graph) (*Result, error) {
 			res.Graph = rw
 		}
 		res.Stages.Rewrite = time.Since(t0)
+		if rwSp != nil {
+			rwSp.Annotate(trace.Int("rewrites", int64(res.RewriteCount)))
+			rwSp.End()
+		}
 		obs.stageDone(StageRewrite, res.Stages.Rewrite)
 	}
 	model := sched.NewMemModel(work)
@@ -200,6 +211,7 @@ func (p *Pipeline) Run(ctx context.Context, g *Graph) (*Result, error) {
 	var part *partition.Partition
 	if p.Partition {
 		obs.stageStart(StagePartition)
+		ptSp := root.Child("stage.partition")
 		t0 := time.Now()
 		part, err = partition.Split(work)
 		if err != nil {
@@ -208,6 +220,10 @@ func (p *Pipeline) Run(ctx context.Context, g *Graph) (*Result, error) {
 		segments = part.Segments
 		res.PartitionSizes = part.Sizes()
 		res.Stages.Partition = time.Since(t0)
+		if ptSp != nil {
+			ptSp.Annotate(trace.Int("segments", int64(len(segments))))
+			ptSp.End()
+		}
 		obs.stageDone(StagePartition, res.Stages.Partition)
 	} else {
 		res.PartitionSizes = []int{work.NumNodes()}
@@ -218,6 +234,7 @@ func (p *Pipeline) Run(ctx context.Context, g *Graph) (*Result, error) {
 	// segments may run concurrently — and, when a SegmentMemo is installed,
 	// structurally identical segments share one search across runs.
 	obs.stageStart(StageSearch)
+	searchSp := root.Child("stage.search")
 	searchStart := time.Now()
 
 	// One Parallelism budget, two fan-outs: the segment pool takes w
@@ -270,21 +287,62 @@ func (p *Pipeline) Run(ctx context.Context, g *Graph) (*Result, error) {
 		segStart := time.Now()
 		nodes := m.G.NumNodes()
 		obs.segmentStart(idx, nodes)
+		var segSp *trace.SpanHandle
+		if searchSp != nil {
+			segSp = searchSp.Child("segment",
+				trace.Int("index", int64(idx)), trace.Int("nodes", int64(nodes)))
+			// Downstream tiers (memo walk, peer fetch, refinement enqueue)
+			// parent their spans to the segment, not the request root.
+			ctx = trace.ContextWith(ctx, segSp)
+		}
 		// Validation happens inside compute so the memo can never store a
 		// malformed result; a hit is a result that already passed it (equal
 		// fingerprints imply equal node counts). The governor reservation
 		// lives here too: only a search that actually runs costs memory, so
 		// memo/store/peer hits never touch the ledger.
 		compute := func() (SearchResult, error) {
+			var dpSp *trace.SpanHandle
+			if segSp != nil {
+				dpSp = segSp.Child("dp.search")
+			}
+			t0 := time.Now()
 			segSearcher := searcher
+			var rsv SearchReservation
 			if p.Govern != nil {
 				if ms, ok := segSearcher.(memScoper); ok {
-					rsv := p.Govern.Reserve(estimateSearchBytes(nodes))
+					rsv = p.Govern.Reserve(estimateSearchBytes(nodes))
 					defer rsv.Release()
 					segSearcher = ms.scopeMemory(rsv.SearchLimit(), rsv.Grow)
+					if dpSp != nil {
+						dpSp.Annotate(trace.Int("reserved_bytes", rsv.SearchLimit()))
+					}
 				}
 			}
 			sr, err := segSearcher.Search(ctx, m)
+			if dpSp != nil {
+				el := time.Since(t0)
+				rate := int64(0)
+				if el > 0 {
+					rate = int64(float64(sr.StatesExplored) / el.Seconds())
+				}
+				dpSp.Annotate(
+					trace.Int("states", sr.StatesExplored),
+					trace.Int("states_per_sec", rate),
+					trace.Int("max_frontier", int64(sr.MaxFrontier)),
+					trace.Int("peak_bytes", sr.PeakBytes),
+					trace.Str("quality", string(sr.Quality)),
+					trace.Bool("fell_back", sr.FellBack),
+				)
+				if gs, ok := rsv.(interface {
+					Grows() int64
+					Denied() int64
+				}); ok {
+					dpSp.Annotate(
+						trace.Int("governor_grows", gs.Grows()),
+						trace.Int("governor_denied", gs.Denied()))
+				}
+				dpSp.EndErr(err)
+			}
 			if err != nil {
 				return sr, err
 			}
@@ -314,6 +372,9 @@ func (p *Pipeline) Run(ctx context.Context, g *Graph) (*Result, error) {
 			sr, err = compute()
 		}
 		if err != nil {
+			if segSp != nil {
+				segSp.EndErr(err)
+			}
 			return sr, err
 		}
 		if tier == memoTierMiss {
@@ -323,17 +384,31 @@ func (p *Pipeline) Run(ctx context.Context, g *Graph) (*Result, error) {
 			freshStates.Add(sr.StatesExplored)
 		}
 		if sr.FellBack {
-			obs.fallback(idx, sr.FallbackReason)
+			obs.fallback(idx, sr.FallbackReason, time.Since(segStart))
 			// Serve-then-refine: the degraded answer is returned to this
 			// caller, and the segment's exact search is queued for background
 			// repair under the same memo key the degraded result was denied.
 			if refiner != nil && memoKeys != nil {
-				if p.RefinePool.EnqueueSegment(memoKeys[idx], m.G, refiner) {
+				if p.RefinePool.EnqueueSegment(ctx, memoKeys[idx], m.G, refiner) {
 					refined.Add(1)
 				}
 			}
 		}
-		obs.segmentDone(idx, nodes, sr, time.Since(segStart))
+		var key, tierName string
+		if segSp != nil || obs.obs != nil {
+			if memoKeys != nil {
+				key = memoKeys[idx]
+			}
+			tierName = tier.name()
+		}
+		if segSp != nil {
+			segSp.Annotate(trace.Str("memo_tier", tierName))
+			if key != "" {
+				segSp.Annotate(trace.Str("memo_key", key))
+			}
+			segSp.End()
+		}
+		obs.segmentDone(idx, nodes, sr, time.Since(segStart), key, tierName)
 		return sr, nil
 	}
 
@@ -382,6 +457,14 @@ func (p *Pipeline) Run(ctx context.Context, g *Graph) (*Result, error) {
 	res.RefinementsQueued = int(refined.Load())
 	res.FreshStatesExplored = freshStates.Load()
 	res.Stages.Search = time.Since(searchStart)
+	if searchSp != nil {
+		searchSp.Annotate(
+			trace.Int("states", res.StatesExplored),
+			trace.Int("fresh_states", res.FreshStatesExplored),
+			trace.Int("memo_hits", int64(res.SegmentMemoHits)),
+			trace.Int("fallbacks", int64(res.Fallbacks)))
+		searchSp.End()
+	}
 	obs.stageDone(StageSearch, res.Stages.Search)
 
 	// Verify and measure the combined schedule end to end.
@@ -394,6 +477,7 @@ func (p *Pipeline) Run(ctx context.Context, g *Graph) (*Result, error) {
 
 	// Stage 4: arena allocation.
 	obs.stageStart(StageAlloc)
+	alSp := root.Child("stage.alloc")
 	t0 := time.Now()
 	asn, err := allocator.Allocate(model, order)
 	if err != nil {
@@ -402,6 +486,10 @@ func (p *Pipeline) Run(ctx context.Context, g *Graph) (*Result, error) {
 	res.ArenaSize = asn.ArenaSize
 	res.Offsets = asn.Offsets
 	res.Stages.Alloc = time.Since(t0)
+	if alSp != nil {
+		alSp.Annotate(trace.Int("arena_bytes", res.ArenaSize))
+		alSp.End()
+	}
 	obs.stageDone(StageAlloc, res.Stages.Alloc)
 	res.SchedulingTime = time.Since(start)
 

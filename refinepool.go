@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/serenity-ml/serenity/internal/trace"
 )
 
 // Refiner is implemented by Searchers whose degraded results can be repaired
@@ -59,6 +61,11 @@ type RefinePoolOptions struct {
 	// RequeueInterval is the cadence at which parked jobs are re-tried
 	// against the Pressure signal. Values <= 0 mean 250ms.
 	RequeueInterval time.Duration
+	// Tracer, when non-nil, records the refinement lifecycle (queued →
+	// parked → run) as spans linked back to the trace of the request whose
+	// degraded answer the job repairs, so a forced-degraded trace shows its
+	// background repair after the fact.
+	Tracer *trace.Tracer
 }
 
 // RefinePoolStats is a snapshot of a pool's counters. Queued - Done -
@@ -87,11 +94,16 @@ type RefinePoolStats struct {
 	Parked   int64
 }
 
-// refineJob is one queued refinement: a key (for pending-set dedup) and the
-// work to run.
+// refineJob is one queued refinement: a key (for pending-set dedup), the
+// work to run, and the originating request's trace link (zero when the
+// request was untraced) plus the lifecycle bookkeeping the trace spans
+// report.
 type refineJob struct {
-	key string
-	run func(ctx context.Context) error
+	key        string
+	run        func(ctx context.Context) error
+	link       trace.Link
+	enqueuedAt time.Time
+	parks      int
 }
 
 // RefinePool repairs degraded schedules in the background, making fallbacks
@@ -189,15 +201,20 @@ func NewRefinePool(memo *SegmentMemo, store *ScheduleStore, opts RefinePoolOptio
 
 // EnqueueSegment queues the exact re-search of one degraded segment: run
 // r.RefineSearcher() on g with no deadline and write the optimal result
-// through to the memo hierarchy under key. Returns whether the job was
-// accepted; false means the key is already pending (the earlier job covers
-// this request too), the queue is full, or the pool is closed.
-func (p *RefinePool) EnqueueSegment(key string, g *Graph, r Refiner) bool {
+// through to the memo hierarchy under key. ctx is consulted only for trace
+// context — when the degrading request was traced, the refinement's
+// lifecycle spans are linked back to its trace ID — and is not a
+// cancellation signal (the job runs under the pool's own context). Returns
+// whether the job was accepted; false means the key is already pending (the
+// earlier job covers this request too), the queue is full, or the pool is
+// closed.
+func (p *RefinePool) EnqueueSegment(ctx context.Context, key string, g *Graph, r Refiner) bool {
 	searcher := r.RefineSearcher()
 	if ps, ok := searcher.(parallelScoper); ok && p.opts.Parallelism > 1 {
 		searcher = ps.scopeParallelism(p.opts.Parallelism)
 	}
-	return p.Enqueue(key, func(ctx context.Context) error {
+	link := trace.LinkFromContext(ctx)
+	return p.Enqueue(ctx, key, func(ctx context.Context) error {
 		m := NewMemModel(g)
 		nodes := g.NumNodes()
 		start := time.Now()
@@ -213,6 +230,12 @@ func (p *RefinePool) EnqueueSegment(key string, g *Graph, r Refiner) bool {
 				err = p.store.replace(key, nodes, sr)
 			}
 		}
+		if p.opts.Tracer != nil {
+			p.opts.Tracer.RecordLinked(link, "refine.run", start, time.Since(start), err,
+				trace.Str("key", key),
+				trace.Str("quality", string(sr.Quality)),
+				trace.Int("states", sr.StatesExplored))
+		}
 		p.obs.emit(Event{
 			Kind: EventRefined, Stage: StageSearch, Segment: -1, Nodes: nodes,
 			Quality: sr.Quality, States: sr.StatesExplored,
@@ -225,9 +248,11 @@ func (p *RefinePool) EnqueueSegment(key string, g *Graph, r Refiner) bool {
 // Enqueue queues an arbitrary refinement job under key. Keys deduplicate:
 // while a job for key is queued or running, further enqueues of the same
 // key are declined (return false) — the pending job repairs the key for
-// everyone. serenityd uses this form for whole-response refinements on top
-// of the Pipeline's per-segment ones.
-func (p *RefinePool) Enqueue(key string, run func(ctx context.Context) error) bool {
+// everyone. ctx carries only trace context (see EnqueueSegment). serenityd
+// uses this form for whole-response refinements on top of the Pipeline's
+// per-segment ones.
+func (p *RefinePool) Enqueue(ctx context.Context, key string, run func(ctx context.Context) error) bool {
+	job := refineJob{key: key, run: run, link: trace.LinkFromContext(ctx), enqueuedAt: time.Now()}
 	// The whole admission — closed check, dedup, and the non-blocking send —
 	// happens under mu, the same lock Close holds while closing the channel,
 	// so a send can never race the close.
@@ -241,7 +266,7 @@ func (p *RefinePool) Enqueue(key string, run func(ctx context.Context) error) bo
 		return false
 	}
 	select {
-	case p.jobs <- refineJob{key: key, run: run}:
+	case p.jobs <- job:
 		p.pending[key] = struct{}{}
 		p.queued.Add(1)
 		p.outstanding.Add(1)
@@ -289,6 +314,14 @@ func (p *RefinePool) worker() {
 				continue
 			}
 		}
+		if p.opts.Tracer != nil {
+			// The queued span covers enqueue → the moment the job got a
+			// worker AND a gate slot: the full wait a degraded answer sat
+			// unrepaired, parks included.
+			p.opts.Tracer.RecordLinked(job.link, "refine.queued", job.enqueuedAt,
+				time.Since(job.enqueuedAt), nil,
+				trace.Str("key", job.key), trace.Int("parks", int64(job.parks)))
+		}
 		err := job.run(p.ctx)
 		if release != nil {
 			release()
@@ -305,6 +338,7 @@ func (p *RefinePool) worker() {
 // outstanding; only Close or a successful requeue moves it on. If the pool
 // closed while the worker was deciding, the job is dropped instead.
 func (p *RefinePool) park(job refineJob) {
+	job.parks++
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -314,6 +348,10 @@ func (p *RefinePool) park(job refineJob) {
 	p.parked = append(p.parked, job)
 	p.mu.Unlock()
 	p.shed.Add(1)
+	if p.opts.Tracer != nil {
+		p.opts.Tracer.RecordLinked(job.link, "refine.parked", time.Now(), 0, nil,
+			trace.Str("key", job.key), trace.Int("parks", int64(job.parks)))
+	}
 }
 
 // requeueLoop re-injects parked jobs into the queue once the Pressure signal

@@ -166,7 +166,7 @@ func TestSegmentMemoReplaceUpgradesOnly(t *testing.T) {
 func TestRefinePoolDedupOverflowAndClose(t *testing.T) {
 	pool := NewRefinePool(nil, nil, RefinePoolOptions{Workers: 1, QueueDepth: 1})
 	running := make(chan struct{})
-	if !pool.Enqueue("a", func(ctx context.Context) error {
+	if !pool.Enqueue(context.Background(), "a", func(ctx context.Context) error {
 		close(running)
 		<-ctx.Done() // released only by Close
 		return ctx.Err()
@@ -175,16 +175,16 @@ func TestRefinePoolDedupOverflowAndClose(t *testing.T) {
 	}
 	<-running
 
-	if !pool.Enqueue("b", func(ctx context.Context) error { return nil }) {
+	if !pool.Enqueue(context.Background(), "b", func(ctx context.Context) error { return nil }) {
 		t.Fatal("enqueue into an empty queue declined")
 	}
-	if pool.Enqueue("b", func(ctx context.Context) error { return nil }) {
+	if pool.Enqueue(context.Background(), "b", func(ctx context.Context) error { return nil }) {
 		t.Error("pending key was not deduplicated")
 	}
 	if !pool.Pending("b") || !pool.Pending("a") {
 		t.Error("Pending does not report queued/running keys")
 	}
-	if pool.Enqueue("c", func(ctx context.Context) error { return nil }) {
+	if pool.Enqueue(context.Background(), "c", func(ctx context.Context) error { return nil }) {
 		t.Error("enqueue into a full queue accepted")
 	}
 
@@ -192,7 +192,7 @@ func TestRefinePoolDedupOverflowAndClose(t *testing.T) {
 	if pool.Pending("a") || pool.Pending("b") {
 		t.Error("keys still pending after Close")
 	}
-	if pool.Enqueue("d", func(ctx context.Context) error { return nil }) {
+	if pool.Enqueue(context.Background(), "d", func(ctx context.Context) error { return nil }) {
 		t.Error("closed pool accepted a job")
 	}
 	st := pool.Stats()
@@ -222,7 +222,7 @@ func TestRefinePoolPressureParksAndRequeues(t *testing.T) {
 	defer pool.Close()
 
 	for _, key := range []string{"a", "b"} {
-		if !pool.Enqueue(key, func(ctx context.Context) error {
+		if !pool.Enqueue(context.Background(), key, func(ctx context.Context) error {
 			ran.Add(1)
 			return nil
 		}) {
@@ -253,7 +253,7 @@ func TestRefinePoolPressureParksAndRequeues(t *testing.T) {
 	if !pool.Pending("a") || !pool.Pending("b") {
 		t.Error("parked keys no longer pending")
 	}
-	if pool.Enqueue("a", func(ctx context.Context) error { return nil }) {
+	if pool.Enqueue(context.Background(), "a", func(ctx context.Context) error { return nil }) {
 		t.Error("parked key was not deduplicated")
 	}
 
@@ -278,7 +278,7 @@ func TestRefinePoolPressureParksAndRequeues(t *testing.T) {
 		RequeueInterval: 2 * time.Millisecond,
 	})
 	var ran2 atomic.Int64
-	if !pool2.Enqueue("x", func(ctx context.Context) error {
+	if !pool2.Enqueue(context.Background(), "x", func(ctx context.Context) error {
 		ran2.Add(1)
 		return nil
 	}) {

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"github.com/serenity-ml/serenity/internal/cache"
+	"github.com/serenity-ml/serenity/internal/trace"
 )
 
 // MemoKeyer is implemented by Searchers whose per-segment results may be
@@ -81,6 +82,20 @@ const (
 	// segment's DP ran once somewhere in the fleet, just not here.
 	memoTierPeer
 )
+
+// name renders the tier for Observer events and trace spans. The miss tier
+// reads "fresh": the caller ran the search itself.
+func (t memoTier) name() string {
+	switch t {
+	case memoTierMemory:
+		return "memory"
+	case memoTierDisk:
+		return "disk"
+	case memoTierPeer:
+		return "peer"
+	}
+	return "fresh"
+}
 
 // memoLoad is a flight's outcome: the result plus which tier the leader got
 // it from, so followers and the leader account hits truthfully.
@@ -159,13 +174,35 @@ func (m *SegmentMemo) Stats() SegmentMemoStats {
 // of a key some other member owns replicates the artifact toward the owner,
 // write-behind — the compile path never waits on the fleet.
 func (m *SegmentMemo) do(ctx context.Context, key string, disk *ScheduleStore, peers PeerTier, nodes int, compute func() (SearchResult, error)) (SearchResult, memoTier, error) {
-	if sr, ok := m.store.Get(key); ok {
+	// The warm path stays allocation-free when the request is untraced:
+	// FromContext on a bare context costs one nil check, and no span or
+	// attribute is constructed unless a live span is present.
+	span := trace.FromContext(ctx)
+	var memSp *trace.SpanHandle
+	if span != nil {
+		memSp = span.Child("memo.memory")
+	}
+	sr, ok := m.store.Get(key)
+	if memSp != nil {
+		memSp.Annotate(trace.Bool("hit", ok))
+		memSp.End()
+	}
+	if ok {
 		m.hits.Add(1)
 		return sr, memoTierMemory, nil
 	}
 	v, shared, err := m.group.Do(ctx, key, func() (memoLoad, error) {
 		if disk != nil {
-			if sr, ok := disk.get(key, nodes); ok {
+			var diskSp *trace.SpanHandle
+			if span != nil {
+				diskSp = span.Child("memo.disk")
+			}
+			sr, ok := disk.get(key, nodes)
+			if diskSp != nil {
+				diskSp.Annotate(trace.Bool("hit", ok))
+				diskSp.End()
+			}
+			if ok {
 				// Promote: the next lookup anywhere in the process is a
 				// memory hit.
 				m.store.Put(key, sr)
@@ -173,14 +210,30 @@ func (m *SegmentMemo) do(ctx context.Context, key string, disk *ScheduleStore, p
 			}
 		}
 		if peers != nil && !peers.Owns(key) {
-			if payload, ok := peers.Fetch(ctx, key); ok {
+			fctx := ctx
+			var peerSp *trace.SpanHandle
+			if span != nil {
+				peerSp = span.Child("memo.peer")
+				// The owner sees this span as its parent: Fetch propagates the
+				// traceparent, and the owner's serve span stitches under it.
+				fctx = trace.ContextWith(ctx, peerSp)
+			}
+			if payload, ok := peers.Fetch(fctx, key); ok {
 				if sr, ok := decodePeerArtifact(payload, nodes); ok {
 					m.store.Put(key, sr)
 					if disk != nil {
 						disk.putAsync(key, sr)
 					}
+					if peerSp != nil {
+						peerSp.Annotate(trace.Bool("hit", true))
+						peerSp.End()
+					}
 					return memoLoad{sr: sr, fromPeer: true}, nil
 				}
+			}
+			if peerSp != nil {
+				peerSp.Annotate(trace.Bool("hit", false))
+				peerSp.End()
 			}
 		}
 		sr, err := compute()
@@ -191,7 +244,7 @@ func (m *SegmentMemo) do(ctx context.Context, key string, disk *ScheduleStore, p
 			}
 			if peers != nil && !peers.Owns(key) {
 				if payload, perr := MarshalSegmentArtifact(sr); perr == nil {
-					peers.Replicate(key, payload)
+					peers.Replicate(ctx, key, payload)
 				}
 			}
 		}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"github.com/serenity-ml/serenity/internal/store"
+	"github.com/serenity-ml/serenity/internal/trace"
 )
 
 // ArtifactVersion is the version byte of the per-segment artifact payload —
@@ -391,15 +392,39 @@ func (ss *ScheduleStore) Stats() StoreStats {
 // each disk-hit) on their own. Peer artifacts pass the same validation the
 // memo path applies, and fresh non-owned computes replicate to their owner.
 func (ss *ScheduleStore) lookupOrCompute(ctx context.Context, key string, peers PeerTier, nodes int, compute func() (SearchResult, error)) (SearchResult, memoTier, error) {
-	if sr, ok := ss.get(key, nodes); ok {
+	span := trace.FromContext(ctx)
+	var diskSp *trace.SpanHandle
+	if span != nil {
+		diskSp = span.Child("memo.disk")
+	}
+	sr, ok := ss.get(key, nodes)
+	if diskSp != nil {
+		diskSp.Annotate(trace.Bool("hit", ok))
+		diskSp.End()
+	}
+	if ok {
 		return sr, memoTierDisk, nil
 	}
 	if peers != nil && !peers.Owns(key) {
-		if payload, ok := peers.Fetch(ctx, key); ok {
+		fctx := ctx
+		var peerSp *trace.SpanHandle
+		if span != nil {
+			peerSp = span.Child("memo.peer")
+			fctx = trace.ContextWith(ctx, peerSp)
+		}
+		if payload, ok := peers.Fetch(fctx, key); ok {
 			if sr, ok := decodePeerArtifact(payload, nodes); ok {
 				ss.putAsync(key, sr)
+				if peerSp != nil {
+					peerSp.Annotate(trace.Bool("hit", true))
+					peerSp.End()
+				}
 				return sr, memoTierPeer, nil
 			}
+		}
+		if peerSp != nil {
+			peerSp.Annotate(trace.Bool("hit", false))
+			peerSp.End()
 		}
 	}
 	sr, err := compute()
@@ -407,7 +432,7 @@ func (ss *ScheduleStore) lookupOrCompute(ctx context.Context, key string, peers 
 		ss.putAsync(key, sr)
 		if peers != nil && !peers.Owns(key) {
 			if payload, perr := MarshalSegmentArtifact(sr); perr == nil {
-				peers.Replicate(key, payload)
+				peers.Replicate(ctx, key, payload)
 			}
 		}
 	}
